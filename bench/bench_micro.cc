@@ -1,0 +1,150 @@
+// Component microbenchmarks (google-benchmark): kernel evaluation, lazy
+// column computation, LSH build/query, one LID invasion, replicator
+// iteration, eigensolvers. Not a paper artifact — used to attribute the
+// figure-level costs to components.
+#include <benchmark/benchmark.h>
+
+#include "affinity/affinity_function.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "baselines/replicator.h"
+#include "affinity/affinity_matrix.h"
+#include "common/random.h"
+#include "core/lid.h"
+#include "data/synthetic.h"
+#include "linalg/jacobi.h"
+#include "linalg/lanczos.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+namespace {
+
+LabeledData MakeData(Index n, int dim) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = dim;
+  cfg.num_clusters = 10;
+  cfg.omega = 0.6;
+  cfg.seed = 901;
+  return MakeSynthetic(cfg);
+}
+
+void BM_KernelEvaluation(benchmark::State& state) {
+  LabeledData data = MakeData(1000, static_cast<int>(state.range(0)));
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  Index i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f(data.data, i % 1000, (i * 7 + 1) % 1000));
+    ++i;
+  }
+}
+BENCHMARK(BM_KernelEvaluation)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_LazyColumn(benchmark::State& state) {
+  LabeledData data = MakeData(4000, 100);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, f);
+  IndexList rows(state.range(0));
+  for (size_t t = 0; t < rows.size(); ++t) rows[t] = static_cast<Index>(t * 3);
+  Index col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Column(rows, col % 4000));
+    ++col;
+  }
+}
+BENCHMARK(BM_LazyColumn)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LshBuild(benchmark::State& state) {
+  LabeledData data = MakeData(state.range(0), 100);
+  for (auto _ : state) {
+    LshParams lp;
+    lp.num_tables = 8;
+    lp.num_projections = 6;
+    lp.segment_length = data.suggested_lsh_r;
+    LshIndex lsh(data.data, lp);
+    benchmark::DoNotOptimize(lsh.size());
+  }
+}
+BENCHMARK(BM_LshBuild)->Arg(1000)->Arg(4000);
+
+void BM_LshQuery(benchmark::State& state) {
+  LabeledData data = MakeData(8000, 100);
+  LshParams lp;
+  lp.num_tables = 8;
+  lp.num_projections = 6;
+  lp.segment_length = data.suggested_lsh_r;
+  LshIndex lsh(data.data, lp);
+  Index i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.QueryByIndex(i % 8000));
+    ++i;
+  }
+}
+BENCHMARK(BM_LshQuery);
+
+void BM_LidDetection(benchmark::State& state) {
+  LabeledData data = MakeData(state.range(0), 100);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, f);
+  for (auto _ : state) {
+    Lid lid(oracle, 0, {});
+    IndexList cluster0 = data.true_clusters[0];
+    cluster0.erase(cluster0.begin());  // the seed itself
+    lid.UpdateRange(cluster0);
+    benchmark::DoNotOptimize(lid.Run());
+  }
+}
+BENCHMARK(BM_LidDetection)->Arg(1000)->Arg(4000);
+
+void BM_ReplicatorIteration(benchmark::State& state) {
+  LabeledData data = MakeData(state.range(0), 50);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  AffinityMatrix matrix(data.data, f);
+  AffinityView view(&matrix.matrix());
+  std::vector<Scalar> x(data.size(), 1.0 / data.size());
+  ReplicatorOptions opts;
+  opts.max_iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunReplicatorDynamics(view, x, opts));
+  }
+}
+BENCHMARK(BM_ReplicatorIteration)->Arg(500)->Arg(1000);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(5);
+  DenseMatrix m(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const Scalar v = rng.Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JacobiEigenSolver(m));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LanczosTop4(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(7);
+  DenseMatrix m(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const Scalar v = rng.Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  auto matvec = [&](std::span<const Scalar> x) { return m.MatVec(x); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LanczosTopK(n, 4, matvec));
+  }
+}
+BENCHMARK(BM_LanczosTop4)->Arg(256)->Arg(512);
+
+}  // namespace
+}  // namespace alid
+
+BENCHMARK_MAIN();

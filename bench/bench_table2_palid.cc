@@ -1,0 +1,70 @@
+// Table 2 — PALID parallel performance (Section 5.3/4.6).
+//
+// Runs PALID on a SIFT-like workload with 1/2/4/8 executors and reports wall
+// time, the speedup ratio against 1 executor, and the aggregate map-task
+// time. On the paper's 8-core Spark cluster the speedup reaches 7.51 at 8
+// executors; on this host the wall-clock speedup saturates at the physical
+// core count, so the aggregate-task-time / wall-time ratio is also printed —
+// it shows the realized concurrency of the executor pool independent of the
+// hardware.
+#include "bench_util.h"
+
+#include "core/palid.h"
+#include "data/sift_like.h"
+#include "eval/metrics.h"
+
+namespace alid::bench {
+namespace {
+
+void Main() {
+  std::printf("Table 2: PALID executors sweep on SIFT-like data "
+              "(scale %.2f)\n", Scale());
+  SiftLikeConfig cfg;
+  cfg.n = Scaled(8000);
+  cfg.num_visual_words = 40;
+  cfg.word_fraction = 0.3;
+  cfg.seed = 701;
+  LabeledData data = MakeSiftLike(cfg);
+  std::printf("n=%d descriptors, %d planted visual words\n", data.size(),
+              cfg.num_visual_words);
+
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  LshIndex lsh(data.data, MakeLshParams(data));
+
+  PrintHeader("executors sweep");
+  std::printf("%-10s %-8s %-10s %-10s %-12s %-10s %-8s\n", "method",
+              "execs", "wall(s)", "speedup", "task-sum(s)", "conc.", "AVG-F");
+  double base_wall = 0.0;
+  for (int execs : {1, 2, 4, 8}) {
+    PalidOptions opts;
+    opts.num_executors = execs;
+    Palid palid(oracle, lsh, opts);
+    PalidStats stats;
+    DetectionResult result = palid.Detect(&stats).Filtered(0.75);
+    if (execs == 1) base_wall = stats.wall_seconds;
+    const double speedup =
+        stats.wall_seconds > 0.0 ? base_wall / stats.wall_seconds : 0.0;
+    const double concurrency = stats.wall_seconds > 0.0
+                                   ? stats.total_task_seconds /
+                                         stats.wall_seconds
+                                   : 0.0;
+    std::printf("PALID-%d    %-8d %-10.3f %-10.2f %-12.3f %-10.2f %-8.3f\n",
+                execs, execs, stats.wall_seconds, speedup,
+                stats.total_task_seconds, concurrency,
+                AverageF1(data.true_clusters, result));
+  }
+  std::printf("\nExpected shape (paper Table 2): near-linear speedup in the "
+              "executor count up to the hardware's parallelism (7.51x at 8 "
+              "executors on 8 cores). On a 1-core host wall-clock speedup "
+              "stays ~1; the concurrency column shows the pool still "
+              "distributes the map tasks.\n");
+}
+
+}  // namespace
+}  // namespace alid::bench
+
+int main() {
+  alid::bench::Main();
+  return 0;
+}

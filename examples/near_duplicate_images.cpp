@@ -1,0 +1,79 @@
+// Near-duplicate image grouping (the paper's NDI scenario), comparing ALID
+// with the full-matrix baselines it replaces.
+//
+// Images are GIST descriptors; groups of near-duplicates form dominant
+// clusters under a sea of diverse-content photos. This example runs ALID,
+// IID and SEA on the same (Sub-NDI-sized) workload and prints quality, time
+// and the affinity-entry footprint — the trade-off Figure 6/7 quantify.
+//
+//   ./build/examples/near_duplicate_images
+#include <cstdio>
+
+#include "affinity/affinity_matrix.h"
+#include "affinity/sparsifier.h"
+#include "baselines/iid.h"
+#include "baselines/sea.h"
+#include "common/timer.h"
+#include "core/alid.h"
+#include "data/ndi_like.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace alid;
+
+  NdiLikeConfig config = NdiLikeConfig::SubNdi();
+  // Shrink to demo size so the O(n^2) baselines stay snappy.
+  config.num_duplicates = 400;
+  config.num_noise = 2400;
+  LabeledData images = MakeNdiLike(config);
+  std::printf("collection: %d images, %zu near-duplicate groups, noise "
+              "degree %.1f\n\n",
+              images.size(), images.true_clusters.size(),
+              images.NoiseDegree());
+
+  AffinityFunction affinity({.k = images.suggested_k, .p = 2.0});
+  LshParams lsh_params;
+  lsh_params.segment_length = images.suggested_lsh_r;
+  LshIndex lsh(images.data, lsh_params);
+
+  std::printf("%-6s %-8s %-10s %-14s\n", "method", "AVG-F", "time(s)",
+              "affinity entries");
+  {
+    LazyAffinityOracle oracle(images.data, affinity);
+    WallTimer t;
+    AlidDetector detector(oracle, lsh);
+    DetectionResult r = detector.DetectAll().Filtered(0.75);
+    std::printf("%-6s %-8.3f %-10.3f %lld\n", "ALID",
+                AverageF1(images.true_clusters, r), t.Seconds(),
+                static_cast<long long>(oracle.entries_computed()));
+  }
+  {
+    WallTimer t;
+    AffinityMatrix matrix(images.data, affinity);
+    IidDetector iid{AffinityView(&matrix.matrix())};
+    DetectionResult r = iid.DetectAll().Filtered(0.75);
+    std::printf("%-6s %-8.3f %-10.3f %lld\n", "IID",
+                AverageF1(images.true_clusters, r), t.Seconds(),
+                static_cast<long long>(matrix.entries_computed()));
+  }
+  {
+    WallTimer t;
+    // SEA needs a denser sparsified graph than ALID's CIVS does (the Fig. 6
+    // sensitivity): double the segment length for its matrix.
+    LshParams sea_lp = lsh_params;
+    sea_lp.segment_length *= 2.0;
+    sea_lp.num_tables = 16;
+    LshIndex sea_lsh(images.data, sea_lp);
+    SparseMatrix sparse =
+        Sparsifier::FromLshCollisions(images.data, affinity, sea_lsh);
+    SeaDetector sea{AffinityView(&sparse)};
+    DetectionResult r = sea.DetectAll().Filtered(0.6);
+    std::printf("%-6s %-8.3f %-10.3f %lld\n", "SEA",
+                AverageF1(images.true_clusters, r), t.Seconds(),
+                static_cast<long long>(sparse.nnz() / 2));
+  }
+  std::printf("\ntakeaway: equal detection quality, but ALID touches a "
+              "small local fraction of the %lld-entry affinity matrix.\n",
+              static_cast<long long>(images.size()) * images.size());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Visual-word mining with Parallel ALID (the paper's SIFT-50M scenario).
+//
+// SIFT descriptors from repeated image patches form "visual words" — tight
+// dominant clusters on the non-negative unit sphere — while descriptors from
+// random regions are clutter. PALID maps one ALID run per sampled LSH-bucket
+// seed onto a pool of executors and reduces overlapping detections by
+// density, exactly Algorithm 3.
+//
+//   ./build/examples/visual_words
+#include <cstdio>
+
+#include "core/palid.h"
+#include "data/sift_like.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace alid;
+
+  SiftLikeConfig config;
+  config.n = 10000;
+  config.num_visual_words = 50;
+  config.word_fraction = 0.3;
+  LabeledData sifts = MakeSiftLike(config);
+  std::printf("%d SIFT-like descriptors, %d planted visual words, %.0f%% "
+              "clutter\n\n",
+              sifts.size(), config.num_visual_words,
+              100.0 * (1.0 - config.word_fraction));
+
+  AffinityFunction affinity({.k = sifts.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(sifts.data, affinity);
+  LshParams lsh_params;
+  lsh_params.segment_length = sifts.suggested_lsh_r;
+  LshIndex lsh(sifts.data, lsh_params);
+
+  std::printf("%-10s %-8s %-10s %-12s %-8s\n", "executors", "seeds",
+              "wall(s)", "task-sum(s)", "AVG-F");
+  for (int executors : {1, 2, 4}) {
+    PalidOptions options;
+    options.num_executors = executors;
+    Palid palid(oracle, lsh, options);
+    PalidStats stats;
+    DetectionResult words = palid.Detect(&stats).Filtered(0.75);
+    std::printf("%-10d %-8d %-10.3f %-12.3f %-8.3f\n", executors,
+                stats.num_seeds, stats.wall_seconds,
+                stats.total_task_seconds,
+                AverageF1(sifts.true_clusters, words));
+  }
+  std::printf("\neach map task is one Algorithm-2 run from one seed; the "
+              "reduce assigns items to their densest containing cluster.\n");
+  return 0;
+}

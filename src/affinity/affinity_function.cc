@@ -1,0 +1,53 @@
+#include "affinity/affinity_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+AffinityFunction::AffinityFunction(AffinityParams params) : params_(params) {
+  ALID_CHECK_MSG(params_.k > 0.0, "scaling factor k must be positive");
+  ALID_CHECK_MSG(params_.p >= 1.0, "Lp norm requires p >= 1");
+}
+
+Scalar AffinityFunction::operator()(const Dataset& data, Index i,
+                                    Index j) const {
+  if (i == j) return 0.0;
+  return FromDistance(data.Distance(i, j, params_.p));
+}
+
+Scalar AffinityFunction::FromDistance(Scalar distance) const {
+  return std::exp(-params_.k * distance);
+}
+
+Scalar AffinityFunction::ToDistance(Scalar affinity) const {
+  ALID_CHECK(affinity > 0.0 && affinity <= 1.0);
+  return -std::log(affinity) / params_.k;
+}
+
+double AffinityFunction::SuggestScalingFactor(const Dataset& data, double p,
+                                              double target_affinity,
+                                              int sample_size, uint64_t seed) {
+  ALID_CHECK(data.size() >= 2);
+  ALID_CHECK(target_affinity > 0.0 && target_affinity < 1.0);
+  Rng rng(seed);
+  std::vector<Scalar> dists;
+  dists.reserve(sample_size);
+  for (int s = 0; s < sample_size; ++s) {
+    Index i = static_cast<Index>(rng.UniformInt(0, data.size() - 1));
+    Index j = static_cast<Index>(rng.UniformInt(0, data.size() - 2));
+    if (j >= i) ++j;
+    dists.push_back(data.Distance(i, j, p));
+  }
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const Scalar median = std::max(dists[dists.size() / 2], Scalar{1e-12});
+  // exp(-k * median) == target  =>  k = -ln(target) / median.
+  return -std::log(target_affinity) / median;
+}
+
+}  // namespace alid

@@ -1,0 +1,53 @@
+#ifndef ALID_AFFINITY_AFFINITY_FUNCTION_H_
+#define ALID_AFFINITY_AFFINITY_FUNCTION_H_
+
+#include <span>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Parameters of the Laplacian-kernel affinity of Eq. 1:
+///   a_ij = exp(-k * ||v_i - v_j||_p)   (i != j),   a_ii = 0.
+struct AffinityParams {
+  /// Positive scaling factor of the Laplacian kernel.
+  double k = 1.0;
+  /// Order of the L_p norm (p >= 1). The paper's experiments use p = 2.
+  double p = 2.0;
+};
+
+/// Stateless evaluator of the pairwise affinity. All affinity producers
+/// (materialized matrix, lazy oracle, sparsifier) delegate here so the kernel
+/// is defined exactly once.
+class AffinityFunction {
+ public:
+  explicit AffinityFunction(AffinityParams params);
+
+  const AffinityParams& params() const { return params_; }
+
+  /// Affinity between rows i and j of `data` (0 on the diagonal, Eq. 1).
+  Scalar operator()(const Dataset& data, Index i, Index j) const;
+
+  /// Affinity implied by a precomputed distance.
+  Scalar FromDistance(Scalar distance) const;
+
+  /// Distance implied by an affinity value (inverse kernel); affinity must be
+  /// in (0, 1].
+  Scalar ToDistance(Scalar affinity) const;
+
+  /// Suggests a scaling factor k so that the median of `sample_size` random
+  /// pairwise distances maps to affinity `target_affinity`. This reproduces
+  /// the common practice of tuning the kernel to the data scale.
+  static double SuggestScalingFactor(const Dataset& data, double p,
+                                     double target_affinity = 0.5,
+                                     int sample_size = 1000,
+                                     uint64_t seed = 42);
+
+ private:
+  AffinityParams params_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_AFFINITY_AFFINITY_FUNCTION_H_

@@ -1,0 +1,23 @@
+#include "affinity/affinity_matrix.h"
+
+namespace alid {
+
+AffinityMatrix::AffinityMatrix(const Dataset& data,
+                               const AffinityFunction& affinity)
+    : matrix_(data.size(), data.size(), 0.0) {
+  const Index n = data.size();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const Scalar a = affinity(data, i, j);
+      matrix_(i, j) = a;
+      matrix_(j, i) = a;
+      ++entries_computed_;
+    }
+  }
+  charge_ = std::make_unique<ScopedMemoryCharge>(
+      static_cast<int64_t>(matrix_.MemoryBytes()));
+}
+
+AffinityMatrix::~AffinityMatrix() = default;
+
+}  // namespace alid

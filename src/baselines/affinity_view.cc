@@ -1,0 +1,40 @@
+#include "baselines/affinity_view.h"
+
+#include "common/check.h"
+
+namespace alid {
+
+Scalar AffinityView::RowDot(Index r, std::span<const Scalar> x) const {
+  if (dense_ != nullptr) {
+    auto row = dense_->Row(r);
+    Scalar s = 0.0;
+    for (size_t c = 0; c < row.size(); ++c) s += row[c] * x[c];
+    return s;
+  }
+  return sparse_->RowDot(r, x);
+}
+
+std::vector<Scalar> AffinityView::MatVec(std::span<const Scalar> x) const {
+  return dense_ != nullptr ? dense_->MatVec(x) : sparse_->MatVec(x);
+}
+
+Scalar AffinityView::QuadraticForm(std::span<const Scalar> x) const {
+  return dense_ != nullptr ? dense_->QuadraticForm(x)
+                           : sparse_->QuadraticForm(x);
+}
+
+void AffinityView::ForEachInRow(
+    Index r, const std::function<void(Index, Scalar)>& fn) const {
+  if (dense_ != nullptr) {
+    auto row = dense_->Row(r);
+    for (Index c = 0; c < static_cast<Index>(row.size()); ++c) {
+      if (row[c] != 0.0) fn(c, row[c]);
+    }
+    return;
+  }
+  auto idx = sparse_->RowIndices(r);
+  auto val = sparse_->RowValues(r);
+  for (size_t k = 0; k < idx.size(); ++k) fn(idx[k], val[k]);
+}
+
+}  // namespace alid

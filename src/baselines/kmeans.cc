@@ -1,0 +1,112 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+namespace {
+
+// k-means++ seeding: each next center is drawn with probability proportional
+// to the squared distance to the nearest chosen center.
+Dataset SeedPlusPlus(const Dataset& data, int k, Rng& rng) {
+  const Index n = data.size();
+  Dataset centers(data.dim());
+  const Index first = static_cast<Index>(rng.UniformInt(0, n - 1));
+  centers.Append(data[first]);
+  std::vector<Scalar> d2(n, std::numeric_limits<Scalar>::max());
+  while (centers.size() < k) {
+    const Index c = centers.size() - 1;
+    Scalar total = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const Scalar d = SquaredL2(data[i], centers[c]);
+      if (d < d2[i]) d2[i] = d;
+      total += d2[i];
+    }
+    Index next = 0;
+    if (total > 0.0) {
+      Scalar target = rng.Uniform(0.0, total);
+      for (Index i = 0; i < n; ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          next = i;
+          break;
+        }
+      }
+    } else {
+      next = static_cast<Index>(rng.UniformInt(0, n - 1));
+    }
+    centers.Append(data[next]);
+  }
+  return centers;
+}
+
+KMeansResult RunOnce(const Dataset& data, int k, const KMeansOptions& options,
+                     Rng& rng) {
+  const Index n = data.size();
+  const int d = data.dim();
+  KMeansResult res;
+  res.centers = SeedPlusPlus(data, k, rng);
+  res.labels.assign(n, -1);
+
+  std::vector<Scalar> sums(static_cast<size_t>(k) * d);
+  std::vector<Index> counts(k);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++res.iterations;
+    bool changed = false;
+    res.sse = 0.0;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (Index i = 0; i < n; ++i) {
+      int best = 0;
+      Scalar best_d = std::numeric_limits<Scalar>::max();
+      for (int c = 0; c < k; ++c) {
+        const Scalar dist = SquaredL2(data[i], res.centers[c]);
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (res.labels[i] != best) {
+        res.labels[i] = best;
+        changed = true;
+      }
+      res.sse += best_d;
+      auto row = data[i];
+      Scalar* sum = sums.data() + static_cast<size_t>(best) * d;
+      for (int t = 0; t < d; ++t) sum[t] += row[t];
+      ++counts[best];
+    }
+    if (!changed) break;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      auto center = res.centers.MutableRow(c);
+      const Scalar* sum = sums.data() + static_cast<size_t>(c) * d;
+      for (int t = 0; t < d; ++t) {
+        center[t] = sum[t] / static_cast<Scalar>(counts[c]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Dataset& data, int k, KMeansOptions options) {
+  ALID_CHECK(k >= 1 && k <= data.size());
+  ALID_CHECK(options.restarts >= 1);
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.sse = std::numeric_limits<Scalar>::max();
+  for (int r = 0; r < options.restarts; ++r) {
+    KMeansResult run = RunOnce(data, k, options, rng);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace alid

@@ -1,0 +1,39 @@
+#ifndef ALID_BASELINES_KMEANS_H_
+#define ALID_BASELINES_KMEANS_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Options of the k-means baseline.
+struct KMeansOptions {
+  /// Lloyd iteration cap.
+  int max_iterations = 100;
+  /// Stop when no assignment changes.
+  uint64_t seed = 42;
+  /// Independent restarts; the best-SSE run wins.
+  int restarts = 1;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster id per point, in [0, k).
+  std::vector<int> labels;
+  /// Cluster centers, k rows.
+  Dataset centers;
+  /// Sum of squared distances to the assigned centers.
+  Scalar sse = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding — the canonical partitioning
+/// baseline of the noise-resistance analysis (Appendix C) and the final
+/// grouping step of spectral clustering.
+KMeansResult RunKMeans(const Dataset& data, int k, KMeansOptions options = {});
+
+}  // namespace alid
+
+#endif  // ALID_BASELINES_KMEANS_H_

@@ -1,0 +1,45 @@
+#ifndef ALID_BASELINES_MEAN_SHIFT_H_
+#define ALID_BASELINES_MEAN_SHIFT_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Options of the mean-shift baseline.
+struct MeanShiftOptions {
+  /// Gaussian kernel bandwidth h. Non-positive means adaptive: the median
+  /// distance to the ~sqrt(n)-th nearest neighbour of a data sample.
+  double bandwidth = -1.0;
+  /// Iteration cap per point.
+  int max_iterations = 50;
+  /// Convergence threshold on the shift length (relative to bandwidth).
+  double shift_tolerance = 1e-3;
+  /// Modes closer than this fraction of the bandwidth merge into one cluster.
+  double merge_fraction = 0.5;
+  /// Optional speedup: ascend from at most this many points (0 = all),
+  /// assigning the rest to the nearest discovered mode.
+  int max_ascents = 0;
+  uint64_t seed = 42;
+};
+
+/// Result of mean shift: a hard mode assignment.
+struct MeanShiftResult {
+  /// Mode id per point, in [0, num_modes).
+  std::vector<int> labels;
+  /// Discovered modes, one row each.
+  Dataset modes;
+};
+
+/// Mean shift (Comaniciu & Meer, TPAMI 2002): gradient ascent of a Gaussian
+/// kernel density estimate from every point; points whose ascents end at the
+/// same mode form a cluster. Appendix C's comparison shows its quality hinges
+/// on the bandwidth matching all true cluster scales at once.
+MeanShiftResult RunMeanShift(const Dataset& data,
+                             MeanShiftOptions options = {});
+
+}  // namespace alid
+
+#endif  // ALID_BASELINES_MEAN_SHIFT_H_

@@ -1,0 +1,153 @@
+#include "baselines/sea.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace alid {
+
+SeaDetector::SeaDetector(AffinityView affinity, SeaOptions options)
+    : affinity_(affinity), options_(options) {}
+
+Cluster SeaDetector::ExtractFrom(Index seed,
+                                 const std::vector<bool>* active) const {
+  ALID_CHECK(seed >= 0 && seed < affinity_.size());
+  auto is_active = [&](Index i) {
+    return active == nullptr || (*active)[i];
+  };
+  ALID_CHECK(is_active(seed));
+
+  // Local state: support list S with weights x (parallel arrays) plus a
+  // membership map for O(1) lookups.
+  IndexList support{seed};
+  std::vector<Scalar> x{1.0};
+  std::unordered_map<Index, int> pos{{seed, 0}};
+
+  // Initial expansion: the seed's neighbourhood.
+  affinity_.ForEachInRow(seed, [&](Index j, Scalar) {
+    if (j != seed && is_active(j) && pos.emplace(j, support.size()).second) {
+      support.push_back(j);
+      x.push_back(0.0);
+    }
+  });
+  if (support.size() > 1) {
+    const Scalar u = 1.0 / static_cast<Scalar>(support.size());
+    for (auto& w : x) w = u;
+  }
+
+  Scalar density = 0.0;
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    const int s = static_cast<int>(support.size());
+
+    // --- Shrink: replicator dynamics restricted to the local subgraph.
+    std::vector<Scalar> ax(s, 0.0);
+    for (int it = 0; it < options_.rd_iterations; ++it) {
+      std::fill(ax.begin(), ax.end(), 0.0);
+      for (int a = 0; a < s; ++a) {
+        if (x[a] == 0.0) continue;
+        affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
+          auto p = pos.find(j);
+          if (p != pos.end()) ax[p->second] += v * x[a];
+        });
+      }
+      Scalar pi = 0.0;
+      for (int a = 0; a < s; ++a) pi += x[a] * ax[a];
+      if (pi <= 0.0) break;
+      Scalar change = 0.0;
+      for (int a = 0; a < s; ++a) {
+        const Scalar next = x[a] * ax[a] / pi;
+        change += std::abs(next - x[a]);
+        x[a] = next;
+      }
+      if (change < options_.rd_tolerance) break;
+    }
+    // Drop weak vertices from the support.
+    IndexList new_support;
+    std::vector<Scalar> new_x;
+    Scalar kept = 0.0;
+    for (int a = 0; a < s; ++a) {
+      if (x[a] > options_.support_threshold) {
+        new_support.push_back(support[a]);
+        new_x.push_back(x[a]);
+        kept += x[a];
+      }
+    }
+    if (new_support.empty()) {  // isolated seed
+      new_support.push_back(seed);
+      new_x.push_back(1.0);
+      kept = 1.0;
+    }
+    for (auto& w : new_x) w /= kept;
+    support = std::move(new_support);
+    x = std::move(new_x);
+    pos.clear();
+    for (size_t a = 0; a < support.size(); ++a) {
+      pos[support[a]] = static_cast<int>(a);
+    }
+
+    // Current density pi(x) over the local subgraph.
+    density = 0.0;
+    for (size_t a = 0; a < support.size(); ++a) {
+      affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
+        auto p = pos.find(j);
+        if (p != pos.end()) density += x[a] * v * x[p->second];
+      });
+    }
+
+    // --- Expand: add neighbours with pi(s_j, x) > pi(x).
+    std::unordered_map<Index, Scalar> affinity_to_x;  // candidate -> pi(s_j,x)
+    for (size_t a = 0; a < support.size(); ++a) {
+      if (x[a] == 0.0) continue;
+      affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
+        if (pos.count(j) != 0 || !is_active(j)) return;
+        affinity_to_x[j] += v * x[a];
+      });
+    }
+    IndexList newcomers;
+    for (const auto& [j, aff] : affinity_to_x) {
+      if (aff > density + options_.expansion_margin) newcomers.push_back(j);
+    }
+    if (newcomers.empty()) break;
+
+    // Newcomers enter with a small uniform share; existing weights scale down.
+    const Scalar share = 0.5 / static_cast<Scalar>(
+        support.size() + newcomers.size());
+    const Scalar scale = 1.0 - share * static_cast<Scalar>(newcomers.size());
+    for (auto& w : x) w *= scale;
+    for (Index j : newcomers) {
+      pos[j] = static_cast<int>(support.size());
+      support.push_back(j);
+      x.push_back(share);
+    }
+  }
+
+  Cluster cluster;
+  cluster.seed = seed;
+  cluster.density = density;
+  std::vector<std::pair<Index, Scalar>> pairs;
+  for (size_t a = 0; a < support.size(); ++a) pairs.emplace_back(support[a], x[a]);
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [g, w] : pairs) {
+    cluster.members.push_back(g);
+    cluster.weights.push_back(w);
+  }
+  return cluster;
+}
+
+DetectionResult SeaDetector::DetectAll() const {
+  const Index n = affinity_.size();
+  std::vector<bool> active(n, true);
+  DetectionResult result;
+  for (Index seed = 0; seed < n; ++seed) {
+    if (!active[seed]) continue;
+    Cluster c = ExtractFrom(seed, &active);
+    for (Index i : c.members) active[i] = false;
+    result.clusters.push_back(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace alid

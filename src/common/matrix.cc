@@ -1,0 +1,61 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace alid {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols, Scalar fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  ALID_CHECK(rows >= 0 && cols >= 0);
+}
+
+std::vector<Scalar> DenseMatrix::MatVec(std::span<const Scalar> x) const {
+  ALID_CHECK(static_cast<Index>(x.size()) == cols_);
+  std::vector<Scalar> y(rows_, 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    const Scalar* row = data_.data() + static_cast<size_t>(r) * cols_;
+    Scalar s = 0.0;
+    for (Index c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Scalar DenseMatrix::QuadraticForm(std::span<const Scalar> x) const {
+  ALID_CHECK(rows_ == cols_);
+  ALID_CHECK(static_cast<Index>(x.size()) == cols_);
+  Scalar total = 0.0;
+  for (Index r = 0; r < rows_; ++r) {
+    if (x[r] == 0.0) continue;
+    const Scalar* row = data_.data() + static_cast<size_t>(r) * cols_;
+    Scalar s = 0.0;
+    for (Index c = 0; c < cols_; ++c) s += row[c] * x[c];
+    total += x[r] * s;
+  }
+  return total;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Scalar DenseMatrix::SymmetryError() const {
+  const Index n = std::min(rows_, cols_);
+  Scalar err = 0.0;
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = r + 1; c < n; ++c) {
+      err = std::max(err, std::abs((*this)(r, c) - (*this)(c, r)));
+    }
+  }
+  return err;
+}
+
+}  // namespace alid

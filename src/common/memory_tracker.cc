@@ -1,0 +1,28 @@
+#include "common/memory_tracker.h"
+
+namespace alid {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::Add(int64_t bytes) {
+  const int64_t now = current_.fetch_add(bytes) + bytes;
+  // Lock-free peak update.
+  int64_t peak = peak_.load();
+  while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+void MemoryTracker::Reset() {
+  current_.store(0);
+  peak_.store(0);
+}
+
+void ScopedMemoryCharge::Adjust(int64_t new_bytes) {
+  MemoryTracker::Global().Add(new_bytes - bytes_);
+  bytes_ = new_bytes;
+}
+
+}  // namespace alid

@@ -1,0 +1,54 @@
+#ifndef ALID_COMMON_MEMORY_TRACKER_H_
+#define ALID_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace alid {
+
+/// Process-wide accounting of the bytes the *algorithms* hold — primarily
+/// affinity-matrix storage, LSH tables and message buffers. The paper's
+/// Figure 7(e-h) / Figure 9 "memory" axis is the peak of this counter, which
+/// isolates algorithmic space complexity from allocator noise.
+///
+/// Thread-safe; PALID workers account concurrently.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Global();
+
+  void Add(int64_t bytes);
+  void Release(int64_t bytes) { Add(-bytes); }
+
+  int64_t current_bytes() const { return current_.load(); }
+  int64_t peak_bytes() const { return peak_.load(); }
+
+  /// Resets both counters; call between benchmark configurations.
+  void Reset();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII registration of a fixed-size allocation against the global tracker.
+class ScopedMemoryCharge {
+ public:
+  explicit ScopedMemoryCharge(int64_t bytes) : bytes_(bytes) {
+    MemoryTracker::Global().Add(bytes_);
+  }
+  ~ScopedMemoryCharge() { MemoryTracker::Global().Release(bytes_); }
+
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+
+  /// Grows (or shrinks) the charge as the underlying structure grows.
+  void Adjust(int64_t new_bytes);
+
+ private:
+  int64_t bytes_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_MEMORY_TRACKER_H_

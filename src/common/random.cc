@@ -1,0 +1,38 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace alid {
+
+std::vector<Index> Rng::SampleWithoutReplacement(Index n, Index k) {
+  ALID_CHECK(k >= 0 && k <= n);
+  if (k > n / 2) {
+    std::vector<Index> all = Permutation(n);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  // Floyd's algorithm: k iterations, no O(n) setup.
+  std::unordered_set<Index> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  for (Index j = n - k; j < n; ++j) {
+    Index t = static_cast<Index>(UniformInt(0, j));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<Index> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Index> Rng::Permutation(Index n) {
+  std::vector<Index> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+}  // namespace alid

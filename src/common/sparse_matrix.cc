@@ -1,0 +1,83 @@
+#include "common/sparse_matrix.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace alid {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    Index rows, Index cols,
+    std::vector<std::tuple<Index, Index, Scalar>> triplets) {
+  ALID_CHECK(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_start_.assign(rows + 1, 0);
+  m.col_index_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    auto [r, c, v] = triplets[i];
+    ALID_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    Scalar sum = v;
+    size_t j = i + 1;
+    while (j < triplets.size() && std::get<0>(triplets[j]) == r &&
+           std::get<1>(triplets[j]) == c) {
+      sum += std::get<2>(triplets[j]);
+      ++j;
+    }
+    m.col_index_.push_back(c);
+    m.values_.push_back(sum);
+    ++m.row_start_[r + 1];
+    i = j;
+  }
+  for (Index r = 0; r < rows; ++r) m.row_start_[r + 1] += m.row_start_[r];
+  return m;
+}
+
+double SparseMatrix::SparseDegree() const {
+  const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+  if (total == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(nnz()) / total;
+}
+
+Scalar SparseMatrix::At(Index r, Index c) const {
+  ALID_DCHECK(r >= 0 && r < rows_);
+  auto idx = RowIndices(r);
+  auto it = std::lower_bound(idx.begin(), idx.end(), c);
+  if (it == idx.end() || *it != c) return 0.0;
+  return values_[row_start_[r] + (it - idx.begin())];
+}
+
+std::vector<Scalar> SparseMatrix::MatVec(std::span<const Scalar> x) const {
+  ALID_CHECK(static_cast<Index>(x.size()) == cols_);
+  std::vector<Scalar> y(rows_, 0.0);
+  for (Index r = 0; r < rows_; ++r) y[r] = RowDot(r, x);
+  return y;
+}
+
+Scalar SparseMatrix::QuadraticForm(std::span<const Scalar> x) const {
+  ALID_CHECK(rows_ == cols_);
+  Scalar total = 0.0;
+  for (Index r = 0; r < rows_; ++r) {
+    if (x[r] == 0.0) continue;
+    total += x[r] * RowDot(r, x);
+  }
+  return total;
+}
+
+Scalar SparseMatrix::RowDot(Index r, std::span<const Scalar> x) const {
+  auto idx = RowIndices(r);
+  auto val = RowValues(r);
+  Scalar s = 0.0;
+  for (size_t k = 0; k < idx.size(); ++k) s += val[k] * x[idx[k]];
+  return s;
+}
+
+}  // namespace alid

@@ -1,0 +1,70 @@
+#ifndef ALID_COMMON_SPARSE_MATRIX_H_
+#define ALID_COMMON_SPARSE_MATRIX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace alid {
+
+/// Compressed sparse row (CSR) matrix. This is the representation handed to
+/// the baselines when the affinity graph is sparsified (Section 5.1 of the
+/// paper): SEA operates natively on it, AP passes messages along its edges,
+/// and IID uses its row gather for A x.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets; duplicate (r, c) entries are summed.
+  static SparseMatrix FromTriplets(
+      Index rows, Index cols,
+      std::vector<std::tuple<Index, Index, Scalar>> triplets);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Fraction of entries that are (structurally) zero — the paper's
+  /// "sparse degree".
+  double SparseDegree() const;
+
+  /// Column indices of row r.
+  std::span<const Index> RowIndices(Index r) const {
+    return {col_index_.data() + row_start_[r],
+            static_cast<size_t>(row_start_[r + 1] - row_start_[r])};
+  }
+  /// Values of row r (parallel to RowIndices).
+  std::span<const Scalar> RowValues(Index r) const {
+    return {values_.data() + row_start_[r],
+            static_cast<size_t>(row_start_[r + 1] - row_start_[r])};
+  }
+
+  /// Entry lookup (binary search within the row); 0 if absent.
+  Scalar At(Index r, Index c) const;
+
+  /// y = M x.
+  std::vector<Scalar> MatVec(std::span<const Scalar> x) const;
+
+  /// x^T M x for square M.
+  Scalar QuadraticForm(std::span<const Scalar> x) const;
+
+  /// (M x)_r for a single row — O(nnz(row)).
+  Scalar RowDot(Index r, std::span<const Scalar> x) const;
+
+  size_t MemoryBytes() const {
+    return values_.size() * sizeof(Scalar) + col_index_.size() * sizeof(Index) +
+           row_start_.size() * sizeof(int64_t);
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<int64_t> row_start_;  // size rows_+1
+  std::vector<Index> col_index_;
+  std::vector<Scalar> values_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_SPARSE_MATRIX_H_

@@ -1,0 +1,48 @@
+#ifndef ALID_COMMON_THREAD_POOL_H_
+#define ALID_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alid {
+
+/// A fixed-size worker pool. PALID's "executors" (Table 2) map onto these
+/// workers: every map task (one ALID run from one seed) is a job, and the
+/// reduce stage runs after Wait(). The pool is intentionally minimal — FIFO
+/// queue, no work stealing — mirroring the coarse-grained Spark tasks the
+/// paper used.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe from any thread.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_THREAD_POOL_H_

@@ -1,0 +1,22 @@
+#ifndef ALID_COMMON_TYPES_H_
+#define ALID_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alid {
+
+/// Index of a data item / graph vertex. The paper's "global range" I = [1, n]
+/// maps to [0, n) here.
+using Index = int32_t;
+
+/// Scalar type used throughout. Double keeps the evolutionary-game dynamics
+/// (tiny invasion shares, co-vertex ratios x_i/(x_i-1)) numerically sane.
+using Scalar = double;
+
+/// A list of vertex indices (e.g., a local range beta or a support alpha).
+using IndexList = std::vector<Index>;
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_TYPES_H_

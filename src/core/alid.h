@@ -1,0 +1,78 @@
+#ifndef ALID_CORE_ALID_H_
+#define ALID_CORE_ALID_H_
+
+#include <memory>
+#include <vector>
+
+#include "affinity/affinity_function.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "common/dataset.h"
+#include "core/civs.h"
+#include "core/cluster.h"
+#include "core/lid.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+
+/// Options of the full ALID iteration (Algorithm 2) and of the peeling loop
+/// that detects all dominant clusters (Section 4.4).
+struct AlidOptions {
+  /// Maximum number of outer ALID iterations C (the paper uses C = 10).
+  int max_outer_iterations = 10;
+  /// LID (Step 1) options — T and the convergence tolerance.
+  LidOptions lid;
+  /// CIVS (Step 3) options — delta and the query strategy.
+  CivsOptions civs;
+  /// Radius of the first-iteration ROI, when pi(x) = 0 still (Algorithm 2
+  /// sets R = 0.4 for c = 1 on its normalized features). Negative means
+  /// adaptive: the distance at which the affinity kernel decays to 0.5,
+  /// i.e. ln(2)/k.
+  double first_radius = -1.0;
+  /// Eq. 16's logistic ROI growth; false jumps straight to the outer ball
+  /// (ablation).
+  bool logistic_roi_growth = true;
+  /// Peeling keeps clusters with pi(x) >= density_threshold (paper: 0.75).
+  double density_threshold = 0.75;
+  /// Peeling keeps clusters with at least this many members.
+  int min_cluster_size = 2;
+};
+
+/// The ALID detector: LID + ROI + CIVS in a loop (Algorithm 2), plus the
+/// peeling strategy of Section 4.4 for detecting *all* dominant clusters.
+///
+/// The detector owns nothing heavy: it borrows a dataset, an affinity
+/// function, a (shared, immutable) LSH index and a lazy affinity oracle, so
+/// many detections — including PALID's concurrent map tasks — can run against
+/// the same substrates.
+class AlidDetector {
+ public:
+  AlidDetector(const LazyAffinityOracle& oracle, const LshIndex& lsh,
+               AlidOptions options = {});
+
+  /// Runs Algorithm 2 from one initial vertex. `exclude` (optional) marks
+  /// peeled-off items that must not participate. Thread-safe: `this` is not
+  /// mutated.
+  Cluster DetectOne(Index seed, const std::vector<bool>* exclude = nullptr)
+      const;
+
+  /// Detects all dominant clusters by peeling (Section 4.4): run Algorithm 2,
+  /// peel the detected support off, reseed on the remaining items until all
+  /// are peeled. Returns every raw cluster; apply
+  /// DetectionResult::Filtered(options().density_threshold) for the paper's
+  /// final selection.
+  DetectionResult DetectAll() const;
+
+  const AlidOptions& options() const { return options_; }
+  const LazyAffinityOracle& oracle() const { return *oracle_; }
+
+ private:
+  Scalar FirstRadius() const;
+
+  const LazyAffinityOracle* oracle_;
+  const LshIndex* lsh_;
+  AlidOptions options_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_CORE_ALID_H_

@@ -1,0 +1,53 @@
+#include "core/civs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace alid {
+
+IndexList CivsRetrieve(const LazyAffinityOracle& oracle, const LshIndex& lsh,
+                       const Roi& roi, Scalar radius,
+                       const std::vector<std::pair<Index, Scalar>>& support,
+                       const std::vector<bool>* exclude,
+                       const CivsOptions& options) {
+  ALID_CHECK(options.delta > 0);
+  if (!roi.valid && support.empty()) return {};
+
+  std::unordered_set<Index> support_set;
+  for (const auto& [g, w] : support) support_set.insert(g);
+
+  // Step 1: collect candidates from the Locality Sensitive Regions.
+  std::unordered_set<Index> candidates;
+  if (options.query_from_all_support) {
+    for (const auto& [g, w] : support) {
+      for (Index j : lsh.QueryByIndex(g)) candidates.insert(j);
+    }
+  } else if (!roi.center.empty()) {
+    for (Index j : lsh.QueryByPoint(roi.center)) candidates.insert(j);
+  }
+
+  // Step 2: keep items inside the ROI, outside the support, not excluded.
+  std::vector<std::pair<Scalar, Index>> in_roi;
+  for (Index j : candidates) {
+    if (support_set.count(j) != 0) continue;
+    if (exclude != nullptr && (*exclude)[j]) continue;
+    const Scalar dist = oracle.DistanceTo(j, roi.center);
+    if (dist <= radius) in_roi.emplace_back(dist, j);
+  }
+
+  // Step 3: the delta nearest to the center D.
+  if (static_cast<int>(in_roi.size()) > options.delta) {
+    std::nth_element(in_roi.begin(), in_roi.begin() + options.delta - 1,
+                     in_roi.end());
+    in_roi.resize(options.delta);
+  }
+  std::sort(in_roi.begin(), in_roi.end());
+  IndexList out;
+  out.reserve(in_roi.size());
+  for (const auto& [dist, j] : in_roi) out.push_back(j);
+  return out;
+}
+
+}  // namespace alid

@@ -1,0 +1,42 @@
+#ifndef ALID_CORE_CIVS_H_
+#define ALID_CORE_CIVS_H_
+
+#include <vector>
+
+#include "affinity/lazy_affinity_oracle.h"
+#include "common/types.h"
+#include "core/roi.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+
+/// Options of the Candidate Infective Vertex Search (Step 3, Section 4.3).
+struct CivsOptions {
+  /// Maximum number of new data items retrieved per iteration (the paper's
+  /// delta; fixed to 800 in its experiments).
+  int delta = 800;
+  /// If true (the paper's CIVS), one LSH query is issued from every
+  /// supporting data item so the union of Locality Sensitive Regions covers
+  /// the ROI (Fig. 4b). If false, a single query is issued from the ball
+  /// center D (Fig. 4a) — kept as the ablation showing why CIVS is needed.
+  bool query_from_all_support = true;
+};
+
+/// Retrieves up to `delta` candidate infective vertices inside the ROI
+/// hyperball H_c(D, R):
+///   1. union the LSH buckets of all supporting items (or of D alone),
+///   2. drop items outside the radius, already in the support, or excluded
+///      (peeled off by a previous detection),
+///   3. keep the `delta` items nearest to the center D.
+///
+/// `exclude` may be nullptr; otherwise exclude->at(i) == true hides item i.
+/// The result is sorted by distance to D, nearest first.
+IndexList CivsRetrieve(const LazyAffinityOracle& oracle, const LshIndex& lsh,
+                       const Roi& roi, Scalar radius,
+                       const std::vector<std::pair<Index, Scalar>>& support,
+                       const std::vector<bool>* exclude,
+                       const CivsOptions& options);
+
+}  // namespace alid
+
+#endif  // ALID_CORE_CIVS_H_

@@ -1,0 +1,62 @@
+#ifndef ALID_CORE_CLUSTER_H_
+#define ALID_CORE_CLUSTER_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace alid {
+
+/// One detected dominant cluster: the support of a dense subgraph x* together
+/// with its probabilistic memberships and its density pi(x*). Every detector
+/// in this library (ALID, PALID, IID, DS, SEA, AP, ...) reports its output in
+/// this shape so the evaluation harness is method-agnostic.
+struct Cluster {
+  /// Global indices of the member items (the support of x*), ascending.
+  IndexList members;
+  /// Simplex weights parallel to `members` (sum to 1). Partitioning baselines
+  /// that have no natural weights report uniform weights.
+  std::vector<Scalar> weights;
+  /// Graph density pi(x*) = x*^T A x* — the paper's cluster-coherence score.
+  Scalar density = 0.0;
+  /// The initial vertex the detection started from (-1 if not applicable).
+  Index seed = -1;
+};
+
+/// The full output of a detection run.
+struct DetectionResult {
+  std::vector<Cluster> clusters;
+
+  /// Per-item cluster id (index into `clusters`), or -1 for unassigned noise.
+  /// When clusters overlap, the densest one wins (the PALID reduce rule).
+  std::vector<int> Assignment(Index n) const {
+    std::vector<int> label(n, -1);
+    std::vector<Scalar> best(n, -1.0);
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      for (Index i : clusters[c].members) {
+        if (clusters[c].density > best[i]) {
+          best[i] = clusters[c].density;
+          label[i] = static_cast<int>(c);
+        }
+      }
+    }
+    return label;
+  }
+
+  /// Keeps only clusters with density >= threshold and at least `min_size`
+  /// members (the paper keeps pi(x) >= 0.75).
+  DetectionResult Filtered(Scalar min_density, int min_size = 2) const {
+    DetectionResult out;
+    for (const Cluster& c : clusters) {
+      if (c.density >= min_density &&
+          static_cast<int>(c.members.size()) >= min_size) {
+        out.clusters.push_back(c);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace alid
+
+#endif  // ALID_CORE_CLUSTER_H_

@@ -1,0 +1,150 @@
+#include "core/online_alid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace alid {
+
+OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
+    : options_(options), data_(dim), affinity_fn_(options.affinity) {
+  oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
+  lsh_ = std::make_unique<LshIndex>(data_, options_.lsh);
+}
+
+Index OnlineAlid::Insert(std::span<const Scalar> point) {
+  const Index idx = data_.size();
+  data_.Append(point);
+  lsh_->AppendItem(idx);
+  assignment_.push_back(-1);
+
+  // Which existing cluster (if any) is the newcomer infective against?
+  // Candidates are the clusters of the newcomer's LSH neighbours.
+  std::vector<bool> candidate(clusters_.size(), false);
+  for (Index j : lsh_->QueryByIndex(idx)) {
+    if (assignment_[j] >= 0) candidate[assignment_[j]] = true;
+  }
+  int best_cluster = -1;
+  Scalar best_margin = -std::numeric_limits<Scalar>::infinity();
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    if (!candidate[c]) continue;
+    const Cluster& cl = clusters_[c];
+    Scalar aff = 0.0;  // pi(s_idx, x_c)
+    for (size_t t = 0; t < cl.members.size(); ++t) {
+      aff += cl.weights[t] * oracle_->Entry(cl.members[t], idx);
+    }
+    // Absorb when (near-)infective: same-cluster arrivals sit at the density
+    // (Theorem 1 equality on the support), hence the slack.
+    const Scalar margin =
+        aff - cl.density * (1.0 - options_.absorb_slack);
+    if (margin > 0.0 && margin > best_margin) {
+      best_margin = margin;
+      best_cluster = static_cast<int>(c);
+    }
+  }
+  if (best_cluster >= 0) {
+    // Local re-detection absorbs the newcomer and rebalances the weights.
+    RedetectCluster(best_cluster, idx);
+  }
+
+  if (++since_refresh_ >= options_.refresh_interval) Refresh();
+  return idx;
+}
+
+void OnlineAlid::Refresh() {
+  DetectFromPool();
+  since_refresh_ = 0;
+}
+
+void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
+  // Items owned by *other* clusters stay out of this re-detection.
+  std::vector<bool> exclude(data_.size(), false);
+  for (Index i = 0; i < data_.size(); ++i) {
+    exclude[i] = assignment_[i] >= 0 && assignment_[i] != cluster_id;
+  }
+  ALID_CHECK(!exclude[seed]);
+  AlidDetector detector(*oracle_, *lsh_, options_.alid);
+  Cluster fresh = detector.DetectOne(seed, &exclude);
+
+  // Release the old membership.
+  for (Index i : clusters_[cluster_id].members) assignment_[i] = -1;
+  if (fresh.density >= options_.alid.density_threshold &&
+      static_cast<int>(fresh.members.size()) >=
+          options_.alid.min_cluster_size) {
+    clusters_[cluster_id] = std::move(fresh);
+    Assign(cluster_id);
+    return;
+  }
+  // The cluster dissolved (e.g., it was marginal and the newcomer pulled the
+  // dynamics elsewhere): drop it and compact ids.
+  clusters_.erase(clusters_.begin() + cluster_id);
+  for (int& a : assignment_) {
+    if (a > cluster_id) --a;
+  }
+}
+
+void OnlineAlid::DetectFromPool() {
+  std::vector<bool> exclude(data_.size(), false);
+  Index pool = 0;
+  for (Index i = 0; i < data_.size(); ++i) {
+    exclude[i] = assignment_[i] >= 0;
+    pool += !exclude[i];
+  }
+  if (pool == 0) return;
+  AlidDetector detector(*oracle_, *lsh_, options_.alid);
+  for (Index seed = 0; seed < data_.size(); ++seed) {
+    if (exclude[seed]) continue;
+    Cluster c = detector.DetectOne(seed, &exclude);
+    for (Index i : c.members) exclude[i] = true;  // peel
+    if (c.density < options_.alid.density_threshold ||
+        static_cast<int>(c.members.size()) < options_.alid.min_cluster_size) {
+      continue;
+    }
+    // A pool cluster might be the missing half of an existing one (its
+    // members arrived after that cluster was detected). If the cross
+    // density matches dominant-cluster coherence, merge by re-detection
+    // over the union.
+    int merge_with = -1;
+    for (size_t e = 0; e < clusters_.size(); ++e) {
+      const Cluster& cl = clusters_[e];
+      Scalar cross = 0.0;  // pi(x_new, x_e)
+      for (size_t a = 0; a < c.members.size(); ++a) {
+        for (size_t b = 0; b < cl.members.size(); ++b) {
+          cross += c.weights[a] * cl.weights[b] *
+                   oracle_->Entry(c.members[a], cl.members[b]);
+        }
+      }
+      if (cross >= options_.alid.density_threshold) {
+        merge_with = static_cast<int>(e);
+        break;
+      }
+    }
+    if (merge_with >= 0) {
+      // Release the sibling and re-detect over the union of both halves.
+      for (Index i : clusters_[merge_with].members) assignment_[i] = -1;
+      std::vector<bool> other_owned(data_.size(), false);
+      for (Index i = 0; i < data_.size(); ++i) {
+        other_owned[i] = assignment_[i] >= 0;
+      }
+      Cluster merged = detector.DetectOne(c.seed, &other_owned);
+      if (merged.density >= options_.alid.density_threshold &&
+          static_cast<int>(merged.members.size()) >=
+              options_.alid.min_cluster_size) {
+        clusters_[merge_with] = std::move(merged);
+        Assign(merge_with);
+        for (Index i : clusters_[merge_with].members) exclude[i] = true;
+        continue;
+      }
+      // Merge failed; fall through and install the pool cluster as-is.
+    }
+    clusters_.push_back(std::move(c));
+    Assign(static_cast<int>(clusters_.size()) - 1);
+  }
+}
+
+void OnlineAlid::Assign(int cluster_id) {
+  for (Index i : clusters_[cluster_id].members) assignment_[i] = cluster_id;
+}
+
+}  // namespace alid

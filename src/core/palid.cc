@@ -1,0 +1,93 @@
+#include "core/palid.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace alid {
+
+Palid::Palid(const LazyAffinityOracle& oracle, const LshIndex& lsh,
+             PalidOptions options)
+    : oracle_(&oracle), lsh_(&lsh), options_(options) {
+  ALID_CHECK(options_.num_executors >= 1);
+  ALID_CHECK(options_.seed_sample_rate > 0.0 &&
+             options_.seed_sample_rate <= 1.0);
+}
+
+IndexList Palid::SampleSeeds() const {
+  Rng rng(options_.seed);
+  std::unordered_set<Index> seeds;
+  lsh_->VisitBuckets(options_.min_bucket_size,
+                     [&](std::span<const Index> items) {
+                       for (Index i : items) {
+                         if (rng.Bernoulli(options_.seed_sample_rate)) {
+                           seeds.insert(i);
+                         }
+                       }
+                     });
+  IndexList out(seeds.begin(), seeds.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DetectionResult Palid::Detect(PalidStats* stats) const {
+  const IndexList seeds = SampleSeeds();
+  AlidDetector detector(*oracle_, *lsh_, options_.alid);
+
+  WallTimer wall;
+  std::mutex mu;
+  std::vector<Cluster> raw;
+  double task_seconds = 0.0;
+  {
+    ThreadPool pool(options_.num_executors);
+    for (Index seed : seeds) {
+      pool.Submit([&, seed] {
+        // Map task: one independent Algorithm 2 run (Figure 5's mappers).
+        WallTimer task_timer;
+        Cluster c = detector.DetectOne(seed);
+        const double secs = task_timer.Seconds();
+        std::lock_guard<std::mutex> lock(mu);
+        task_seconds += secs;
+        raw.push_back(std::move(c));
+      });
+    }
+    pool.Wait();
+  }
+
+  // Reduce: each item goes to its maximum-density containing cluster; a
+  // cluster survives iff it wins at least one item. Duplicate detections of
+  // the same dominant cluster collapse to one survivor.
+  const Index n = oracle_->size();
+  std::vector<int> best_cluster(n, -1);
+  std::vector<Scalar> best_density(n, -1.0);
+  for (size_t c = 0; c < raw.size(); ++c) {
+    for (Index i : raw[c].members) {
+      if (raw[c].density > best_density[i]) {
+        best_density[i] = raw[c].density;
+        best_cluster[i] = static_cast<int>(c);
+      }
+    }
+  }
+  std::vector<bool> wins(raw.size(), false);
+  for (Index i = 0; i < n; ++i) {
+    if (best_cluster[i] >= 0) wins[best_cluster[i]] = true;
+  }
+  DetectionResult result;
+  for (size_t c = 0; c < raw.size(); ++c) {
+    if (wins[c]) result.clusters.push_back(std::move(raw[c]));
+  }
+
+  if (stats != nullptr) {
+    stats->num_seeds = static_cast<int>(seeds.size());
+    stats->wall_seconds = wall.Seconds();
+    stats->total_task_seconds = task_seconds;
+  }
+  return result;
+}
+
+}  // namespace alid

@@ -1,0 +1,73 @@
+#include "core/roi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace alid {
+
+namespace {
+
+// log( sum_i exp(terms_i) ) computed stably.
+Scalar LogSumExp(const std::vector<Scalar>& terms) {
+  ALID_CHECK(!terms.empty());
+  const Scalar m = *std::max_element(terms.begin(), terms.end());
+  Scalar s = 0.0;
+  for (Scalar t : terms) s += std::exp(t - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+Scalar Roi::Theta(int c) {
+  return 1.0 / (1.0 + std::exp(4.0 - static_cast<double>(c) / 2.0));
+}
+
+Scalar Roi::RadiusAt(int c, bool logistic_growth) const {
+  if (!valid) return 0.0;
+  const Scalar theta = logistic_growth ? Theta(c) : 1.0;
+  return r_in + theta * (r_out - r_in);
+}
+
+Roi EstimateRoi(const LazyAffinityOracle& oracle,
+                const std::vector<std::pair<Index, Scalar>>& support,
+                Scalar density) {
+  Roi roi;
+  if (support.empty() || density <= 0.0) return roi;
+
+  const Dataset& data = oracle.data();
+  const double k = oracle.affinity().params().k;
+  const double p = oracle.affinity().params().p;
+  const int d = data.dim();
+
+  // D = sum_i x̂_i v_i.
+  roi.center.assign(d, 0.0);
+  for (const auto& [g, w] : support) {
+    auto row = data[g];
+    for (int t = 0; t < d; ++t) roi.center[t] += w * row[t];
+  }
+
+  // lambda_in  = sum_i x̂_i e^{-k d_i},  lambda_out = sum_i x̂_i e^{+k d_i}
+  // evaluated as log-sum-exp over log(x̂_i) -/+ k d_i.
+  std::vector<Scalar> lin, lout;
+  lin.reserve(support.size());
+  lout.reserve(support.size());
+  for (const auto& [g, w] : support) {
+    if (w <= 0.0) continue;
+    const Scalar dist = data.DistanceTo(g, roi.center, p);
+    const Scalar logw = std::log(w);
+    lin.push_back(logw - k * dist);
+    lout.push_back(logw + k * dist);
+  }
+  if (lin.empty()) return roi;
+  const Scalar log_pi = std::log(density);
+  // R = (1/k) * (log(lambda) - log(pi)).
+  roi.r_in = std::max<Scalar>(0.0, (LogSumExp(lin) - log_pi) / k);
+  roi.r_out = std::max<Scalar>(roi.r_in, (LogSumExp(lout) - log_pi) / k);
+  roi.valid = true;
+  return roi;
+}
+
+}  // namespace alid

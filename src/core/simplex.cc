@@ -1,0 +1,40 @@
+#include "core/simplex.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace alid {
+
+bool IsOnSimplex(std::span<const Scalar> x, double tol) {
+  Scalar sum = 0.0;
+  for (Scalar v : x) {
+    if (v < -tol) return false;
+    sum += v;
+  }
+  return std::abs(sum - 1.0) <= tol;
+}
+
+void ProjectToSimplex(std::vector<Scalar>& x) {
+  Scalar sum = 0.0;
+  for (Scalar& v : x) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum <= 0.0) return;
+  for (Scalar& v : x) v /= sum;
+}
+
+std::vector<Scalar> Barycenter(Index n) {
+  ALID_CHECK(n > 0);
+  return std::vector<Scalar>(n, Scalar{1} / static_cast<Scalar>(n));
+}
+
+Scalar L1Distance(std::span<const Scalar> a, std::span<const Scalar> b) {
+  ALID_CHECK(a.size() == b.size());
+  Scalar s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+}  // namespace alid

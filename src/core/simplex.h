@@ -1,0 +1,30 @@
+#ifndef ALID_CORE_SIMPLEX_H_
+#define ALID_CORE_SIMPLEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace alid {
+
+/// Helpers for vectors on the standard simplex Δ^n = { x : Σx_i = 1, x ≥ 0 },
+/// the state space of all evolutionary-game detectors (Section 3).
+
+/// True if x is (numerically) on the simplex: entries ≥ -tol, sum within tol
+/// of 1.
+bool IsOnSimplex(std::span<const Scalar> x, double tol = 1e-6);
+
+/// Clamps negatives to zero and rescales to sum exactly 1. No-op on the zero
+/// vector.
+void ProjectToSimplex(std::vector<Scalar>& x);
+
+/// The barycenter (uniform distribution) of Δ^n.
+std::vector<Scalar> Barycenter(Index n);
+
+/// L1 distance between two simplex vectors.
+Scalar L1Distance(std::span<const Scalar> a, std::span<const Scalar> b);
+
+}  // namespace alid
+
+#endif  // ALID_CORE_SIMPLEX_H_

@@ -1,0 +1,40 @@
+#ifndef ALID_DATA_LABELED_DATA_H_
+#define ALID_DATA_LABELED_DATA_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// A generated workload: points, ground-truth dominant clusters, and the
+/// affinity scale that makes those clusters dense subgraphs.
+struct LabeledData {
+  Dataset data;
+  /// Ground-truth cluster id per item; -1 marks background noise.
+  std::vector<int> labels;
+  /// Ground-truth clusters as member lists (ascending indices), indexed by
+  /// label.
+  std::vector<IndexList> true_clusters;
+  /// A scaling factor k for Eq. 1 under which intra-cluster affinities are
+  /// high (pi well above the 0.75 keep-threshold) and noise affinities low.
+  double suggested_k = 1.0;
+  /// An LSH segment length r at which same-cluster items collide reliably
+  /// while noise stays spread out (about 3x the intra-cluster distance).
+  double suggested_lsh_r = 1.0;
+
+  Index size() const { return data.size(); }
+
+  /// Number of noise items / number of clustered items — the x axis of the
+  /// Fig. 11 noise-resistance analysis.
+  double NoiseDegree() const {
+    int64_t noise = 0, truth = 0;
+    for (int l : labels) (l < 0 ? noise : truth)++;
+    return truth == 0 ? 0.0 : static_cast<double>(noise) / truth;
+  }
+};
+
+}  // namespace alid
+
+#endif  // ALID_DATA_LABELED_DATA_H_

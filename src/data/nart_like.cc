@@ -1,0 +1,144 @@
+#include "data/nart_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+namespace {
+
+// L1-normalizes a non-negative vector in place (LDA vectors are probability
+// distributions over topics).
+void NormalizeL1(std::vector<Scalar>& v) {
+  Scalar sum = 0.0;
+  for (Scalar x : v) sum += x;
+  if (sum > 0.0) {
+    for (Scalar& x : v) x /= sum;
+  }
+}
+
+}  // namespace
+
+LabeledData MakeNartLike(const NartLikeConfig& config) {
+  ALID_CHECK(config.num_events > 0);
+  ALID_CHECK(config.topics_per_event < config.num_topics);
+  Rng rng(config.seed);
+  const int d = config.num_topics;
+
+  LabeledData out;
+  out.data = Dataset(d);
+  out.true_clusters.assign(config.num_events, {});
+
+  // Event profiles: a few dominant topics with random emphasis. Events get
+  // distinct topic subsets so they are separable like distinct real events.
+  std::vector<std::vector<Scalar>> profiles(config.num_events,
+                                            std::vector<Scalar>(d, 0.0));
+  for (int e = 0; e < config.num_events; ++e) {
+    auto topics = rng.SampleWithoutReplacement(d, config.topics_per_event);
+    for (Index t : topics) profiles[e][t] = rng.Uniform(0.5, 1.0);
+    NormalizeL1(profiles[e]);
+  }
+
+  // Event sizes vary around the mean (real events attract unequal coverage).
+  std::vector<Index> sizes(config.num_events);
+  Index assigned = 0;
+  for (int e = 0; e < config.num_events; ++e) {
+    const Index mean = config.num_event_articles / config.num_events;
+    Index s = std::max<Index>(
+        3, mean + static_cast<Index>(rng.UniformInt(-mean / 3, mean / 3)));
+    if (e == config.num_events - 1) {
+      s = std::max<Index>(3, config.num_event_articles - assigned);
+    }
+    sizes[e] = s;
+    assigned += s;
+  }
+
+  std::vector<Scalar> doc(d);
+  for (int e = 0; e < config.num_events; ++e) {
+    for (Index i = 0; i < sizes[e]; ++i) {
+      for (int t = 0; t < d; ++t) {
+        const Scalar jitter =
+            std::abs(rng.Gaussian(0.0, config.event_spread / d * 4));
+        doc[t] = profiles[e][t] + jitter;
+      }
+      // Occasional extra off-topic mention.
+      doc[static_cast<int>(rng.UniformInt(0, d - 1))] +=
+          config.event_spread * rng.Uniform(0.0, 1.0);
+      NormalizeL1(doc);
+      out.true_clusters[e].push_back(out.data.size());
+      out.data.Append(doc);
+      out.labels.push_back(e);
+    }
+  }
+
+  // Daily news: diffuse mixtures around many weak recurring themes. Articles
+  // sharing a theme are mildly similar (multi-modal background) but their own
+  // random mixtures keep every theme far below dominant-cluster coherence.
+  std::vector<std::vector<Scalar>> themes(
+      std::max(config.noise_theme_pool, 1), std::vector<Scalar>(d, 0.0));
+  for (size_t th = 0; th < themes.size(); ++th) {
+    auto& theme = themes[th];
+    auto topics = rng.SampleWithoutReplacement(d, config.topics_per_noise);
+    for (Index t : topics) theme[t] = rng.Uniform(0.0, 1.0);
+    // Half the themes comment on a hot event (daily news reuses event
+    // topics), putting background articles on the path between events and
+    // generic noise — the bridging that real crawled news exhibits.
+    if (th % 2 == 0) {
+      const auto& profile = profiles[th % profiles.size()];
+      for (int t = 0; t < d; ++t) theme[t] += 1.5 * profile[t];
+    }
+    NormalizeL1(theme);
+  }
+  for (Index i = 0; i < config.num_noise_articles; ++i) {
+    if (rng.Bernoulli(config.echo_fraction)) {
+      // Event echo: partial-purity reuse of one event's profile.
+      const auto& profile = profiles[static_cast<size_t>(
+          rng.UniformInt(0, profiles.size() - 1))];
+      const double purity = rng.Uniform(0.5, 0.85);
+      std::fill(doc.begin(), doc.end(), 0.0);
+      auto topics = rng.SampleWithoutReplacement(d, config.topics_per_noise);
+      for (Index t : topics) doc[t] = rng.Uniform(0.0, 1.0);
+      NormalizeL1(doc);
+      for (int t = 0; t < d; ++t) {
+        doc[t] = purity * profile[t] + (1.0 - purity) * doc[t];
+      }
+    } else {
+      const auto& theme =
+          themes[static_cast<size_t>(rng.UniformInt(0, themes.size() - 1))];
+      std::fill(doc.begin(), doc.end(), 0.0);
+      auto topics = rng.SampleWithoutReplacement(d, config.topics_per_noise);
+      for (Index t : topics) doc[t] = rng.Uniform(0.0, 1.0);
+      NormalizeL1(doc);
+      for (int t = 0; t < d; ++t) {
+        doc[t] = config.noise_theme_weight * theme[t] +
+                 (1.0 - config.noise_theme_weight) * doc[t];
+      }
+    }
+    out.data.Append(doc);
+    out.labels.push_back(-1);
+  }
+
+  // Scale: intra-event L2 distances are jitter-dominated but heavy-tailed
+  // (off-topic mentions), so estimate a high quantile over many probe pairs
+  // — the LSH segment length must catch the tail members too.
+  std::vector<Scalar> probes;
+  for (const IndexList& event : out.true_clusters) {
+    for (size_t a = 0; a + 1 < event.size() && probes.size() < 400; a += 2) {
+      probes.push_back(out.data.Distance(event[a], event[a + 1], 2.0));
+    }
+  }
+  double intra = 0.05;
+  if (!probes.empty()) {
+    const size_t q90 = probes.size() * 9 / 10;
+    std::nth_element(probes.begin(), probes.begin() + q90, probes.end());
+    intra = std::max<double>(1e-6, probes[q90]);
+  }
+  out.suggested_k = -std::log(0.9) / intra;
+  out.suggested_lsh_r = 3.0 * intra;
+  return out;
+}
+
+}  // namespace alid

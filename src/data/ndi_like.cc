@@ -1,0 +1,90 @@
+#include "data/ndi_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+LabeledData MakeNdiLike(const NdiLikeConfig& config) {
+  ALID_CHECK(config.num_groups > 0 && config.dim > 0);
+  Rng rng(config.seed);
+  const int d = config.dim;
+
+  LabeledData out;
+  out.data = Dataset(d);
+  out.true_clusters.assign(config.num_groups, {});
+
+  // Group centers: GIST descriptors of the shared image content.
+  std::vector<std::vector<Scalar>> centers(config.num_groups,
+                                           std::vector<Scalar>(d));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng.Uniform(0.0, 1.0);
+  }
+
+  std::vector<Index> sizes(config.num_groups);
+  Index assigned = 0;
+  for (int g = 0; g < config.num_groups; ++g) {
+    const Index mean = config.num_duplicates / config.num_groups;
+    Index s = std::max<Index>(
+        3, mean + static_cast<Index>(rng.UniformInt(-mean / 3, mean / 3)));
+    if (g == config.num_groups - 1) {
+      s = std::max<Index>(3, config.num_duplicates - assigned);
+    }
+    sizes[g] = s;
+    assigned += s;
+  }
+
+  std::vector<Scalar> img(d);
+  for (int g = 0; g < config.num_groups; ++g) {
+    for (Index i = 0; i < sizes[g]; ++i) {
+      for (int t = 0; t < d; ++t) {
+        img[t] = std::clamp(centers[g][t] +
+                                rng.Gaussian(0.0, config.group_spread),
+                            0.0, 1.0);
+      }
+      out.true_clusters[g].push_back(out.data.size());
+      out.data.Append(img);
+      out.labels.push_back(g);
+    }
+  }
+  // Diverse-content images: broad scatter around weak scene-type centers —
+  // multi-modal background noise that never reaches duplicate-group
+  // tightness.
+  std::vector<std::vector<Scalar>> scenes(
+      std::max(config.noise_scene_types, 1), std::vector<Scalar>(d));
+  for (size_t sc = 0; sc < scenes.size(); ++sc) {
+    auto& s = scenes[sc];
+    if (sc % 3 == 0) {
+      // A third of the scene types resemble some duplicate group (similar
+      // but not duplicate content) — the bridging real image noise has.
+      const auto& center = centers[sc % centers.size()];
+      for (int t = 0; t < d; ++t) {
+        s[t] = std::clamp(center[t] + rng.Gaussian(0.0, 0.2), 0.0, 1.0);
+      }
+    } else {
+      for (auto& v : s) v = rng.Uniform(0.0, 1.0);
+    }
+  }
+  for (Index i = 0; i < config.num_noise; ++i) {
+    const auto& scene =
+        scenes[static_cast<size_t>(rng.UniformInt(0, scenes.size() - 1))];
+    for (int t = 0; t < d; ++t) {
+      img[t] = std::clamp(scene[t] + rng.Gaussian(0.0, config.noise_spread),
+                          0.0, 1.0);
+    }
+    out.data.Append(img);
+    out.labels.push_back(-1);
+  }
+
+  // Intra-group distance ~ sqrt(2 d) * spread; aim affinity 0.9 there.
+  const double intra =
+      std::sqrt(2.0 * static_cast<double>(d)) * config.group_spread;
+  out.suggested_k = -std::log(0.9) / std::max(intra, 1e-9);
+  out.suggested_lsh_r = 3.0 * intra;
+  return out;
+}
+
+}  // namespace alid

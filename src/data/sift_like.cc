@@ -1,0 +1,93 @@
+#include "data/sift_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+namespace {
+
+// Projects a vector onto the non-negative L2 unit sphere (SIFT geometry).
+void NormalizeSift(std::vector<Scalar>& v) {
+  Scalar norm = 0.0;
+  for (Scalar& x : v) {
+    if (x < 0.0) x = 0.0;
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (Scalar& x : v) x /= norm;
+  }
+}
+
+}  // namespace
+
+LabeledData MakeSiftLike(const SiftLikeConfig& config) {
+  ALID_CHECK(config.n > 0 && config.dim > 0 && config.num_visual_words > 0);
+  ALID_CHECK(config.word_fraction > 0.0 && config.word_fraction <= 1.0);
+  Rng rng(config.seed);
+  const int d = config.dim;
+
+  Index per_word;
+  if (config.fixed_word_size > 0) {
+    per_word = std::min<Index>(config.fixed_word_size,
+                               config.n / config.num_visual_words);
+  } else {
+    const Index word_total =
+        static_cast<Index>(config.word_fraction * config.n);
+    per_word = word_total / config.num_visual_words;
+  }
+  per_word = std::max<Index>(2, per_word);
+  const Index clutter = config.n - per_word * config.num_visual_words;
+
+  LabeledData out;
+  out.data = Dataset(d);
+  out.true_clusters.assign(config.num_visual_words, {});
+
+  // Word centers: sparse-ish non-negative directions (gradient histograms
+  // concentrate on a few orientation bins).
+  std::vector<std::vector<Scalar>> centers(config.num_visual_words,
+                                           std::vector<Scalar>(d, 0.0));
+  for (auto& c : centers) {
+    auto active = rng.SampleWithoutReplacement(d, d / 4);
+    for (Index t : active) c[t] = rng.Uniform(0.2, 1.0);
+    NormalizeSift(c);
+  }
+
+  std::vector<Scalar> s(d);
+  for (int w = 0; w < config.num_visual_words; ++w) {
+    for (Index i = 0; i < per_word; ++i) {
+      for (int t = 0; t < d; ++t) {
+        s[t] = centers[w][t] + rng.Gaussian(0.0, config.word_spread);
+      }
+      NormalizeSift(s);
+      out.true_clusters[w].push_back(out.data.size());
+      out.data.Append(s);
+      out.labels.push_back(w);
+    }
+  }
+  // Clutter: descriptors of random non-duplicate regions. Real clutter SIFTs
+  // activate few orientation bins, so two clutter descriptors rarely share
+  // support — they are far apart on the sphere, unlike dense random vectors
+  // (which would all concentrate at pairwise dot ~0.64).
+  for (Index i = 0; i < clutter; ++i) {
+    std::fill(s.begin(), s.end(), 0.0);
+    auto active = rng.SampleWithoutReplacement(d, d / 6);
+    for (Index t : active) s[t] = rng.Uniform(0.1, 1.0);
+    NormalizeSift(s);
+    out.data.Append(s);
+    out.labels.push_back(-1);
+  }
+
+  // Intra-word distance ~ sqrt(d) * spread (before normalization shrink).
+  const double intra =
+      std::sqrt(static_cast<double>(d)) * config.word_spread * 1.2;
+  out.suggested_k = -std::log(0.9) / std::max(intra, 1e-9);
+  out.suggested_lsh_r = 3.0 * intra;
+  return out;
+}
+
+}  // namespace alid

@@ -1,0 +1,36 @@
+#ifndef ALID_DATA_SIFT_LIKE_H_
+#define ALID_DATA_SIFT_LIKE_H_
+
+#include <cstdint>
+
+#include "data/labeled_data.h"
+
+namespace alid {
+
+/// Configuration of the SIFT-like visual-word workload (Section 5.3). Real
+/// SIFTs are non-negative, L2-normalized 128-dimensional gradient histograms;
+/// descriptors of the same repeated image patch ("visual word", Fig. 8) form
+/// a highly cohesive dominant cluster, while descriptors from random
+/// non-duplicate regions are clutter. We synthesize exactly that geometry.
+struct SiftLikeConfig {
+  Index n = 50000;
+  int dim = 128;
+  int num_visual_words = 50;
+  /// Fraction of descriptors belonging to visual words; the rest is clutter.
+  double word_fraction = 0.3;
+  /// If positive, every visual word has exactly this many descriptors and
+  /// word_fraction is ignored — the realistic regime for large collections,
+  /// where a patch repeats in a bounded number of images (the paper's
+  /// a* <= P case); clutter absorbs all remaining items.
+  Index fixed_word_size = 0;
+  /// Angular spread (radians-ish, pre-normalization jitter) within a word.
+  double word_spread = 0.015;
+  uint64_t seed = 42;
+};
+
+/// Generates the SIFT-like workload: non-negative, L2-normalized vectors.
+LabeledData MakeSiftLike(const SiftLikeConfig& config = {});
+
+}  // namespace alid
+
+#endif  // ALID_DATA_SIFT_LIKE_H_

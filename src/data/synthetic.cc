@@ -1,0 +1,100 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+Index RegimeClusterSize(const SyntheticConfig& config) {
+  double a_star = 0.0;
+  switch (config.regime) {
+    case SyntheticRegime::kProportional:
+      a_star = config.omega * static_cast<double>(config.n);
+      break;
+    case SyntheticRegime::kSublinear:
+      a_star = std::pow(static_cast<double>(config.n), config.eta);
+      break;
+    case SyntheticRegime::kBounded:
+      a_star = static_cast<double>(config.P);
+      break;
+  }
+  Index per_cluster =
+      static_cast<Index>(a_star / static_cast<double>(config.num_clusters));
+  per_cluster = std::max<Index>(per_cluster, 2);
+  // Never exceed the data size.
+  per_cluster = std::min<Index>(
+      per_cluster, config.n / static_cast<Index>(config.num_clusters));
+  return per_cluster;
+}
+
+LabeledData MakeSynthetic(const SyntheticConfig& config) {
+  ALID_CHECK(config.n > 0 && config.dim > 0 && config.num_clusters > 0);
+  Rng rng(config.seed);
+  const int d = config.dim;
+  const Index per_cluster = RegimeClusterSize(config);
+  const Index truth_total = per_cluster * config.num_clusters;
+  ALID_CHECK(truth_total <= config.n);
+  const Index noise_total = config.n - truth_total;
+
+  // Cluster means: uniform in the box, then pull each odd cluster towards its
+  // predecessor to create partial overlaps (paper: "some gaussian
+  // distributions partially overlapped by setting their mean vectors close to
+  // each other").
+  std::vector<std::vector<Scalar>> means(config.num_clusters,
+                                         std::vector<Scalar>(d));
+  for (auto& mean : means) {
+    for (auto& v : mean) v = rng.Uniform(0.0, config.mean_box);
+  }
+  if (config.overlap_clusters) {
+    for (int c = 1; c < config.num_clusters; c += 4) {
+      // Every 4th pair overlaps: mean_c = mean_{c-1} + small offset.
+      for (int t = 0; t < d; ++t) {
+        means[c][t] =
+            means[c - 1][t] + rng.Gaussian(0.0, config.overlap_offset_stddev);
+      }
+    }
+  }
+  // Per-cluster, per-dimension standard deviations from variances in
+  // [0, variance_max].
+  std::vector<std::vector<Scalar>> stddev(config.num_clusters,
+                                          std::vector<Scalar>(d));
+  for (auto& sd : stddev) {
+    for (auto& v : sd) v = std::sqrt(rng.Uniform(0.0, config.variance_max));
+  }
+
+  LabeledData out;
+  out.data = Dataset(d);
+  out.labels.reserve(config.n);
+  out.true_clusters.assign(config.num_clusters, {});
+
+  std::vector<Scalar> point(d);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    for (Index i = 0; i < per_cluster; ++i) {
+      for (int t = 0; t < d; ++t) {
+        point[t] = means[c][t] + rng.Gaussian(0.0, stddev[c][t]);
+      }
+      out.true_clusters[c].push_back(out.data.size());
+      out.data.Append(point);
+      out.labels.push_back(c);
+    }
+  }
+  const double lo = -config.noise_margin;
+  const double hi = config.mean_box + config.noise_margin;
+  for (Index i = 0; i < noise_total; ++i) {
+    for (int t = 0; t < d; ++t) point[t] = rng.Uniform(lo, hi);
+    out.data.Append(point);
+    out.labels.push_back(-1);
+  }
+
+  // Affinity scale: expected intra-cluster distance is about
+  // sqrt(2 * d * E[var]) = sqrt(d * variance_max); map it to affinity ~0.9.
+  const double intra = std::sqrt(static_cast<double>(d) * config.variance_max);
+  out.suggested_k = -std::log(0.9) / std::max(intra, 1e-9);
+  out.suggested_lsh_r = 3.0 * intra;
+  return out;
+}
+
+}  // namespace alid

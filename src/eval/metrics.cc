@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace alid {
+
+F1Score ComputeF1(const IndexList& detected, const IndexList& truth) {
+  F1Score score;
+  if (detected.empty() || truth.empty()) return score;
+  ALID_DCHECK(std::is_sorted(detected.begin(), detected.end()));
+  ALID_DCHECK(std::is_sorted(truth.begin(), truth.end()));
+  size_t i = 0, j = 0, hits = 0;
+  while (i < detected.size() && j < truth.size()) {
+    if (detected[i] == truth[j]) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (detected[i] < truth[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  score.precision = static_cast<double>(hits) / detected.size();
+  score.recall = static_cast<double>(hits) / truth.size();
+  if (score.precision + score.recall > 0.0) {
+    score.f1 =
+        2.0 * score.precision * score.recall / (score.precision + score.recall);
+  }
+  return score;
+}
+
+double AverageF1(const std::vector<IndexList>& true_clusters,
+                 const std::vector<IndexList>& detected_clusters) {
+  if (true_clusters.empty()) return 0.0;
+  double total = 0.0;
+  for (const IndexList& truth : true_clusters) {
+    double best = 0.0;
+    for (const IndexList& det : detected_clusters) {
+      best = std::max(best, ComputeF1(det, truth).f1);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(true_clusters.size());
+}
+
+double AverageF1(const std::vector<IndexList>& true_clusters,
+                 const DetectionResult& result) {
+  std::vector<IndexList> detected;
+  detected.reserve(result.clusters.size());
+  for (const Cluster& c : result.clusters) detected.push_back(c.members);
+  return AverageF1(true_clusters, detected);
+}
+
+std::vector<IndexList> LabelsToClusters(const std::vector<int>& labels) {
+  std::unordered_map<int, IndexList> groups;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) groups[labels[i]].push_back(static_cast<Index>(i));
+  }
+  std::vector<IndexList> out;
+  out.reserve(groups.size());
+  for (auto& [label, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+Scalar UniformDensity(const Dataset& data, const AffinityFunction& affinity,
+                      const IndexList& members) {
+  const size_t m = members.size();
+  if (m < 2) return 0.0;
+  Scalar total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      total += affinity(data, members[i], members[j]);
+    }
+  }
+  return 2.0 * total / (static_cast<Scalar>(m) * static_cast<Scalar>(m));
+}
+
+}  // namespace alid

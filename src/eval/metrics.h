@@ -1,0 +1,43 @@
+#ifndef ALID_EVAL_METRICS_H_
+#define ALID_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "affinity/affinity_function.h"
+#include "common/dataset.h"
+#include "common/types.h"
+#include "core/cluster.h"
+
+namespace alid {
+
+/// Precision/recall/F1 of one detected member set against one ground-truth
+/// set. Inputs must be ascending index lists.
+struct F1Score {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+F1Score ComputeF1(const IndexList& detected, const IndexList& truth);
+
+/// The paper's detection-quality criterion (Section 5): the Average F1 score
+/// over ground-truth dominant clusters, where each true cluster is scored
+/// against its best-matching detected cluster.
+double AverageF1(const std::vector<IndexList>& true_clusters,
+                 const std::vector<IndexList>& detected_clusters);
+
+/// AverageF1 over a DetectionResult's member lists.
+double AverageF1(const std::vector<IndexList>& true_clusters,
+                 const DetectionResult& result);
+
+/// Converts a hard label vector (one label per item, negatives ignored) into
+/// member lists — for scoring the partitioning baselines.
+std::vector<IndexList> LabelsToClusters(const std::vector<int>& labels);
+
+/// pi(x) of a member set under *uniform* weights, computed directly from the
+/// kernel — lets methods without simplex weights report comparable densities.
+Scalar UniformDensity(const Dataset& data, const AffinityFunction& affinity,
+                      const IndexList& members);
+
+}  // namespace alid
+
+#endif  // ALID_EVAL_METRICS_H_

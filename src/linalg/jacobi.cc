@@ -1,0 +1,75 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace alid {
+
+EigenDecomposition JacobiEigenSolver(const DenseMatrix& input, double tol,
+                                     int max_sweeps) {
+  ALID_CHECK(input.rows() == input.cols());
+  ALID_CHECK_MSG(input.SymmetryError() < 1e-9, "matrix must be symmetric");
+  const Index n = input.rows();
+
+  DenseMatrix a = input;           // working copy, diagonalized in place
+  DenseMatrix v(n, n, 0.0);        // accumulated rotations
+  for (Index i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Frobenius norm of the off-diagonal part.
+    Scalar off = 0.0;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (std::sqrt(off) <= tol) break;
+
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const Scalar apq = a(p, q);
+        if (std::abs(apq) <= tol / (n * n + 1.0)) continue;
+        // Classic 2x2 symmetric Schur rotation.
+        const Scalar theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const Scalar t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const Scalar c = 1.0 / std::sqrt(t * t + 1.0);
+        const Scalar s = t * c;
+        // Apply J^T A J on rows/cols p and q.
+        for (Index k = 0; k < n; ++k) {
+          const Scalar akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Scalar apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Scalar vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<Index> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](Index x, Index y) { return a(x, x) > a(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = DenseMatrix(n, n, 0.0);
+  for (Index j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (Index i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace alid

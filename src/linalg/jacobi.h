@@ -1,0 +1,32 @@
+#ifndef ALID_LINALG_JACOBI_H_
+#define ALID_LINALG_JACOBI_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Result of a full symmetric eigendecomposition: A = V diag(w) V^T.
+struct EigenDecomposition {
+  /// Eigenvalues, descending.
+  std::vector<Scalar> values;
+  /// Eigenvectors as matrix columns: vectors(i, j) is component i of the
+  /// j-th eigenvector (ordered like `values`).
+  DenseMatrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for dense symmetric matrices. O(n^3) with a
+/// healthy constant — intended for the small inner problems (Nystrom's m x m
+/// block, tests, reference results), not for large spectral embeddings (use
+/// Lanczos for those).
+///
+/// `a` must be symmetric (checked up to 1e-9). Converges when all
+/// off-diagonal mass is below `tol`.
+EigenDecomposition JacobiEigenSolver(const DenseMatrix& a, double tol = 1e-12,
+                                     int max_sweeps = 64);
+
+}  // namespace alid
+
+#endif  // ALID_LINALG_JACOBI_H_

@@ -1,0 +1,88 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/dataset.h"
+#include "common/random.h"
+#include "linalg/jacobi.h"
+
+namespace alid {
+
+EigenDecompositionTopK LanczosTopK(
+    Index n, int k,
+    const std::function<std::vector<Scalar>(std::span<const Scalar>)>& matvec,
+    LanczosOptions options) {
+  ALID_CHECK(n >= 1);
+  ALID_CHECK(k >= 1 && k <= n);
+  int m = options.max_subspace > 0 ? options.max_subspace
+                                   : std::max(3 * k, 30);
+  m = std::min<int>(m, n);
+  ALID_CHECK(m >= k);
+
+  Rng rng(options.seed);
+
+  // Lanczos basis vectors (rows of `basis` for cache friendliness).
+  std::vector<std::vector<Scalar>> basis;
+  basis.reserve(m);
+  std::vector<Scalar> alpha, beta;  // tridiagonal coefficients
+
+  std::vector<Scalar> q(n);
+  for (auto& v : q) v = rng.Gaussian();
+  {
+    Scalar norm = std::sqrt(Dot(q, q));
+    for (auto& v : q) v /= norm;
+  }
+
+  for (int j = 0; j < m; ++j) {
+    basis.push_back(q);
+    std::vector<Scalar> w = matvec(q);
+    ALID_CHECK(static_cast<Index>(w.size()) == n);
+    const Scalar a = Dot(w, q);
+    alpha.push_back(a);
+    for (Index i = 0; i < n; ++i) {
+      w[i] -= a * q[i];
+      if (j > 0) w[i] -= beta.back() * basis[j - 1][i];
+    }
+    // Full reorthogonalization against the whole basis (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& b : basis) {
+        const Scalar proj = Dot(w, b);
+        for (Index i = 0; i < n; ++i) w[i] -= proj * b[i];
+      }
+    }
+    const Scalar b = std::sqrt(Dot(w, w));
+    if (b < options.tolerance || j == m - 1) break;
+    beta.push_back(b);
+    for (Index i = 0; i < n; ++i) q[i] = w[i] / b;
+  }
+
+  const int steps = static_cast<int>(alpha.size());
+  // Diagonalize the tridiagonal Rayleigh quotient with the Jacobi solver.
+  DenseMatrix t(steps, steps, 0.0);
+  for (int i = 0; i < steps; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < steps) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  EigenDecomposition tri = JacobiEigenSolver(t);
+
+  const int kk = std::min(k, steps);
+  EigenDecompositionTopK out;
+  out.values.assign(tri.values.begin(), tri.values.begin() + kk);
+  out.vectors = DenseMatrix(n, kk, 0.0);
+  for (int j = 0; j < kk; ++j) {
+    for (int s = 0; s < steps; ++s) {
+      const Scalar coef = tri.vectors(s, j);
+      if (coef == 0.0) continue;
+      const auto& b = basis[s];
+      for (Index i = 0; i < n; ++i) out.vectors(i, j) += coef * b[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace alid

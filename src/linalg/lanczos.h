@@ -1,0 +1,41 @@
+#ifndef ALID_LINALG_LANCZOS_H_
+#define ALID_LINALG_LANCZOS_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Options of the Lanczos process.
+struct LanczosOptions {
+  /// Krylov subspace dimension; 0 means max(3k, 30), capped at n.
+  int max_subspace = 0;
+  /// Convergence tolerance on the Ritz residual estimate.
+  double tolerance = 1e-9;
+  /// Seed of the random start vector.
+  uint64_t seed = 42;
+};
+
+/// Top-k eigenpairs as returned by LanczosTopK.
+struct EigenDecompositionTopK {
+  std::vector<Scalar> values;  // size k, descending
+  DenseMatrix vectors;         // n x k, column j pairs with values[j]
+};
+
+/// Computes the k algebraically largest eigenpairs of an n x n symmetric
+/// operator by the Lanczos process with full reorthogonalization. The
+/// operator is any y = A x callback, so callers can pass a dense matrix, a
+/// CSR matrix, or a normalized-Laplacian closure without materializing
+/// anything new. Cost: O(subspace * cost(matvec) + subspace^2 * n).
+EigenDecompositionTopK LanczosTopK(
+    Index n, int k,
+    const std::function<std::vector<Scalar>(std::span<const Scalar>)>& matvec,
+    LanczosOptions options = {});
+
+}  // namespace alid
+
+#endif  // ALID_LINALG_LANCZOS_H_

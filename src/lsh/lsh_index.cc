@@ -1,0 +1,141 @@
+#include "lsh/lsh_index.h"
+
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace alid {
+
+namespace {
+
+// 64-bit FNV-1a over a sequence of 32-bit floor values.
+uint64_t HashFloors(const int32_t* vals, int count) {
+  uint64_t h = 1469598103934665603ull;
+  for (int i = 0; i < count; ++i) {
+    uint32_t v = static_cast<uint32_t>(vals[i]);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+LshIndex::LshIndex(const Dataset& data, LshParams params)
+    : data_(&data), params_(params) {
+  ALID_CHECK(params_.num_tables > 0);
+  ALID_CHECK(params_.num_projections > 0);
+  ALID_CHECK(params_.segment_length > 0.0);
+  const int d = data.dim();
+  const Index n = data.size();
+  Rng rng(params_.seed);
+
+  tables_.resize(params_.num_tables);
+  for (auto& table : tables_) {
+    table.projections.resize(static_cast<size_t>(params_.num_projections) * d);
+    for (auto& v : table.projections) v = rng.Gaussian();
+    table.offsets.resize(params_.num_projections);
+    for (auto& b : table.offsets) b = rng.Uniform(0.0, params_.segment_length);
+    table.item_key.resize(n);
+    for (Index i = 0; i < n; ++i) {
+      const uint64_t key = HashPoint(table, data[i]);
+      table.item_key[i] = key;
+      table.buckets[key].push_back(i);
+    }
+  }
+
+  indexed_count_ = n;
+  for (const auto& table : tables_) {
+    memory_bytes_ += table.projections.size() * sizeof(Scalar);
+    memory_bytes_ += table.offsets.size() * sizeof(Scalar);
+    memory_bytes_ += table.item_key.size() * sizeof(uint64_t);
+    for (const auto& [key, items] : table.buckets) {
+      memory_bytes_ += sizeof(key) + items.size() * sizeof(Index);
+    }
+  }
+  charge_ =
+      std::make_unique<ScopedMemoryCharge>(static_cast<int64_t>(memory_bytes_));
+}
+
+void LshIndex::AppendItem(Index i) {
+  ALID_CHECK_MSG(i == indexed_count_, "items must be appended in order");
+  ALID_CHECK(i < data_->size());
+  for (auto& table : tables_) {
+    const uint64_t key = HashPoint(table, (*data_)[i]);
+    table.item_key.push_back(key);
+    table.buckets[key].push_back(i);
+  }
+  ++indexed_count_;
+  memory_bytes_ += tables_.size() * (sizeof(uint64_t) + sizeof(Index));
+  charge_->Adjust(static_cast<int64_t>(memory_bytes_));
+}
+
+LshIndex::~LshIndex() = default;
+
+uint64_t LshIndex::HashPoint(const Table& table,
+                             std::span<const Scalar> point) const {
+  const int d = data_->dim();
+  ALID_DCHECK(static_cast<int>(point.size()) == d);
+  std::vector<int32_t> floors(params_.num_projections);
+  for (int p = 0; p < params_.num_projections; ++p) {
+    const Scalar* proj = table.projections.data() + static_cast<size_t>(p) * d;
+    Scalar dot = 0.0;
+    for (int k = 0; k < d; ++k) dot += proj[k] * point[k];
+    floors[p] = static_cast<int32_t>(
+        std::floor((dot + table.offsets[p]) / params_.segment_length));
+  }
+  return HashFloors(floors.data(), params_.num_projections);
+}
+
+std::vector<Index> LshIndex::QueryByIndex(Index i) const {
+  ALID_CHECK(i >= 0 && i < size());
+  std::unordered_set<Index> seen;
+  for (const auto& table : tables_) {
+    auto it = table.buckets.find(table.item_key[i]);
+    if (it == table.buckets.end()) continue;
+    for (Index j : it->second) {
+      if (j != i) seen.insert(j);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<Index> LshIndex::QueryByPoint(std::span<const Scalar> point) const {
+  std::unordered_set<Index> seen;
+  for (const auto& table : tables_) {
+    auto it = table.buckets.find(HashPoint(table, point));
+    if (it == table.buckets.end()) continue;
+    seen.insert(it->second.begin(), it->second.end());
+  }
+  return {seen.begin(), seen.end()};
+}
+
+void LshIndex::VisitBuckets(
+    int min_size,
+    const std::function<void(std::span<const Index>)>& visitor) const {
+  for (const auto& table : tables_) {
+    for (const auto& [key, items] : table.buckets) {
+      if (static_cast<int>(items.size()) >= min_size) {
+        visitor(std::span<const Index>(items.data(), items.size()));
+      }
+    }
+  }
+}
+
+double LshIndex::MeanCandidatesPerItem(int sample, uint64_t seed) const {
+  const Index n = size();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  const int count = std::min<int>(sample, n);
+  auto ids = rng.SampleWithoutReplacement(n, count);
+  double total = 0.0;
+  for (Index i : ids) total += static_cast<double>(QueryByIndex(i).size());
+  return total / count;
+}
+
+}  // namespace alid

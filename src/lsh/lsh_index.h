@@ -1,0 +1,99 @@
+#ifndef ALID_LSH_LSH_INDEX_H_
+#define ALID_LSH_LSH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/memory_tracker.h"
+#include "common/types.h"
+
+namespace alid {
+
+/// Parameters of the p-stable LSH scheme of Datar et al. (SoCG 2004), the
+/// index behind CIVS (Section 4.3) and the baselines' matrix sparsifier
+/// (Section 5.1).
+struct LshParams {
+  /// Number of hash tables (the paper's l; Fig. 6 uses 50).
+  int num_tables = 8;
+  /// Projections concatenated per hash value (the paper's mu; Fig. 6 uses 40).
+  int num_projections = 12;
+  /// Length r of the equally divided segments of the projected real line.
+  /// Controls recall and the induced sparse degree (Fig. 6's x axis).
+  double segment_length = 1.0;
+  /// Seed for the Gaussian projections and offsets.
+  uint64_t seed = 42;
+};
+
+/// p-stable (Gaussian, hence L2) locality sensitive hash index over a
+/// Dataset. Each item is hashed into one bucket per table; a query returns
+/// the union of its buckets (its Locality Sensitive Region, Fig. 4). As in
+/// the paper, per-item bucket assignments are kept as an inverted list so
+/// queries by item index need no re-hashing.
+class LshIndex {
+ public:
+  LshIndex(const Dataset& data, LshParams params);
+  ~LshIndex();
+
+  LshIndex(const LshIndex&) = delete;
+  LshIndex& operator=(const LshIndex&) = delete;
+
+  const LshParams& params() const { return params_; }
+  /// Number of items hashed into the tables (== dataset size unless the
+  /// dataset grew and AppendItem was not yet called for the new rows).
+  Index size() const { return indexed_count_; }
+
+  /// Hashes the data point with index `i` (which must already exist in the
+  /// underlying Dataset, appended after this index was built) into every
+  /// table. Enables the streaming extension (OnlineAlid): the index grows
+  /// with the dataset instead of being rebuilt.
+  void AppendItem(Index i);
+
+  /// All items colliding with item i in at least one table (i excluded),
+  /// deduplicated, unordered.
+  std::vector<Index> QueryByIndex(Index i) const;
+
+  /// All items colliding with an arbitrary point, deduplicated, unordered.
+  std::vector<Index> QueryByPoint(std::span<const Scalar> point) const;
+
+  /// Invokes visitor(bucket_items) for every bucket of every table with at
+  /// least `min_size` items. PALID samples its seeds from these (Sec. 4.6).
+  void VisitBuckets(int min_size,
+                    const std::function<void(std::span<const Index>)>& visitor)
+      const;
+
+  /// Mean collision-list length over items — a cheap recall/selectivity
+  /// diagnostic used by tests and EXPERIMENTS.md.
+  double MeanCandidatesPerItem(int sample = 200, uint64_t seed = 7) const;
+
+  /// Bytes of table + inverted-list storage (charged to MemoryTracker).
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+ private:
+  struct Table {
+    // Row-major [num_projections x dim] Gaussian projection matrix.
+    std::vector<Scalar> projections;
+    std::vector<Scalar> offsets;  // one per projection, U[0, r)
+    // bucket key -> items. Keys are hashes of the concatenated floor values.
+    std::unordered_map<uint64_t, std::vector<Index>> buckets;
+    // Inverted list: bucket key of each item.
+    std::vector<uint64_t> item_key;
+  };
+
+  uint64_t HashPoint(const Table& table, std::span<const Scalar> point) const;
+
+  const Dataset* data_;
+  LshParams params_;
+  std::vector<Table> tables_;
+  Index indexed_count_ = 0;  // how many dataset rows are hashed in
+  size_t memory_bytes_ = 0;
+  std::unique_ptr<ScopedMemoryCharge> charge_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_LSH_LSH_INDEX_H_

@@ -1,0 +1,210 @@
+// Unit tests for the affinity substrate: the Eq. 1 kernel, the materialized
+// matrix, the lazy column oracle and the sparsifiers.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "affinity/affinity_function.h"
+#include "affinity/affinity_matrix.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "affinity/sparsifier.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+namespace {
+
+Dataset SmallLine() {
+  // Four points on a line: 0, 1, 2, 10.
+  return Dataset(1, {0.0, 1.0, 2.0, 10.0});
+}
+
+TEST(AffinityFunctionTest, LaplacianKernelValues) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  EXPECT_DOUBLE_EQ(f(d, 0, 1), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(f(d, 0, 2), std::exp(-2.0));
+}
+
+TEST(AffinityFunctionTest, DiagonalIsZero) {
+  AffinityFunction f({.k = 2.0, .p = 2.0});
+  Dataset d = SmallLine();
+  EXPECT_DOUBLE_EQ(f(d, 2, 2), 0.0);
+}
+
+TEST(AffinityFunctionTest, SymmetricByConstruction) {
+  AffinityFunction f({.k = 0.7, .p = 1.0});
+  Dataset d = SmallLine();
+  EXPECT_DOUBLE_EQ(f(d, 0, 3), f(d, 3, 0));
+}
+
+TEST(AffinityFunctionTest, ScalingFactorSharpensDecay) {
+  AffinityFunction slow({.k = 0.1, .p = 2.0});
+  AffinityFunction fast({.k = 5.0, .p = 2.0});
+  Dataset d = SmallLine();
+  EXPECT_GT(slow(d, 0, 3), fast(d, 0, 3));
+}
+
+TEST(AffinityFunctionTest, DistanceRoundTrip) {
+  AffinityFunction f({.k = 3.0, .p = 2.0});
+  const Scalar a = f.FromDistance(1.7);
+  EXPECT_NEAR(f.ToDistance(a), 1.7, 1e-12);
+}
+
+TEST(AffinityFunctionTest, SuggestScalingFactorHitsTarget) {
+  Rng rng(5);
+  Dataset d(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Scalar> p(4);
+    for (auto& v : p) v = rng.Gaussian();
+    d.Append(p);
+  }
+  const double k = AffinityFunction::SuggestScalingFactor(d, 2.0, 0.5, 500);
+  // With k tuned, the median pair should land near affinity 0.5.
+  AffinityFunction f({.k = k, .p = 2.0});
+  int above = 0, total = 0;
+  for (Index i = 0; i < 40; ++i) {
+    for (Index j = i + 1; j < 40; ++j) {
+      above += f(d, i, j) > 0.5;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(above) / total;
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(AffinityMatrixTest, MatchesKernelEntrywise) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  AffinityMatrix a(d, f);
+  for (Index i = 0; i < d.size(); ++i) {
+    for (Index j = 0; j < d.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a(i, j), f(d, i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(a.entries_computed(), 6);  // n(n-1)/2 kernel evaluations
+}
+
+TEST(AffinityMatrixTest, ChargesMemoryTracker) {
+  MemoryTracker::Global().Reset();
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  {
+    AffinityMatrix a(d, f);
+    EXPECT_EQ(MemoryTracker::Global().current_bytes(),
+              static_cast<int64_t>(16 * sizeof(Scalar)));
+  }
+  EXPECT_EQ(MemoryTracker::Global().current_bytes(), 0);
+}
+
+TEST(LazyAffinityOracleTest, EntryMatchesKernelAndCounts) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  LazyAffinityOracle o(d, f);
+  EXPECT_DOUBLE_EQ(o.Entry(0, 1), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(o.Entry(1, 1), 0.0);
+  EXPECT_EQ(o.entries_computed(), 2);
+}
+
+TEST(LazyAffinityOracleTest, ColumnFragment) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  LazyAffinityOracle o(d, f);
+  IndexList rows{0, 2, 3};
+  auto col = o.Column(rows, 1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(col[1], std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(col[2], std::exp(-9.0));
+  EXPECT_EQ(o.entries_computed(), 3);
+}
+
+TEST(LazyAffinityOracleTest, ChargeDischargePeak) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  LazyAffinityOracle o(d, f);
+  o.Charge(100);
+  o.Charge(200);
+  EXPECT_EQ(o.current_bytes(), 300);
+  o.Discharge(250);
+  EXPECT_EQ(o.current_bytes(), 50);
+  EXPECT_EQ(o.peak_bytes(), 300);
+  o.ResetCounters();
+  EXPECT_EQ(o.peak_bytes(), 0);
+}
+
+TEST(SparsifierTest, DenseCsrMatchesAffinityMatrix) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  AffinityMatrix dense(d, f);
+  SparseMatrix csr = Sparsifier::Dense(d, f);
+  for (Index i = 0; i < d.size(); ++i) {
+    for (Index j = 0; j < d.size(); ++j) {
+      EXPECT_NEAR(csr.At(i, j), dense(i, j), 1e-15);
+    }
+  }
+}
+
+TEST(SparsifierTest, EnnKeepsNearestNeighbours) {
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  Dataset d = SmallLine();
+  SparseMatrix m = Sparsifier::FromExactNearestNeighbors(d, f, 1);
+  // Point 0's nearest neighbour is 1; symmetric entries must exist.
+  EXPECT_GT(m.At(0, 1), 0.0);
+  EXPECT_GT(m.At(1, 0), 0.0);
+  // The far point 3 keeps only its own nearest (2), nothing to 0 unless
+  // induced by symmetrization of 0's list.
+  EXPECT_DOUBLE_EQ(m.At(0, 3), 0.0);
+}
+
+TEST(SparsifierTest, EnnIsSymmetric) {
+  SyntheticConfig cfg;
+  cfg.n = 60;
+  cfg.dim = 4;
+  cfg.num_clusters = 3;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.5;
+  LabeledData data = MakeSynthetic(cfg);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  SparseMatrix m = Sparsifier::FromExactNearestNeighbors(data.data, f, 5);
+  for (Index i = 0; i < m.rows(); ++i) {
+    auto idx = m.RowIndices(i);
+    for (Index j : idx) {
+      EXPECT_NEAR(m.At(i, j), m.At(j, i), 1e-15);
+    }
+  }
+}
+
+TEST(SparsifierTest, LshCollisionsKeepClusterEdgesAndStaySparse) {
+  SyntheticConfig cfg;
+  cfg.n = 400;
+  cfg.dim = 16;
+  cfg.num_clusters = 4;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.5;
+  cfg.mean_box = 200.0;
+  LabeledData data = MakeSynthetic(cfg);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  LshParams lp;
+  lp.num_tables = 6;
+  lp.num_projections = 6;
+  lp.segment_length = data.suggested_lsh_r;
+  LshIndex lsh(data.data, lp);
+  SparseMatrix m = Sparsifier::FromLshCollisions(data.data, f, lsh);
+  // Sparse: far fewer than n^2 entries.
+  EXPECT_LT(m.nnz(), static_cast<int64_t>(cfg.n) * cfg.n / 4);
+  // Dense within clusters: each ground-truth item should keep some edges.
+  int with_edges = 0, truth = 0;
+  for (Index i = 0; i < m.rows(); ++i) {
+    if (data.labels[i] < 0) continue;
+    ++truth;
+    if (!m.RowIndices(i).empty()) ++with_edges;
+  }
+  EXPECT_GT(with_edges, truth * 8 / 10);
+}
+
+}  // namespace
+}  // namespace alid

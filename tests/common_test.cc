@@ -1,0 +1,315 @@
+// Unit tests for the common substrate: Dataset, DenseMatrix, SparseMatrix,
+// Rng, MemoryTracker, ThreadPool and the simplex helpers.
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/dataset.h"
+#include "common/matrix.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/sparse_matrix.h"
+#include "common/thread_pool.h"
+#include "core/simplex.h"
+
+namespace alid {
+namespace {
+
+// ---------------------------------------------------------------- Dataset --
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset d(3);
+  d.Append(std::vector<Scalar>{1.0, 2.0, 3.0});
+  d.Append(std::vector<Scalar>{4.0, 5.0, 6.0});
+  ASSERT_EQ(d.size(), 2);
+  EXPECT_EQ(d.dim(), 3);
+  EXPECT_DOUBLE_EQ(d[1][0], 4.0);
+  EXPECT_DOUBLE_EQ(d[0][2], 3.0);
+}
+
+TEST(DatasetTest, FlatConstructorChecksShape) {
+  Dataset d(2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_DOUBLE_EQ(d[1][1], 4.0);
+}
+
+TEST(DatasetTest, EuclideanDistance) {
+  Dataset d(2, {0.0, 0.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.Distance(0, 1, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.SquaredL2(0, 1), 25.0);
+}
+
+TEST(DatasetTest, ManhattanDistance) {
+  Dataset d(2, {0.0, 0.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.Distance(0, 1, 1.0), 7.0);
+}
+
+TEST(DatasetTest, GeneralLpDistance) {
+  Dataset d(1, {0.0, 2.0});
+  EXPECT_NEAR(d.Distance(0, 1, 3.0), 2.0, 1e-12);
+}
+
+TEST(DatasetTest, DistanceToQueryPoint) {
+  Dataset d(2, {1.0, 1.0});
+  std::vector<Scalar> q{4.0, 5.0};
+  EXPECT_DOUBLE_EQ(d.DistanceTo(0, q, 2.0), 5.0);
+}
+
+TEST(DatasetTest, SubsetPreservesRows) {
+  Dataset d(1, {10.0, 20.0, 30.0, 40.0});
+  Dataset s = d.Subset({3, 1});
+  ASSERT_EQ(s.size(), 2);
+  EXPECT_DOUBLE_EQ(s[0][0], 40.0);
+  EXPECT_DOUBLE_EQ(s[1][0], 20.0);
+}
+
+TEST(DatasetTest, DiameterEstimateCoversPointPair) {
+  Dataset d(1, {0.0, 10.0});
+  // Centroid 5, max radius 5, diameter estimate 10.
+  EXPECT_NEAR(d.DiameterEstimate(), 10.0, 1e-9);
+}
+
+TEST(DatasetTest, DotProduct) {
+  std::vector<Scalar> a{1.0, 2.0, 3.0}, b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+// ------------------------------------------------------------ DenseMatrix --
+
+TEST(DenseMatrixTest, MatVec) {
+  DenseMatrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  std::vector<Scalar> x{1.0, 1.0, 1.0};
+  auto y = m.MatVec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(DenseMatrixTest, QuadraticFormMatchesManualSum) {
+  DenseMatrix m(2, 2, 0.0);
+  m(0, 1) = 0.5;
+  m(1, 0) = 0.5;
+  std::vector<Scalar> x{0.5, 0.5};
+  // x^T A x = 2 * 0.5 * 0.25 = 0.25.
+  EXPECT_DOUBLE_EQ(m.QuadraticForm(x), 0.25);
+}
+
+TEST(DenseMatrixTest, TransposeRoundTrip) {
+  DenseMatrix m(2, 3, 0.0);
+  m(0, 1) = 7.0;
+  m(1, 2) = -2.0;
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+}
+
+TEST(DenseMatrixTest, SymmetryError) {
+  DenseMatrix m(2, 2, 0.0);
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0 + 1e-3;
+  EXPECT_NEAR(m.SymmetryError(), 1e-3, 1e-12);
+}
+
+// ----------------------------------------------------------- SparseMatrix --
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  auto m = SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {0, 1, 2.0}});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.0);
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(SparseMatrixTest, AtMissingEntryIsZero) {
+  auto m = SparseMatrix::FromTriplets(3, 3, {{0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, MatVecMatchesDense) {
+  auto m = SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 2.0}, {2, 2, 5.0}, {1, 2, -1.0}});
+  std::vector<Scalar> x{1.0, 2.0, 3.0};
+  auto y = m.MatVec(x);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(SparseMatrixTest, QuadraticForm) {
+  auto m = SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  std::vector<Scalar> x{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(m.QuadraticForm(x), 0.5);
+}
+
+TEST(SparseMatrixTest, SparseDegree) {
+  auto m = SparseMatrix::FromTriplets(10, 10, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.SparseDegree(), 1.0 - 2.0 / 100.0);
+}
+
+TEST(SparseMatrixTest, RowViews) {
+  auto m = SparseMatrix::FromTriplets(2, 4, {{1, 0, 3.0}, {1, 3, 4.0}});
+  EXPECT_TRUE(m.RowIndices(0).empty());
+  ASSERT_EQ(m.RowIndices(1).size(), 2u);
+  EXPECT_EQ(m.RowIndices(1)[1], 3);
+  EXPECT_DOUBLE_EQ(m.RowValues(1)[0], 3.0);
+}
+
+// -------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  std::set<Index> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 30u);
+  EXPECT_GE(*set.begin(), 0);
+  EXPECT_LT(*set.rbegin(), 100);
+}
+
+TEST(RngTest, SampleAllReturnsEverything) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<Index> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(11);
+  auto p = rng.Permutation(50);
+  std::set<Index> set(p.begin(), p.end());
+  EXPECT_EQ(set.size(), 50u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(1234);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+// ----------------------------------------------------------MemoryTracker --
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Reset();
+  {
+    ScopedMemoryCharge c1(1000);
+    EXPECT_EQ(t.current_bytes(), 1000);
+    {
+      ScopedMemoryCharge c2(500);
+      EXPECT_EQ(t.current_bytes(), 1500);
+    }
+    EXPECT_EQ(t.current_bytes(), 1000);
+  }
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 1500);
+}
+
+TEST(MemoryTrackerTest, AdjustGrowsCharge) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Reset();
+  ScopedMemoryCharge c(100);
+  c.Adjust(400);
+  EXPECT_EQ(t.current_bytes(), 400);
+  c.Adjust(50);
+  EXPECT_EQ(t.current_bytes(), 50);
+}
+
+// --------------------------------------------------------------ThreadPool --
+
+TEST(ThreadPoolTest, RunsAllJobs) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledRepeatedly) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadStillWorks) {
+  std::atomic<int> sum{0};
+  ThreadPool pool(1);
+  for (int i = 1; i <= 10; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+// ----------------------------------------------------------------- Simplex --
+
+TEST(SimplexTest, BarycenterIsOnSimplex) {
+  auto x = Barycenter(10);
+  EXPECT_TRUE(IsOnSimplex(x));
+  EXPECT_DOUBLE_EQ(x[3], 0.1);
+}
+
+TEST(SimplexTest, DetectsOffSimplex) {
+  std::vector<Scalar> x{0.5, 0.6};
+  EXPECT_FALSE(IsOnSimplex(x));
+  std::vector<Scalar> y{-0.2, 1.2};
+  EXPECT_FALSE(IsOnSimplex(y));
+}
+
+TEST(SimplexTest, ProjectClampsAndNormalizes) {
+  std::vector<Scalar> x{-1.0, 2.0, 2.0};
+  ProjectToSimplex(x);
+  EXPECT_TRUE(IsOnSimplex(x));
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(SimplexTest, L1Distance) {
+  std::vector<Scalar> a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 2.0);
+}
+
+// Property sweep: projection always lands on the simplex for random inputs.
+class SimplexProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProjectionProperty, AlwaysLandsOnSimplex) {
+  Rng rng(GetParam());
+  std::vector<Scalar> x(1 + GetParam() % 37);
+  for (auto& v : x) v = rng.Gaussian(0.0, 3.0);
+  // Ensure at least one positive entry so the projection is defined.
+  x[0] = std::abs(x[0]) + 0.1;
+  ProjectToSimplex(x);
+  EXPECT_TRUE(IsOnSimplex(x, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, SimplexProjectionProperty,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,235 @@
+// Tests of the workload generators: shapes, label bookkeeping, geometry
+// (tight clusters vs dispersed noise) and the paper-matching default sizes.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/nart_like.h"
+#include "data/ndi_like.h"
+#include "data/sift_like.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+template <typename T>
+void CheckLabelBookkeeping(const T& data) {
+  ASSERT_EQ(static_cast<size_t>(data.size()), data.labels.size());
+  // true_clusters[i] must contain exactly the items labeled i.
+  for (size_t c = 0; c < data.true_clusters.size(); ++c) {
+    for (Index g : data.true_clusters[c]) {
+      ASSERT_EQ(data.labels[g], static_cast<int>(c));
+    }
+  }
+  size_t labeled = 0;
+  for (int l : data.labels) labeled += l >= 0;
+  size_t listed = 0;
+  for (const auto& c : data.true_clusters) listed += c.size();
+  EXPECT_EQ(labeled, listed);
+}
+
+// ---------------------------------------------------------------- Synthetic --
+
+TEST(SyntheticTest, RegimeSizes) {
+  SyntheticConfig cfg;
+  cfg.n = 10000;
+  cfg.num_clusters = 20;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 1.0;
+  EXPECT_EQ(RegimeClusterSize(cfg), 500);
+  cfg.regime = SyntheticRegime::kSublinear;
+  cfg.eta = 0.9;
+  EXPECT_EQ(RegimeClusterSize(cfg),
+            static_cast<Index>(std::pow(10000.0, 0.9) / 20.0));
+  cfg.regime = SyntheticRegime::kBounded;
+  cfg.P = 1000;
+  EXPECT_EQ(RegimeClusterSize(cfg), 50);
+}
+
+TEST(SyntheticTest, LabelsConsistent) {
+  SyntheticConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 6;
+  cfg.num_clusters = 5;
+  cfg.omega = 0.6;
+  LabeledData data = MakeSynthetic(cfg);
+  EXPECT_EQ(data.size(), 500);
+  CheckLabelBookkeeping(data);
+}
+
+TEST(SyntheticTest, IntraDistancesMuchSmallerThanInter) {
+  SyntheticConfig cfg;
+  cfg.n = 200;
+  cfg.dim = 20;
+  cfg.num_clusters = 2;
+  cfg.omega = 1.0;
+  cfg.mean_box = 400.0;
+  cfg.overlap_clusters = false;
+  LabeledData data = MakeSynthetic(cfg);
+  const IndexList& c0 = data.true_clusters[0];
+  const IndexList& c1 = data.true_clusters[1];
+  const Scalar intra = data.data.Distance(c0[0], c0[1]);
+  const Scalar inter = data.data.Distance(c0[0], c1[0]);
+  EXPECT_LT(intra * 3.0, inter);
+}
+
+TEST(SyntheticTest, NoiseDegreeMatchesRegime) {
+  SyntheticConfig cfg;
+  cfg.n = 1000;
+  cfg.num_clusters = 4;
+  cfg.dim = 6;
+  cfg.regime = SyntheticRegime::kBounded;
+  cfg.P = 200;  // 50 per cluster, 200 truth, 800 noise
+  LabeledData data = MakeSynthetic(cfg);
+  EXPECT_NEAR(data.NoiseDegree(), 800.0 / 200.0, 1e-9);
+}
+
+TEST(SyntheticTest, DeterministicAcrossCalls) {
+  SyntheticConfig cfg;
+  cfg.n = 100;
+  cfg.dim = 4;
+  cfg.num_clusters = 2;
+  LabeledData a = MakeSynthetic(cfg);
+  LabeledData b = MakeSynthetic(cfg);
+  EXPECT_EQ(a.data.raw(), b.data.raw());
+}
+
+// ---------------------------------------------------------------- NART-like --
+
+TEST(NartLikeTest, PaperShapeDefaults) {
+  LabeledData data = MakeNartLike();
+  EXPECT_EQ(data.size(), 5301);  // 734 + 4567
+  EXPECT_EQ(data.true_clusters.size(), 13u);
+  EXPECT_EQ(data.data.dim(), 350);
+  CheckLabelBookkeeping(data);
+}
+
+TEST(NartLikeTest, VectorsAreTopicDistributions) {
+  NartLikeConfig cfg;
+  cfg.num_event_articles = 60;
+  cfg.num_noise_articles = 100;
+  LabeledData data = MakeNartLike(cfg);
+  for (Index i = 0; i < data.size(); ++i) {
+    Scalar sum = 0.0;
+    for (Scalar v : data.data[i]) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(NartLikeTest, EventsAreTighterThanNoise) {
+  NartLikeConfig cfg;
+  cfg.num_event_articles = 120;
+  cfg.num_noise_articles = 200;
+  cfg.seed = 3;
+  LabeledData data = MakeNartLike(cfg);
+  const IndexList& e0 = data.true_clusters[0];
+  ASSERT_GE(e0.size(), 2u);
+  const Scalar intra = data.data.Distance(e0[0], e0[1]);
+  // Noise-noise distance (two diffuse mixtures) should be far larger.
+  Index n1 = -1, n2 = -1;
+  for (Index i = 0; i < data.size(); ++i) {
+    if (data.labels[i] < 0) {
+      if (n1 < 0) {
+        n1 = i;
+      } else {
+        n2 = i;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(intra * 3.0, data.data.Distance(n1, n2));
+}
+
+// ----------------------------------------------------------------- NDI-like --
+
+TEST(NdiLikeTest, SubNdiShape) {
+  LabeledData data = MakeNdiLike(NdiLikeConfig::SubNdi());
+  EXPECT_EQ(data.size(), 1420 + 8520);
+  EXPECT_EQ(data.true_clusters.size(), 6u);
+  EXPECT_EQ(data.data.dim(), 256);
+  CheckLabelBookkeeping(data);
+}
+
+TEST(NdiLikeTest, GistValuesInUnitBox) {
+  NdiLikeConfig cfg = NdiLikeConfig::SubNdi();
+  cfg.num_duplicates = 100;
+  cfg.num_noise = 100;
+  LabeledData data = MakeNdiLike(cfg);
+  for (Index i = 0; i < data.size(); ++i) {
+    for (Scalar v : data.data[i]) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(NdiLikeTest, GroupsAreTight) {
+  NdiLikeConfig cfg = NdiLikeConfig::SubNdi();
+  cfg.num_duplicates = 120;
+  cfg.num_noise = 200;
+  LabeledData data = MakeNdiLike(cfg);
+  const IndexList& g0 = data.true_clusters[0];
+  const Scalar intra = data.data.Distance(g0[0], g0[1]);
+  // Typical uniform-noise distance in [0,1]^256 is ~ sqrt(256/6) ≈ 6.5.
+  EXPECT_LT(intra, 1.0);
+}
+
+// ---------------------------------------------------------------- SIFT-like --
+
+TEST(SiftLikeTest, VectorsOnNonNegativeUnitSphere) {
+  SiftLikeConfig cfg;
+  cfg.n = 300;
+  LabeledData data = MakeSiftLike(cfg);
+  for (Index i = 0; i < data.size(); ++i) {
+    Scalar norm = 0.0;
+    for (Scalar v : data.data[i]) {
+      EXPECT_GE(v, 0.0);
+      norm += v * v;
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(SiftLikeTest, ShapeMatchesConfig) {
+  SiftLikeConfig cfg;
+  cfg.n = 1000;
+  cfg.num_visual_words = 10;
+  cfg.word_fraction = 0.4;
+  LabeledData data = MakeSiftLike(cfg);
+  EXPECT_EQ(data.size(), 1000);
+  EXPECT_EQ(data.true_clusters.size(), 10u);
+  CheckLabelBookkeeping(data);
+  // ~40% of descriptors belong to visual words.
+  size_t truth = 0;
+  for (int l : data.labels) truth += l >= 0;
+  EXPECT_NEAR(static_cast<double>(truth) / data.size(), 0.4, 0.05);
+}
+
+TEST(SiftLikeTest, WordsAreTightClutterIsNot) {
+  SiftLikeConfig cfg;
+  cfg.n = 600;
+  cfg.num_visual_words = 5;
+  LabeledData data = MakeSiftLike(cfg);
+  const IndexList& w0 = data.true_clusters[0];
+  const Scalar intra = data.data.Distance(w0[0], w0[1]);
+  Index n1 = -1, n2 = -1;
+  for (Index i = 0; i < data.size(); ++i) {
+    if (data.labels[i] < 0) {
+      if (n1 < 0) {
+        n1 = i;
+      } else {
+        n2 = i;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(n2, 0);
+  EXPECT_LT(intra * 2.0, data.data.Distance(n1, n2));
+}
+
+}  // namespace
+}  // namespace alid

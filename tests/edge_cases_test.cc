@@ -1,0 +1,223 @@
+// Edge-case and failure-injection tests: degenerate datasets (duplicates,
+// singletons, collinear points), extreme kernel scales, empty sparse graphs,
+// and dense/CSR parity of the baselines.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "affinity/affinity_matrix.h"
+#include "affinity/sparsifier.h"
+#include "baselines/ap.h"
+#include "baselines/iid.h"
+#include "baselines/kmeans.h"
+#include "baselines/replicator.h"
+#include "core/alid.h"
+#include "core/lid.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+// ------------------------------------------------------ duplicate points --
+
+TEST(EdgeCaseTest, ExactDuplicatesFormAPerfectCluster) {
+  // Three identical points: pairwise affinity e^0 = 1, pi -> 2/3.
+  Dataset d(2, {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 9.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  LazyAffinityOracle oracle(d, f);
+  Lid lid(oracle, 0, {});
+  lid.UpdateRange({1, 2, 3});
+  lid.Run();
+  ASSERT_TRUE(lid.converged());
+  EXPECT_NEAR(lid.Density(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(lid.Support().size(), 3u);
+}
+
+TEST(EdgeCaseTest, TwoIdenticalPointsSplitWeightEvenly) {
+  Dataset d(1, {5.0, 5.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  LazyAffinityOracle oracle(d, f);
+  Lid lid(oracle, 0, {});
+  lid.UpdateRange({1});
+  lid.Run();
+  EXPECT_NEAR(lid.WeightOf(0), 0.5, 1e-6);
+  EXPECT_NEAR(lid.WeightOf(1), 0.5, 1e-6);
+  EXPECT_NEAR(lid.Density(), 0.5, 1e-9);  // x^T A x = 2 * 0.25 * 1
+}
+
+// ------------------------------------------------------------- singletons --
+
+TEST(EdgeCaseTest, SingletonDatasetDetection) {
+  Dataset d(3, {1.0, 2.0, 3.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  LazyAffinityOracle oracle(d, f);
+  LshIndex lsh(d, {});
+  AlidDetector detector(oracle, lsh, {});
+  DetectionResult r = detector.DetectAll();
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].members, IndexList{0});
+  EXPECT_DOUBLE_EQ(r.clusters[0].density, 0.0);
+  EXPECT_TRUE(r.Filtered(0.75).clusters.empty());
+}
+
+TEST(EdgeCaseTest, IidOnSingleActiveVertex) {
+  Dataset d(1, {0.0, 4.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  AffinityMatrix m(d, f);
+  IidDetector iid{AffinityView(&m.matrix())};
+  std::vector<bool> active{true, false};
+  Cluster c = iid.ExtractOne(&active);
+  ASSERT_EQ(c.members.size(), 1u);
+  EXPECT_EQ(c.members[0], 0);
+}
+
+// -------------------------------------------------------- extreme kernels --
+
+TEST(EdgeCaseTest, VerySharpKernelIsolatesEverything) {
+  // k so large that all affinities are ~0: every point is its own cluster.
+  Dataset d(1, {0.0, 1.0, 2.0, 3.0});
+  AffinityFunction f({.k = 500.0, .p = 2.0});
+  LazyAffinityOracle oracle(d, f);
+  LshIndex lsh(d, {});
+  AlidDetector detector(oracle, lsh, {});
+  DetectionResult r = detector.DetectAll();
+  EXPECT_TRUE(r.Filtered(0.5).clusters.empty());
+}
+
+TEST(EdgeCaseTest, VeryFlatKernelMergesEverything) {
+  // k tiny: all affinities ~1, the whole set is one dominant cluster.
+  Dataset d(1, {0.0, 0.1, 0.2, 0.3, 0.4});
+  AffinityFunction f({.k = 1e-4, .p = 2.0});
+  LazyAffinityOracle oracle(d, f);
+  Lid lid(oracle, 0, {});
+  lid.UpdateRange({1, 2, 3, 4});
+  lid.Run();
+  EXPECT_EQ(lid.Support().size(), 5u);
+  EXPECT_GT(lid.Density(), 0.79);  // -> (n-1)/n as affinities -> 1
+}
+
+TEST(EdgeCaseTest, L1NormKernelWorksEndToEnd) {
+  SyntheticConfig cfg;
+  cfg.n = 200;
+  cfg.dim = 6;
+  cfg.num_clusters = 2;
+  cfg.omega = 0.8;
+  cfg.overlap_clusters = false;
+  LabeledData data = MakeSynthetic(cfg);
+  // L1 distances are ~sqrt(d) larger than L2; rescale k accordingly.
+  AffinityFunction f(
+      {.k = data.suggested_k / std::sqrt(6.0), .p = 1.0});
+  LazyAffinityOracle oracle(data.data, f);
+  LshParams lp;
+  lp.segment_length = data.suggested_lsh_r * std::sqrt(6.0);
+  LshIndex lsh(data.data, lp);
+  AlidDetector detector(oracle, lsh, {});
+  DetectionResult r = detector.DetectAll().Filtered(0.6);
+  EXPECT_GT(AverageF1(data.true_clusters, r), 0.7);
+}
+
+// --------------------------------------------------------- empty graphs --
+
+TEST(EdgeCaseTest, ReplicatorOnZeroMatrixStopsGracefully) {
+  SparseMatrix zero = SparseMatrix::FromTriplets(5, 5, {});
+  AffinityView view(&zero);
+  std::vector<Scalar> x(5, 0.2);
+  const int iters = RunReplicatorDynamics(view, x, {});
+  EXPECT_EQ(iters, 0);  // pi == 0 on entry
+}
+
+TEST(EdgeCaseTest, ApOnEdgelessGraphMakesSingletons) {
+  SparseMatrix zero = SparseMatrix::FromTriplets(4, 4, {});
+  ApDetector ap{AffinityView(&zero)};
+  DetectionResult r = ap.Detect();
+  // No similarities: everyone is their own exemplar (or joins nobody).
+  std::vector<int> seen(4, 0);
+  for (const Cluster& c : r.clusters) {
+    for (Index g : c.members) ++seen[g];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+// --------------------------------------------------- dense / CSR parity --
+
+TEST(EdgeCaseTest, IidDenseAndCsrViewsAgree) {
+  SyntheticConfig cfg;
+  cfg.n = 120;
+  cfg.dim = 6;
+  cfg.num_clusters = 2;
+  cfg.omega = 0.8;
+  cfg.overlap_clusters = false;
+  LabeledData data = MakeSynthetic(cfg);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  AffinityMatrix dense(data.data, f);
+  SparseMatrix csr = Sparsifier::Dense(data.data, f);
+  Cluster a = IidDetector{AffinityView(&dense.matrix())}.ExtractOne();
+  Cluster b = IidDetector{AffinityView(&csr)}.ExtractOne();
+  EXPECT_EQ(a.members, b.members);
+  EXPECT_NEAR(a.density, b.density, 1e-9);
+}
+
+TEST(EdgeCaseTest, ReplicatorDenseAndCsrViewsAgree) {
+  SyntheticConfig cfg;
+  cfg.n = 80;
+  cfg.dim = 5;
+  cfg.num_clusters = 2;
+  cfg.omega = 1.0;
+  cfg.overlap_clusters = false;
+  LabeledData data = MakeSynthetic(cfg);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  AffinityMatrix dense(data.data, f);
+  SparseMatrix csr = Sparsifier::Dense(data.data, f);
+  std::vector<Scalar> xa(80, 1.0 / 80), xb(80, 1.0 / 80);
+  ReplicatorOptions opts;
+  opts.max_iterations = 100;
+  RunReplicatorDynamics(AffinityView(&dense.matrix()), xa, opts);
+  RunReplicatorDynamics(AffinityView(&csr), xb, opts);
+  for (Index i = 0; i < 80; ++i) EXPECT_NEAR(xa[i], xb[i], 1e-9);
+}
+
+// -------------------------------------------------------------- k-means --
+
+TEST(EdgeCaseTest, KMeansKEqualsN) {
+  Dataset d(1, {0.0, 1.0, 2.0});
+  KMeansResult r = RunKMeans(d, 3);
+  std::set<int> labels(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(r.sse, 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, KMeansAllIdenticalPoints) {
+  Dataset d(1, {5.0, 5.0, 5.0, 5.0});
+  KMeansResult r = RunKMeans(d, 2);
+  EXPECT_NEAR(r.sse, 0.0, 1e-12);
+}
+
+// --------------------------------------------------------- misc plumbing --
+
+TEST(EdgeCaseTest, DetectionResultAssignmentPrefersDenser) {
+  DetectionResult r;
+  Cluster weak;
+  weak.members = {0, 1};
+  weak.density = 0.4;
+  Cluster strong;
+  strong.members = {1, 2};
+  strong.density = 0.9;
+  r.clusters = {weak, strong};
+  auto labels = r.Assignment(3);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);  // overlap goes to the denser cluster
+  EXPECT_EQ(labels[2], 1);
+}
+
+TEST(EdgeCaseTest, FilteredDropsSingletonsEvenIfDense) {
+  DetectionResult r;
+  Cluster single;
+  single.members = {3};
+  single.density = 0.99;
+  r.clusters = {single};
+  EXPECT_TRUE(r.Filtered(0.75).clusters.empty());
+}
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,165 @@
+// Cross-module integration tests: the full ALID pipeline against the
+// full-matrix baselines on shared workloads, complexity-counter assertions
+// matching Table 1's qualitative claims, and the Fig. 6 sparsity mechanism.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "affinity/affinity_matrix.h"
+#include "affinity/sparsifier.h"
+#include "baselines/iid.h"
+#include "baselines/sea.h"
+#include "common/memory_tracker.h"
+#include "core/alid.h"
+#include "core/palid.h"
+#include "data/ndi_like.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+struct Pipeline {
+  explicit Pipeline(const LabeledData& labeled) {
+    affinity = std::make_unique<AffinityFunction>(
+        AffinityParams{.k = labeled.suggested_k, .p = 2.0});
+    oracle = std::make_unique<LazyAffinityOracle>(labeled.data, *affinity);
+    LshParams lp;
+    lp.num_tables = 8;
+    lp.num_projections = 6;
+    lp.segment_length = labeled.suggested_lsh_r;
+    lsh = std::make_unique<LshIndex>(labeled.data, lp);
+  }
+  std::unique_ptr<AffinityFunction> affinity;
+  std::unique_ptr<LazyAffinityOracle> oracle;
+  std::unique_ptr<LshIndex> lsh;
+};
+
+TEST(IntegrationTest, AlidMatchesIidQualityAtFractionOfTheEntries) {
+  SyntheticConfig cfg;
+  cfg.n = 700;
+  cfg.dim = 12;
+  cfg.num_clusters = 5;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.5;
+  cfg.mean_box = 300.0;
+  cfg.seed = 23;
+  LabeledData data = MakeSynthetic(cfg);
+  Pipeline p(data);
+
+  AlidDetector alid_detector(*p.oracle, *p.lsh, {});
+  p.oracle->ResetCounters();
+  const double f_alid = AverageF1(
+      data.true_clusters, alid_detector.DetectAll().Filtered(0.75));
+  const int64_t alid_entries = p.oracle->entries_computed();
+
+  AffinityMatrix matrix(data.data, *p.affinity);
+  IidDetector iid(AffinityView(&matrix.matrix()));
+  const double f_iid =
+      AverageF1(data.true_clusters, iid.DetectAll().Filtered(0.75));
+  const int64_t iid_entries = matrix.entries_computed();
+
+  EXPECT_GT(f_alid, f_iid - 0.07)
+      << "ALID quality should match the full-matrix method";
+  EXPECT_LT(alid_entries, iid_entries / 2)
+      << "ALID should touch far fewer affinity entries";
+}
+
+TEST(IntegrationTest, AlidPeakMemoryFarBelowFullMatrix) {
+  SyntheticConfig cfg;
+  cfg.n = 1200;
+  cfg.dim = 12;
+  cfg.num_clusters = 6;
+  cfg.regime = SyntheticRegime::kBounded;
+  cfg.P = 240;
+  cfg.mean_box = 300.0;
+  cfg.seed = 29;
+  LabeledData data = MakeSynthetic(cfg);
+  Pipeline p(data);
+
+  p.oracle->ResetCounters();
+  AlidDetector detector(*p.oracle, *p.lsh, {});
+  detector.DetectAll();
+  const int64_t alid_peak = p.oracle->peak_bytes();
+  const int64_t full_matrix_bytes =
+      static_cast<int64_t>(data.size()) * data.size() * sizeof(Scalar);
+  EXPECT_LT(alid_peak, full_matrix_bytes / 10)
+      << "O(a*(a*+delta)) local matrices should dwarf O(n^2)";
+}
+
+TEST(IntegrationTest, SubNdiLikePipelineAllMethods) {
+  // A scaled-down Sub-NDI-like workload every affinity method can handle.
+  NdiLikeConfig cfg = NdiLikeConfig::SubNdi();
+  cfg.num_duplicates = 300;
+  cfg.num_noise = 900;
+  cfg.seed = 41;
+  LabeledData data = MakeNdiLike(cfg);
+  Pipeline p(data);
+
+  AlidDetector alid_detector(*p.oracle, *p.lsh, {});
+  const double f_alid = AverageF1(
+      data.true_clusters, alid_detector.DetectAll().Filtered(0.75));
+  EXPECT_GT(f_alid, 0.8);
+
+  AffinityMatrix matrix(data.data, *p.affinity);
+  const double f_iid = AverageF1(
+      data.true_clusters,
+      IidDetector(AffinityView(&matrix.matrix())).DetectAll().Filtered(0.75));
+  EXPECT_GT(f_iid, 0.8);
+
+  SparseMatrix sparse =
+      Sparsifier::FromLshCollisions(data.data, *p.affinity, *p.lsh);
+  const double f_sea = AverageF1(
+      data.true_clusters,
+      SeaDetector(AffinityView(&sparse)).DetectAll().Filtered(0.6));
+  EXPECT_GT(f_sea, 0.6);
+}
+
+TEST(IntegrationTest, SparseDegreeRisesAsSegmentShrinks) {
+  // The Fig. 6 overlay: smaller r => sparser LSH-induced matrix.
+  SyntheticConfig cfg;
+  cfg.n = 400;
+  cfg.dim = 10;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.5;
+  cfg.mean_box = 300.0;
+  cfg.seed = 37;
+  LabeledData data = MakeSynthetic(cfg);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  double prev_degree = -1.0;
+  for (double scale : {4.0, 1.0, 0.25}) {
+    LshParams lp;
+    lp.num_tables = 6;
+    lp.num_projections = 6;
+    lp.segment_length = data.suggested_lsh_r * scale;
+    LshIndex lsh(data.data, lp);
+    SparseMatrix m = Sparsifier::FromLshCollisions(data.data, f, lsh);
+    if (prev_degree >= 0.0) {
+      EXPECT_GE(m.SparseDegree() + 1e-9, prev_degree)
+          << "sparse degree should not drop as r shrinks";
+    }
+    prev_degree = m.SparseDegree();
+  }
+}
+
+TEST(IntegrationTest, PalidAndAlidAgreeOnSiftLikeWords) {
+  SyntheticConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 16;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.5;
+  cfg.mean_box = 300.0;
+  cfg.seed = 43;
+  LabeledData data = MakeSynthetic(cfg);
+  Pipeline p(data);
+  AlidDetector alid_detector(*p.oracle, *p.lsh, {});
+  Palid palid(*p.oracle, *p.lsh, {});
+  const double f_seq = AverageF1(
+      data.true_clusters, alid_detector.DetectAll().Filtered(0.75));
+  const double f_par =
+      AverageF1(data.true_clusters, palid.Detect().Filtered(0.75));
+  EXPECT_NEAR(f_seq, f_par, 0.1);
+}
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,152 @@
+// Tests of the p-stable LSH index: recall on planted clusters, selectivity
+// against noise, bucket iteration and determinism.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+namespace {
+
+LabeledData TightClusters(Index n = 300, int dim = 8, int clusters = 3) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = dim;
+  cfg.num_clusters = clusters;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.overlap_clusters = false;  // collision stats need separated clusters
+  cfg.seed = 9;
+  return MakeSynthetic(cfg);
+}
+
+LshParams DefaultParams(const LabeledData& data) {
+  LshParams p;
+  p.num_tables = 8;
+  p.num_projections = 6;
+  p.segment_length = data.suggested_lsh_r;
+  return p;
+}
+
+TEST(LshIndexTest, QueryExcludesSelf) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  auto res = lsh.QueryByIndex(0);
+  EXPECT_EQ(std::count(res.begin(), res.end(), 0), 0);
+}
+
+TEST(LshIndexTest, SameClusterRecallIsHigh) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  // For members of cluster 0, most same-cluster items should collide.
+  const IndexList& truth = data.true_clusters[0];
+  double recall_sum = 0.0;
+  for (Index i : truth) {
+    auto res = lsh.QueryByIndex(i);
+    std::set<Index> set(res.begin(), res.end());
+    int hit = 0;
+    for (Index j : truth) {
+      if (j != i && set.count(j)) ++hit;
+    }
+    recall_sum += static_cast<double>(hit) / (truth.size() - 1);
+  }
+  EXPECT_GT(recall_sum / truth.size(), 0.8);
+}
+
+TEST(LshIndexTest, CrossClusterCollisionsAreRare) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  const IndexList& c0 = data.true_clusters[0];
+  const IndexList& c1 = data.true_clusters[1];
+  int cross = 0, total = 0;
+  for (Index i : c0) {
+    auto res = lsh.QueryByIndex(i);
+    std::set<Index> set(res.begin(), res.end());
+    for (Index j : c1) {
+      cross += set.count(j) != 0;
+      ++total;
+    }
+  }
+  EXPECT_LT(static_cast<double>(cross) / total, 0.05);
+}
+
+TEST(LshIndexTest, QueryByPointMatchesQueryByIndexBuckets) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  // Querying with an item's own coordinates returns its bucket mates (and
+  // possibly the item itself).
+  auto by_index = lsh.QueryByIndex(5);
+  auto by_point = lsh.QueryByPoint(data.data[5]);
+  std::set<Index> a(by_index.begin(), by_index.end());
+  std::set<Index> b(by_point.begin(), by_point.end());
+  b.erase(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LshIndexTest, VisitBucketsSeesClusterSizedBuckets) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  int big_buckets = 0;
+  size_t biggest = 0;
+  lsh.VisitBuckets(6, [&](std::span<const Index> items) {
+    ++big_buckets;
+    biggest = std::max(biggest, items.size());
+  });
+  EXPECT_GT(big_buckets, 0);
+  // At least one bucket should capture a large chunk of some cluster.
+  EXPECT_GE(biggest, data.true_clusters[0].size() / 2);
+}
+
+TEST(LshIndexTest, DeterministicAcrossInstances) {
+  LabeledData data = TightClusters();
+  LshIndex a(data.data, DefaultParams(data));
+  LshIndex b(data.data, DefaultParams(data));
+  for (Index i = 0; i < 20; ++i) {
+    auto ra = a.QueryByIndex(i);
+    auto rb = b.QueryByIndex(i);
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST(LshIndexTest, MemoryBytesAccounted) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  EXPECT_GT(lsh.MemoryBytes(), 0u);
+}
+
+TEST(LshIndexTest, MeanCandidatesDiagnosticRuns) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  const double mean = lsh.MeanCandidatesPerItem(100);
+  EXPECT_GE(mean, 0.0);
+  EXPECT_LT(mean, static_cast<double>(data.size()));
+}
+
+// Property sweep over the segment length r: recall and candidate volume both
+// grow with r (the Fig. 6 mechanism: larger r => denser sparsified matrix).
+class LshSegmentLengthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LshSegmentLengthProperty, CandidateVolumeGrowsWithR) {
+  LabeledData data = TightClusters();
+  LshParams small = DefaultParams(data);
+  small.segment_length = data.suggested_lsh_r * GetParam();
+  LshParams large = small;
+  large.segment_length = small.segment_length * 4.0;
+  LshIndex lsh_small(data.data, small);
+  LshIndex lsh_large(data.data, large);
+  EXPECT_LE(lsh_small.MeanCandidatesPerItem(150),
+            lsh_large.MeanCandidatesPerItem(150) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentScales, LshSegmentLengthProperty,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,111 @@
+// Tests of the evaluation metrics: F1, AVG-F, label conversion, uniform
+// density.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/labeled_data.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+TEST(F1Test, PerfectMatch) {
+  F1Score s = ComputeF1({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(F1Test, NoOverlap) {
+  F1Score s = ComputeF1({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(F1Test, PartialOverlap) {
+  // detected {1,2,3,4}, truth {3,4,5,6}: P=0.5, R=0.5, F1=0.5.
+  F1Score s = ComputeF1({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(F1Test, AsymmetricSizes) {
+  // detected {1}, truth {1,2,3,4}: P=1, R=0.25, F1=0.4.
+  F1Score s = ComputeF1({1}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.25);
+  EXPECT_NEAR(s.f1, 0.4, 1e-12);
+}
+
+TEST(F1Test, EmptyInputsScoreZero) {
+  EXPECT_DOUBLE_EQ(ComputeF1({}, {1}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeF1({1}, {}).f1, 0.0);
+}
+
+TEST(AverageF1Test, BestMatchPerTruthCluster) {
+  std::vector<IndexList> truth{{0, 1, 2}, {10, 11}};
+  std::vector<IndexList> detected{{0, 1, 2}, {10, 12}, {5}};
+  // Truth 0 matches detected 0 perfectly; truth 1 best-matches {10,12}:
+  // P=0.5, R=0.5, F1=0.5. AVG-F = (1 + 0.5)/2.
+  EXPECT_NEAR(AverageF1(truth, detected), 0.75, 1e-12);
+}
+
+TEST(AverageF1Test, NoDetectionsGivesZero) {
+  std::vector<IndexList> truth{{0, 1}};
+  EXPECT_DOUBLE_EQ(AverageF1(truth, std::vector<IndexList>{}), 0.0);
+}
+
+TEST(AverageF1Test, DetectionResultOverload) {
+  std::vector<IndexList> truth{{0, 1}};
+  DetectionResult res;
+  Cluster c;
+  c.members = {0, 1};
+  c.weights = {0.5, 0.5};
+  c.density = 0.9;
+  res.clusters.push_back(c);
+  EXPECT_DOUBLE_EQ(AverageF1(truth, res), 1.0);
+}
+
+TEST(LabelsToClustersTest, IgnoresNegativesGroupsRest) {
+  std::vector<int> labels{0, 1, 0, -1, 1, 2};
+  auto clusters = LabelsToClusters(labels);
+  ASSERT_EQ(clusters.size(), 3u);
+  // Each listed index must carry the same original label.
+  size_t total = 0;
+  for (const auto& c : clusters) {
+    total += c.size();
+    for (size_t i = 1; i < c.size(); ++i) {
+      EXPECT_EQ(labels[c[i]], labels[c[0]]);
+    }
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(UniformDensityTest, SingletonIsZero) {
+  Dataset d(1, {0.0, 1.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  EXPECT_DOUBLE_EQ(UniformDensity(d, f, {0}), 0.0);
+}
+
+TEST(UniformDensityTest, PairMatchesHandComputation) {
+  Dataset d(1, {0.0, 1.0});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  // x = (1/2, 1/2): pi = 2 * (1/4) * a01 = a01 / 2.
+  EXPECT_NEAR(UniformDensity(d, f, {0, 1}), std::exp(-1.0) / 2.0, 1e-12);
+}
+
+TEST(UniformDensityTest, TighterSetIsDenser) {
+  Dataset d(1, {0.0, 0.1, 5.0, 5.1, 0.05});
+  AffinityFunction f({.k = 1.0, .p = 2.0});
+  EXPECT_GT(UniformDensity(d, f, {0, 1, 4}), UniformDensity(d, f, {0, 1, 2}));
+}
+
+TEST(NoiseDegreeTest, CountsRatio) {
+  LabeledData data;
+  data.labels = {0, 0, -1, -1, -1, 1};
+  EXPECT_DOUBLE_EQ(data.NoiseDegree(), 1.0);
+}
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,122 @@
+// Tests of OnlineAlid, the streaming extension (the paper's stated future
+// work): incremental insertion, cluster absorption, pool detection, and
+// agreement with batch ALID on the same stream.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/online_alid.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+LabeledData Workload(Index n = 500, uint64_t seed = 61) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 10;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.overlap_clusters = false;
+  cfg.seed = seed;
+  return MakeSynthetic(cfg);
+}
+
+OnlineAlidOptions Options(const LabeledData& data) {
+  OnlineAlidOptions opts;
+  opts.affinity = {.k = data.suggested_k, .p = 2.0};
+  opts.lsh.segment_length = data.suggested_lsh_r;
+  opts.refresh_interval = 128;
+  return opts;
+}
+
+TEST(OnlineAlidTest, StreamingDetectsThePlantedClusters) {
+  LabeledData data = Workload();
+  OnlineAlid online(data.data.dim(), Options(data));
+  // Feed in a shuffled order, as a stream would arrive.
+  Rng rng(3);
+  for (Index i : rng.Permutation(data.size())) {
+    online.Insert(data.data[i]);
+  }
+  online.Refresh();
+  EXPECT_GE(online.clusters().size(), 3u);
+  EXPECT_LE(online.clusters().size(), 8u);
+  for (const Cluster& c : online.clusters()) {
+    EXPECT_GE(c.density, 0.75);
+  }
+}
+
+TEST(OnlineAlidTest, MatchesBatchQualityOnTheSameStream) {
+  LabeledData data = Workload(400);
+  OnlineAlid online(data.data.dim(), Options(data));
+  // Stream in the generator's order; remember stream index -> original id.
+  for (Index i = 0; i < data.size(); ++i) online.Insert(data.data[i]);
+  online.Refresh();
+  std::vector<IndexList> detected;
+  for (const Cluster& c : online.clusters()) detected.push_back(c.members);
+  EXPECT_GT(AverageF1(data.true_clusters, detected), 0.8);
+}
+
+TEST(OnlineAlidTest, NewcomerIsAbsorbedIntoItsCluster) {
+  LabeledData data = Workload(300);
+  OnlineAlid online(data.data.dim(), Options(data));
+  // Feed everything except the last member of cluster 0, then refresh so the
+  // cluster exists; the held-out member must be absorbed on arrival.
+  const Index held_out = data.true_clusters[0].back();
+  std::vector<Index> stream_of;  // stream index -> original index
+  for (Index i = 0; i < data.size(); ++i) {
+    if (i == held_out) continue;
+    stream_of.push_back(i);
+    online.Insert(data.data[i]);
+  }
+  online.Refresh();
+  const size_t before = online.clusters().size();
+  ASSERT_GT(before, 0u);
+  const Index idx = online.Insert(data.data[held_out]);
+  EXPECT_GE(online.ClusterOf(idx), 0)
+      << "held-out cluster member not absorbed on insert";
+}
+
+TEST(OnlineAlidTest, NoiseStaysUnassigned) {
+  LabeledData data = Workload(300);
+  OnlineAlid online(data.data.dim(), Options(data));
+  for (Index i = 0; i < data.size(); ++i) online.Insert(data.data[i]);
+  online.Refresh();
+  int noise_assigned = 0, noise_total = 0;
+  Index stream_idx = 0;
+  for (Index i = 0; i < data.size(); ++i, ++stream_idx) {
+    if (data.labels[i] < 0) {
+      ++noise_total;
+      noise_assigned += online.ClusterOf(stream_idx) >= 0;
+    }
+  }
+  ASSERT_GT(noise_total, 0);
+  EXPECT_LT(static_cast<double>(noise_assigned) / noise_total, 0.1);
+}
+
+TEST(OnlineAlidTest, AssignmentConsistentWithClusterMembership) {
+  LabeledData data = Workload(300);
+  OnlineAlid online(data.data.dim(), Options(data));
+  for (Index i = 0; i < data.size(); ++i) online.Insert(data.data[i]);
+  online.Refresh();
+  for (size_t c = 0; c < online.clusters().size(); ++c) {
+    for (Index m : online.clusters()[c].members) {
+      EXPECT_EQ(online.ClusterOf(m), static_cast<int>(c));
+    }
+  }
+}
+
+TEST(OnlineAlidTest, EmptyStreamIsFine) {
+  LabeledData data = Workload(50);
+  OnlineAlid online(data.data.dim(), Options(data));
+  online.Refresh();
+  EXPECT_TRUE(online.clusters().empty());
+  EXPECT_EQ(online.size(), 0);
+}
+
+}  // namespace
+}  // namespace alid

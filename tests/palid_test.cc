@@ -1,0 +1,121 @@
+// Tests of Parallel ALID (Algorithm 3): seed sampling, map/reduce semantics,
+// executor-count invariance of the detected structure.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/palid.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+struct PalidHarness {
+  explicit PalidHarness(const LabeledData& labeled, PalidOptions opts = {}) {
+    affinity = std::make_unique<AffinityFunction>(
+        AffinityParams{.k = labeled.suggested_k, .p = 2.0});
+    oracle = std::make_unique<LazyAffinityOracle>(labeled.data, *affinity);
+    LshParams lp;
+    lp.num_tables = 8;
+    lp.num_projections = 6;
+    lp.segment_length = labeled.suggested_lsh_r;
+    lsh = std::make_unique<LshIndex>(labeled.data, lp);
+    palid = std::make_unique<Palid>(*oracle, *lsh, opts);
+  }
+  std::unique_ptr<AffinityFunction> affinity;
+  std::unique_ptr<LazyAffinityOracle> oracle;
+  std::unique_ptr<LshIndex> lsh;
+  std::unique_ptr<Palid> palid;
+};
+
+LabeledData Workload(Index n = 600) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 12;
+  cfg.num_clusters = 4;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.seed = 17;
+  return MakeSynthetic(cfg);
+}
+
+TEST(PalidTest, SeedsComeFromLargeBuckets) {
+  LabeledData data = Workload();
+  PalidHarness h(data);
+  IndexList seeds = h.palid->SampleSeeds();
+  EXPECT_FALSE(seeds.empty());
+  // Nearly all sampled seeds should be ground-truth items: noise rarely fills
+  // an LSH bucket with > 5 items.
+  int truth = 0;
+  for (Index s : seeds) truth += data.labels[s] >= 0;
+  EXPECT_GT(static_cast<double>(truth) / seeds.size(), 0.9);
+}
+
+TEST(PalidTest, DetectsThePlantedClusters) {
+  LabeledData data = Workload();
+  PalidHarness h(data);
+  PalidStats stats;
+  DetectionResult result = h.palid->Detect(&stats).Filtered(0.75);
+  EXPECT_GT(AverageF1(data.true_clusters, result), 0.85);
+  EXPECT_GT(stats.num_seeds, 0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.total_task_seconds, 0.0);
+}
+
+TEST(PalidTest, ReduceCollapsesDuplicateDetections) {
+  LabeledData data = Workload();
+  PalidHarness h(data);
+  DetectionResult result = h.palid->Detect();
+  // Many seeds per cluster, but the reduce keeps roughly one surviving
+  // cluster per dominant cluster (plus possibly small weak ones).
+  DetectionResult dense = result.Filtered(0.75);
+  EXPECT_LE(dense.clusters.size(), 8u);
+  EXPECT_GE(dense.clusters.size(), 3u);
+}
+
+TEST(PalidTest, AssignmentPrefersDensestCluster) {
+  LabeledData data = Workload();
+  PalidHarness h(data);
+  DetectionResult result = h.palid->Detect();
+  auto labels = result.Assignment(data.size());
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    for (Index g : result.clusters[c].members) {
+      ASSERT_GE(labels[g], 0);
+      // The assigned cluster's density is at least this cluster's.
+      EXPECT_GE(result.clusters[labels[g]].density,
+                result.clusters[c].density - 1e-12);
+    }
+  }
+}
+
+TEST(PalidTest, ExecutorCountDoesNotChangeQuality) {
+  LabeledData data = Workload(400);
+  PalidOptions one;
+  one.num_executors = 1;
+  PalidOptions four;
+  four.num_executors = 4;
+  PalidHarness h1(data, one);
+  PalidHarness h4(data, four);
+  const double f1 = AverageF1(data.true_clusters,
+                              h1.palid->Detect().Filtered(0.75));
+  const double f4 = AverageF1(data.true_clusters,
+                              h4.palid->Detect().Filtered(0.75));
+  EXPECT_NEAR(f1, f4, 0.05);
+}
+
+TEST(PalidTest, MatchesSequentialAlidQuality) {
+  LabeledData data = Workload(400);
+  PalidHarness h(data);
+  AlidDetector sequential(*h.oracle, *h.lsh, {});
+  const double f_seq = AverageF1(data.true_clusters,
+                                 sequential.DetectAll().Filtered(0.75));
+  const double f_par =
+      AverageF1(data.true_clusters, h.palid->Detect().Filtered(0.75));
+  EXPECT_NEAR(f_seq, f_par, 0.1);
+}
+
+}  // namespace
+}  // namespace alid

@@ -1,0 +1,185 @@
+// Tests of the partitioning baselines of Appendix C: k-means, spectral
+// clustering (full + Nystrom) and mean shift.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kmeans.h"
+#include "baselines/mean_shift.h"
+#include "baselines/spectral.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace alid {
+namespace {
+
+// Clean well-separated blobs (no noise) for the partitioners.
+LabeledData CleanBlobs(Index n = 240, int clusters = 3, uint64_t seed = 5) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 8;
+  cfg.num_clusters = clusters;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 1.0;  // all ground truth, no noise
+  cfg.mean_box = 400.0;
+  cfg.overlap_clusters = false;  // partitioners assume separated blobs
+  cfg.seed = seed;
+  return MakeSynthetic(cfg);
+}
+
+double LabelAgreement(const std::vector<int>& labels,
+                      const LabeledData& data) {
+  return AverageF1(data.true_clusters, LabelsToClusters(labels));
+}
+
+// ----------------------------------------------------------------- KMeans --
+
+TEST(KMeansTest, PerfectOnSeparatedBlobs) {
+  LabeledData data = CleanBlobs();
+  KMeansResult r = RunKMeans(data.data, 3);
+  EXPECT_GT(LabelAgreement(r.labels, data), 0.95);
+}
+
+TEST(KMeansTest, SseDecreasesWithMoreClusters) {
+  LabeledData data = CleanBlobs();
+  KMeansOptions opts;
+  opts.restarts = 3;
+  const Scalar sse2 = RunKMeans(data.data, 2, opts).sse;
+  const Scalar sse6 = RunKMeans(data.data, 6, opts).sse;
+  EXPECT_LT(sse6, sse2);
+}
+
+TEST(KMeansTest, LabelsInRange) {
+  LabeledData data = CleanBlobs();
+  KMeansResult r = RunKMeans(data.data, 4);
+  for (int l : r.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+  EXPECT_EQ(r.centers.size(), 4);
+}
+
+TEST(KMeansTest, SingleClusterCenterIsCentroid) {
+  Dataset d(1, {0.0, 2.0, 4.0});
+  KMeansResult r = RunKMeans(d, 1);
+  EXPECT_NEAR(r.centers[0][0], 2.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicWithFixedSeed) {
+  LabeledData data = CleanBlobs();
+  KMeansResult a = RunKMeans(data.data, 3);
+  KMeansResult b = RunKMeans(data.data, 3);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+// --------------------------------------------------------------- Spectral --
+
+TEST(SpectralTest, FullRecoverseparatedBlobs) {
+  LabeledData data = CleanBlobs(180);
+  SpectralOptions opts;
+  opts.num_clusters = 3;
+  SpectralResult r = SpectralClusterFull(data.data,
+      AffinityFunction({.k = data.suggested_k, .p = 2.0}), opts);
+  EXPECT_GT(LabelAgreement(r.labels, data), 0.9);
+}
+
+TEST(SpectralTest, NystromRecoversSeparatedBlobs) {
+  LabeledData data = CleanBlobs(180);
+  SpectralOptions opts;
+  opts.num_clusters = 3;
+  opts.nystrom_landmarks = 60;
+  SpectralResult r = SpectralClusterNystrom(
+      data.data, AffinityFunction({.k = data.suggested_k, .p = 2.0}), opts);
+  EXPECT_GT(LabelAgreement(r.labels, data), 0.85);
+}
+
+TEST(SpectralTest, NystromMatchesFullOnCleanData) {
+  LabeledData data = CleanBlobs(150, 2);
+  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+  SpectralOptions opts;
+  opts.num_clusters = 2;
+  opts.nystrom_landmarks = 50;
+  const double f_full =
+      LabelAgreement(SpectralClusterFull(data.data, f, opts).labels, data);
+  const double f_nys =
+      LabelAgreement(SpectralClusterNystrom(data.data, f, opts).labels, data);
+  EXPECT_NEAR(f_full, f_nys, 0.15);
+}
+
+TEST(SpectralTest, LabelCountMatchesK) {
+  LabeledData data = CleanBlobs(120);
+  SpectralOptions opts;
+  opts.num_clusters = 3;
+  SpectralResult r = SpectralClusterFull(
+      data.data, AffinityFunction({.k = data.suggested_k, .p = 2.0}), opts);
+  std::set<int> distinct(r.labels.begin(), r.labels.end());
+  EXPECT_LE(distinct.size(), 3u);
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+// -------------------------------------------------------------- MeanShift --
+
+TEST(MeanShiftTest, FindsModesOfSeparatedBlobs) {
+  LabeledData data = CleanBlobs(150);
+  MeanShiftResult r = RunMeanShift(data.data);
+  EXPECT_GT(LabelAgreement(r.labels, data), 0.9);
+}
+
+TEST(MeanShiftTest, ModeCountReasonable) {
+  LabeledData data = CleanBlobs(150);
+  MeanShiftResult r = RunMeanShift(data.data);
+  EXPECT_GE(r.modes.size(), 3);
+  EXPECT_LE(r.modes.size(), 30);
+}
+
+TEST(MeanShiftTest, ExplicitBandwidthRespected) {
+  // A huge bandwidth merges everything into one mode.
+  LabeledData data = CleanBlobs(100);
+  MeanShiftOptions opts;
+  opts.bandwidth = 1e4;
+  MeanShiftResult r = RunMeanShift(data.data, opts);
+  EXPECT_EQ(r.modes.size(), 1);
+}
+
+TEST(MeanShiftTest, SubsampledAscentsAssignEveryone) {
+  LabeledData data = CleanBlobs(200);
+  MeanShiftOptions opts;
+  opts.max_ascents = 40;
+  MeanShiftResult r = RunMeanShift(data.data, opts);
+  for (int l : r.labels) EXPECT_GE(l, 0);
+}
+
+// Property sweep: k-means quality depends on getting K right — feeding the
+// wrong K on noisy data is the Appendix C failure mode.
+class KMeansKProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansKProperty, QualityPeaksAtTrueK) {
+  SyntheticConfig cfg;
+  cfg.n = 300;
+  cfg.dim = 8;
+  cfg.num_clusters = 3;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 0.5;  // half noise
+  cfg.mean_box = 400.0;
+  cfg.seed = 77;
+  LabeledData data = MakeSynthetic(cfg);
+  KMeansOptions opts;
+  opts.restarts = 2;
+  const int k = GetParam();
+  KMeansResult r = RunKMeans(data.data, k, opts);
+  const double f = LabelAgreement(r.labels, data);
+  if (k == 4) {
+    // True clusters + 1 noise bucket (the Liu et al. protocol): decent F1.
+    EXPECT_GT(f, 0.5);
+  } else if (k == 1) {
+    EXPECT_LT(f, 0.6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, KMeansKProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace alid

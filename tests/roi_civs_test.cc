@@ -1,0 +1,259 @@
+// Tests of the ROI double-deck hyperball (Proposition 1, Eq. 15/16) and of
+// CIVS retrieval (Step 3).
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "affinity/affinity_function.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "common/random.h"
+#include "core/civs.h"
+#include "core/lid.h"
+#include "core/roi.h"
+#include "data/synthetic.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+namespace {
+
+// One tight pack at the origin plus a shell of scattered points.
+Dataset PackWithShell(uint64_t seed = 8) {
+  Rng rng(seed);
+  Dataset d(3);
+  for (int i = 0; i < 8; ++i) {
+    d.Append(std::vector<Scalar>{rng.Gaussian(0.0, 0.05),
+                                 rng.Gaussian(0.0, 0.05),
+                                 rng.Gaussian(0.0, 0.05)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    // Points at distances spread between 0.3 and 6.
+    const double r = rng.Uniform(0.3, 6.0);
+    std::vector<Scalar> p{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    double norm = std::sqrt(p[0] * p[0] + p[1] * p[1] + p[2] * p[2]);
+    for (auto& v : p) v = v / norm * r;
+    d.Append(p);
+  }
+  return d;
+}
+
+class RoiFixture : public ::testing::Test {
+ protected:
+  RoiFixture()
+      : data_(PackWithShell()),
+        affinity_({.k = 1.0, .p = 2.0}),
+        oracle_(data_, affinity_) {}
+
+  // Converged dense subgraph of the pack, over the full range.
+  Lid ConvergedLid() {
+    Lid lid(oracle_, 0, {});
+    IndexList all;
+    for (Index i = 1; i < data_.size(); ++i) all.push_back(i);
+    lid.UpdateRange(all);
+    lid.Run();
+    return lid;
+  }
+
+  Dataset data_;
+  AffinityFunction affinity_;
+  LazyAffinityOracle oracle_;
+};
+
+TEST_F(RoiFixture, InvalidOnEmptySupportOrZeroDensity) {
+  EXPECT_FALSE(EstimateRoi(oracle_, {}, 0.5).valid);
+  EXPECT_FALSE(EstimateRoi(oracle_, {{0, 1.0}}, 0.0).valid);
+}
+
+TEST_F(RoiFixture, CenterIsWeightedCentroid) {
+  Roi roi = EstimateRoi(oracle_, {{0, 0.5}, {1, 0.5}}, 0.5);
+  ASSERT_TRUE(roi.valid);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(roi.center[t], 0.5 * (data_[0][t] + data_[1][t]), 1e-12);
+  }
+}
+
+TEST_F(RoiFixture, OuterRadiusAtLeastInner) {
+  Lid lid = ConvergedLid();
+  Roi roi = EstimateRoi(oracle_, lid.SupportWeights(), lid.Density());
+  ASSERT_TRUE(roi.valid);
+  EXPECT_GE(roi.r_out, roi.r_in);
+  EXPECT_GE(roi.r_in, 0.0);
+}
+
+TEST_F(RoiFixture, Proposition1InnerBall) {
+  Lid lid = ConvergedLid();
+  const auto sup = lid.SupportWeights();
+  Roi roi = EstimateRoi(oracle_, sup, lid.Density());
+  ASSERT_TRUE(roi.valid);
+  // Property 1: every data item strictly inside the inner ball is infective:
+  // pi(s_j, x) > pi(x).
+  for (Index j = 0; j < data_.size(); ++j) {
+    const Scalar dist = oracle_.DistanceTo(j, roi.center);
+    if (dist < roi.r_in - 1e-9) {
+      EXPECT_GT(lid.AverageAffinityTo(j), lid.Density() - 1e-9)
+          << "inner-ball vertex " << j << " not infective";
+    }
+  }
+}
+
+TEST_F(RoiFixture, Proposition1OuterBall) {
+  Lid lid = ConvergedLid();
+  const auto sup = lid.SupportWeights();
+  Roi roi = EstimateRoi(oracle_, sup, lid.Density());
+  ASSERT_TRUE(roi.valid);
+  // Property 2: every item strictly outside the outer ball is non-infective.
+  for (Index j = 0; j < data_.size(); ++j) {
+    const Scalar dist = oracle_.DistanceTo(j, roi.center);
+    if (dist > roi.r_out + 1e-9) {
+      EXPECT_LT(lid.AverageAffinityTo(j), lid.Density() + 1e-9)
+          << "outside-outer-ball vertex " << j << " infective";
+    }
+  }
+}
+
+TEST(RoiThetaTest, LogisticScheduleShape) {
+  // theta(c) is increasing and saturates at 1.
+  EXPECT_LT(Roi::Theta(1), 0.05);
+  EXPECT_GT(Roi::Theta(20), 0.95);
+  for (int c = 1; c < 30; ++c) EXPECT_LT(Roi::Theta(c), Roi::Theta(c + 1));
+}
+
+TEST(RoiThetaTest, RadiusGrowsFromInnerToOuter) {
+  Roi roi;
+  roi.valid = true;
+  roi.r_in = 1.0;
+  roi.r_out = 3.0;
+  EXPECT_NEAR(roi.RadiusAt(1), 1.0 + 2.0 * Roi::Theta(1), 1e-12);
+  EXPECT_GT(roi.RadiusAt(30), 2.95);
+  // The ablation switch jumps straight to the outer ball.
+  EXPECT_DOUBLE_EQ(roi.RadiusAt(1, /*logistic_growth=*/false), 3.0);
+}
+
+// ------------------------------------------------------------------- CIVS --
+
+class CivsFixture : public ::testing::Test {
+ protected:
+  CivsFixture() {
+    SyntheticConfig cfg;
+    cfg.n = 500;
+    cfg.dim = 8;
+    cfg.num_clusters = 4;
+    cfg.regime = SyntheticRegime::kProportional;
+    cfg.omega = 0.6;
+    cfg.mean_box = 300.0;
+    cfg.seed = 21;
+    data_ = MakeSynthetic(cfg);
+    affinity_ =
+        std::make_unique<AffinityFunction>(AffinityParams{
+            .k = data_.suggested_k, .p = 2.0});
+    oracle_ = std::make_unique<LazyAffinityOracle>(data_.data, *affinity_);
+    LshParams lp;
+    lp.num_tables = 8;
+    lp.num_projections = 6;
+    lp.segment_length = data_.suggested_lsh_r;
+    lsh_ = std::make_unique<LshIndex>(data_.data, lp);
+  }
+
+  Roi RoiAround(Index g, Scalar radius) {
+    Roi roi;
+    roi.valid = true;
+    roi.center.assign(data_.data[g].begin(), data_.data[g].end());
+    roi.r_in = radius;
+    roi.r_out = radius;
+    return roi;
+  }
+
+  LabeledData data_;
+  std::unique_ptr<AffinityFunction> affinity_;
+  std::unique_ptr<LazyAffinityOracle> oracle_;
+  std::unique_ptr<LshIndex> lsh_;
+};
+
+TEST_F(CivsFixture, RetrievedItemsAreWithinRadiusAndNotSupport) {
+  const Index seed = data_.true_clusters[0][0];
+  const Scalar radius = 2.0 * data_.suggested_lsh_r;
+  Roi roi = RoiAround(seed, radius);
+  CivsOptions opts;
+  IndexList got = CivsRetrieve(*oracle_, *lsh_, roi, radius, {{seed, 1.0}},
+                               nullptr, opts);
+  EXPECT_FALSE(got.empty());
+  for (Index j : got) {
+    EXPECT_NE(j, seed);
+    EXPECT_LE(oracle_->DistanceTo(j, roi.center), radius + 1e-9);
+  }
+}
+
+TEST_F(CivsFixture, FindsMostOfTheSeedCluster) {
+  const Index seed = data_.true_clusters[0][0];
+  const Scalar radius = 3.0 * data_.suggested_lsh_r;
+  Roi roi = RoiAround(seed, radius);
+  IndexList got =
+      CivsRetrieve(*oracle_, *lsh_, roi, radius, {{seed, 1.0}}, nullptr, {});
+  std::set<Index> set(got.begin(), got.end());
+  int found = 0;
+  for (Index j : data_.true_clusters[0]) {
+    if (j != seed && set.count(j)) ++found;
+  }
+  EXPECT_GT(found, static_cast<int>(data_.true_clusters[0].size()) / 2);
+}
+
+TEST_F(CivsFixture, DeltaBudgetKeepsNearest) {
+  const Index seed = data_.true_clusters[0][0];
+  const Scalar radius = 3.0 * data_.suggested_lsh_r;
+  Roi roi = RoiAround(seed, radius);
+  CivsOptions small;
+  small.delta = 5;
+  IndexList got =
+      CivsRetrieve(*oracle_, *lsh_, roi, radius, {{seed, 1.0}}, nullptr, small);
+  EXPECT_LE(got.size(), 5u);
+  // Sorted nearest-first.
+  for (size_t t = 1; t < got.size(); ++t) {
+    EXPECT_LE(oracle_->DistanceTo(got[t - 1], roi.center),
+              oracle_->DistanceTo(got[t], roi.center) + 1e-12);
+  }
+}
+
+TEST_F(CivsFixture, ExclusionMaskHidesPeeledItems) {
+  const Index seed = data_.true_clusters[0][0];
+  const Scalar radius = 3.0 * data_.suggested_lsh_r;
+  Roi roi = RoiAround(seed, radius);
+  std::vector<bool> peeled(data_.size(), false);
+  for (Index j : data_.true_clusters[0]) {
+    if (j != seed) peeled[j] = true;
+  }
+  IndexList got =
+      CivsRetrieve(*oracle_, *lsh_, roi, radius, {{seed, 1.0}}, &peeled, {});
+  for (Index j : got) EXPECT_FALSE(peeled[j]);
+}
+
+TEST_F(CivsFixture, AllSupportQueriesCoverMoreThanCenterQuery) {
+  // The Fig. 4 motivation: multiple LSRs cover the ROI better than one.
+  const IndexList& cluster = data_.true_clusters[1];
+  std::vector<std::pair<Index, Scalar>> support;
+  const int sup_n = 5;
+  for (int i = 0; i < sup_n; ++i) {
+    support.emplace_back(cluster[i], 1.0 / sup_n);
+  }
+  Roi roi;
+  roi.valid = true;
+  roi.center.assign(data_.data.dim(), 0.0);
+  for (const auto& [g, w] : support) {
+    for (int t = 0; t < data_.data.dim(); ++t) {
+      roi.center[t] += w * data_.data[g][t];
+    }
+  }
+  const Scalar radius = 3.0 * data_.suggested_lsh_r;
+  CivsOptions all_sup;
+  all_sup.query_from_all_support = true;
+  CivsOptions center_only;
+  center_only.query_from_all_support = false;
+  IndexList a = CivsRetrieve(*oracle_, *lsh_, roi, radius, support, nullptr,
+                             all_sup);
+  IndexList b = CivsRetrieve(*oracle_, *lsh_, roi, radius, support, nullptr,
+                             center_only);
+  EXPECT_GE(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace alid
