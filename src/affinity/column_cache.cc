@@ -1,0 +1,108 @@
+#include "affinity/column_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+
+namespace alid {
+
+namespace {
+
+// Symmetric pair key: a_ij == a_ji, so both orders map to one slot.
+uint64_t PairKey(Index i, Index j) {
+  const uint64_t lo = static_cast<uint32_t>(std::min(i, j));
+  const uint64_t hi = static_cast<uint32_t>(std::max(i, j));
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+struct ColumnCache::Shard {
+  std::mutex mu;
+  // front = most recently used. The map indexes into the list.
+  std::list<std::pair<uint64_t, Scalar>> lru;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Scalar>>::iterator>
+      index;
+};
+
+ColumnCache::ColumnCache(ColumnCacheOptions options) : options_(options) {
+  ALID_CHECK(options_.num_shards > 0);
+  ALID_CHECK(options_.max_bytes >= kBytesPerEntry);
+  max_bytes_per_shard_ = std::max<size_t>(
+      kBytesPerEntry,
+      options_.max_bytes / static_cast<size_t>(options_.num_shards));
+  shards_.reserve(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ColumnCache::~ColumnCache() { Clear(); }
+
+ColumnCache::Shard& ColumnCache::ShardFor(uint64_t key) {
+  // SplitMix64 spreads consecutive pair keys across shards.
+  return *shards_[SplitMix64(key) % shards_.size()];
+}
+
+bool ColumnCache::Lookup(Index i, Index j, Scalar* value) {
+  const uint64_t key = PairKey(i, j);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ColumnCache::Insert(Index i, Index j, Scalar value) {
+  const uint64_t key = PairKey(i, j);
+  Shard& shard = ShardFor(key);
+  int64_t delta_bytes = 0;
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.emplace_front(key, value);
+      shard.index[key] = shard.lru.begin();
+      delta_bytes += static_cast<int64_t>(kBytesPerEntry);
+      while (shard.index.size() * kBytesPerEntry > max_bytes_per_shard_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        delta_bytes -= static_cast<int64_t>(kBytesPerEntry);
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  if (delta_bytes != 0) {
+    bytes_.fetch_add(delta_bytes, std::memory_order_relaxed);
+    MemoryTracker::Global().Add(delta_bytes);
+  }
+}
+
+void ColumnCache::Clear() {
+  int64_t freed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    freed += static_cast<int64_t>(shard->index.size() * kBytesPerEntry);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+  if (freed != 0) {
+    bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    MemoryTracker::Global().Add(-freed);
+  }
+}
+
+}  // namespace alid

@@ -10,6 +10,14 @@ LazyAffinityOracle::LazyAffinityOracle(const Dataset& data,
     : data_(&data), affinity_(&affinity) {}
 
 Scalar LazyAffinityOracle::Entry(Index i, Index j) const {
+  if (cache_ != nullptr) {
+    Scalar value;
+    if (cache_->Lookup(i, j, &value)) return value;
+    value = (*affinity_)(*data_, i, j);
+    entries_computed_.fetch_add(1, std::memory_order_relaxed);
+    cache_->Insert(i, j, value);
+    return value;
+  }
   entries_computed_.fetch_add(1, std::memory_order_relaxed);
   return (*affinity_)(*data_, i, j);
 }
@@ -17,6 +25,17 @@ Scalar LazyAffinityOracle::Entry(Index i, Index j) const {
 std::vector<Scalar> LazyAffinityOracle::Column(std::span<const Index> rows,
                                                Index col) const {
   std::vector<Scalar> out(rows.size());
+  if (cache_ != nullptr) {
+    int64_t computed = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (cache_->Lookup(rows[r], col, &out[r])) continue;
+      out[r] = (*affinity_)(*data_, rows[r], col);
+      cache_->Insert(rows[r], col, out[r]);
+      ++computed;
+    }
+    entries_computed_.fetch_add(computed, std::memory_order_relaxed);
+    return out;
+  }
   for (size_t r = 0; r < rows.size(); ++r) {
     out[r] = (*affinity_)(*data_, rows[r], col);
   }
@@ -24,6 +43,12 @@ std::vector<Scalar> LazyAffinityOracle::Column(std::span<const Index> rows,
                               std::memory_order_relaxed);
   return out;
 }
+
+void LazyAffinityOracle::EnableColumnCache(ColumnCacheOptions options) {
+  cache_ = std::make_unique<ColumnCache>(options);
+}
+
+void LazyAffinityOracle::DisableColumnCache() { cache_.reset(); }
 
 void LazyAffinityOracle::Charge(int64_t bytes) const {
   MemoryTracker::Global().Add(bytes);

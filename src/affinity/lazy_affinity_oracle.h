@@ -2,10 +2,12 @@
 #define ALID_AFFINITY_LAZY_AFFINITY_ORACLE_H_
 
 #include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "affinity/affinity_function.h"
+#include "affinity/column_cache.h"
 #include "common/dataset.h"
 #include "common/types.h"
 
@@ -16,10 +18,15 @@ namespace alid {
 /// vertices (Figure 3), so the oracle evaluates exactly those kernel entries
 /// and counts them. The counters feed Table 1's empirical verification.
 ///
-/// The oracle is stateless w.r.t. results (no global cache): each detection
-/// owns its local columns and releases them when the cluster is peeled off,
-/// matching the paper's O(a*(a*+delta)) space argument. Counters are atomic
-/// so PALID workers can share one oracle.
+/// By default the oracle is stateless w.r.t. results: each detection owns its
+/// local columns and releases them when the cluster is peeled off, matching
+/// the paper's O(a*(a*+delta)) space argument. EnableColumnCache() adds an
+/// optional shared, sharded, bounded LRU layer (ColumnCache) so concurrent
+/// PALID runs whose ROIs overlap reuse kernel entries instead of recomputing
+/// them. Cache hits never advance entries_computed — that counter keeps
+/// meaning true kernel evaluations, so Table 1 numbers stay honest; reuse is
+/// reported separately through cache_hits(). Counters and the cache are
+/// thread-safe so PALID workers can share one oracle.
 class LazyAffinityOracle {
  public:
   LazyAffinityOracle(const Dataset& data, const AffinityFunction& affinity);
@@ -41,11 +48,25 @@ class LazyAffinityOracle {
     return data_->DistanceTo(i, point, affinity_->params().p);
   }
 
+  /// Installs (or resizes) the shared column cache. Call before detections
+  /// start sharing this oracle; not thread-safe against concurrent reads.
+  void EnableColumnCache(ColumnCacheOptions options = {});
+
+  /// Removes the cache, restoring the paper-faithful stateless oracle.
+  void DisableColumnCache();
+
+  /// The installed cache, or nullptr when disabled.
+  const ColumnCache* column_cache() const { return cache_.get(); }
+
+  /// Kernel evaluations avoided by the column cache (0 when disabled).
+  int64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+
   /// ROI-membership distance evaluations — the CIVS scanning cost the
   /// logistic radius schedule (Eq. 16) is designed to keep small early.
   int64_t distances_computed() const { return distances_computed_.load(); }
 
   /// Total kernel evaluations since construction or the last ResetCounters().
+  /// Cache hits are excluded: this is true work, in the Table 1 sense.
   int64_t entries_computed() const { return entries_computed_.load(); }
 
   /// Peak bytes of affinity storage simultaneously alive, as reported by
@@ -62,6 +83,7 @@ class LazyAffinityOracle {
  private:
   const Dataset* data_;
   const AffinityFunction* affinity_;
+  std::unique_ptr<ColumnCache> cache_;
   mutable std::atomic<int64_t> entries_computed_{0};
   mutable std::atomic<int64_t> distances_computed_{0};
   mutable std::atomic<int64_t> current_bytes_{0};

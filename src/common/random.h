@@ -53,6 +53,26 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// splitmix64 finalizer: a cheap, well-mixed stateless hash. Used to derive
+/// independent per-task RNG streams (Rng(SplitMix64(seed ^ task_id))) and for
+/// counter-based sampling decisions that must not depend on iteration order.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform draw in [0, 1) keyed by (seed, id): the same pair
+/// always yields the same value, independent of any generator state. PALID's
+/// seed sampling uses this so the sampled set is identical no matter which
+/// order (or thread) visits the LSH buckets.
+inline double HashToUnit(uint64_t seed, uint64_t id) {
+  // 53 high bits -> the unit interval, like std::generate_canonical.
+  return static_cast<double>(SplitMix64(seed ^ SplitMix64(id)) >> 11) *
+         0x1.0p-53;
+}
+
 }  // namespace alid
 
 #endif  // ALID_COMMON_RANDOM_H_

@@ -1,46 +1,112 @@
 #ifndef ALID_COMMON_THREAD_POOL_H_
 #define ALID_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace alid {
 
+/// Scheduling discipline of the pool.
+struct ThreadPoolOptions {
+  /// Work stealing (default): every worker owns a deque, external submissions
+  /// are spread round-robin, a worker out of local work steals the *oldest*
+  /// job of a peer (oldest jobs are the largest remaining chunks under
+  /// ParallelFor's splitting, so steals amortize well). false reproduces the
+  /// original single-FIFO-queue executor — the coarse Spark-task discipline
+  /// of the paper, kept as the paper-faithful ablation.
+  bool work_stealing = true;
+};
+
 /// A fixed-size worker pool. PALID's "executors" (Table 2) map onto these
-/// workers: every map task (one ALID run from one seed) is a job, and the
-/// reduce stage runs after Wait(). The pool is intentionally minimal — FIFO
-/// queue, no work stealing — mirroring the coarse-grained Spark tasks the
-/// paper used.
+/// workers: every map task (one ALID run per seed chunk) is a job, and the
+/// reduce stage runs after Wait(). Jobs may be posted from any thread,
+/// including pool workers (a worker's own submissions go to its own deque,
+/// popped LIFO while still cache-hot).
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  explicit ThreadPool(int num_threads, ThreadPoolOptions options = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Safe from any thread.
-  void Submit(std::function<void()> job);
+  /// Enqueues a fire-and-forget job. Safe from any thread.
+  void Post(std::function<void()> job);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Enqueues a job and returns a future for its result, so map tasks and
+  /// the reduce stage compose without shared mutable accumulators. An
+  /// exception thrown by the job is stored in the future — discarding the
+  /// future would swallow it, hence [[nodiscard]]; fire-and-forget work
+  /// belongs on Post (which also skips the packaged_task allocation and
+  /// lets a throwing job terminate loudly).
+  template <typename F>
+  [[nodiscard]] auto Submit(F&& f)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    Post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Splits [begin, end) into chunks of ~grain iterations (grain <= 0 picks
+  /// about 8 chunks per worker) and runs body(chunk_begin, chunk_end) across
+  /// the pool. The calling thread participates, so the pool being saturated
+  /// never deadlocks the caller. Chunks are claimed from a shared counter —
+  /// results must not depend on claim order. Must not be called from inside
+  /// one of this pool's workers.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body,
+                   int64_t grain = 0);
+
+  /// Blocks until every job posted so far has finished.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+  const ThreadPoolOptions& options() const { return options_; }
+
+  /// Jobs executed by a worker other than the one they were queued on.
+  /// Always 0 in FIFO mode.
+  int64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Total jobs executed since construction.
+  int64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void WorkerLoop();
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  void WorkerLoop(int index);
+  /// Pops and runs one job (own deque first, then steal). False if none.
+  bool TryRunOne(int self);
+
+  ThreadPoolOptions options_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+
+  std::mutex sleep_mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::atomic<int64_t> pending_{0};    // posted, not yet finished
+  std::atomic<int64_t> unclaimed_{0};  // posted, not yet popped
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace alid

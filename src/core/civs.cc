@@ -15,23 +15,27 @@ IndexList CivsRetrieve(const LazyAffinityOracle& oracle, const LshIndex& lsh,
   ALID_CHECK(options.delta > 0);
   if (!roi.valid && support.empty()) return {};
 
-  std::unordered_set<Index> support_set;
-  for (const auto& [g, w] : support) support_set.insert(g);
-
-  // Step 1: collect candidates from the Locality Sensitive Regions.
-  std::unordered_set<Index> candidates;
+  // Step 1: collect candidates from the Locality Sensitive Regions. The
+  // paper's CIVS queries from every supporting item; those per-item queries
+  // are batched into one multi-probe union (shared buckets visited once, no
+  // per-query allocation), which also excludes the support itself.
+  IndexList candidates;
   if (options.query_from_all_support) {
-    for (const auto& [g, w] : support) {
-      for (Index j : lsh.QueryByIndex(g)) candidates.insert(j);
-    }
+    IndexList queried;
+    queried.reserve(support.size());
+    for (const auto& [g, w] : support) queried.push_back(g);
+    lsh.QueryByIndexBatch(queried, &candidates);
   } else if (!roi.center.empty()) {
-    for (Index j : lsh.QueryByPoint(roi.center)) candidates.insert(j);
+    std::unordered_set<Index> support_set;
+    for (const auto& [g, w] : support) support_set.insert(g);
+    for (Index j : lsh.QueryByPoint(roi.center)) {
+      if (support_set.count(j) == 0) candidates.push_back(j);
+    }
   }
 
-  // Step 2: keep items inside the ROI, outside the support, not excluded.
+  // Step 2: keep items inside the ROI and not excluded.
   std::vector<std::pair<Scalar, Index>> in_roi;
   for (Index j : candidates) {
-    if (support_set.count(j) != 0) continue;
     if (exclude != nullptr && (*exclude)[j]) continue;
     const Scalar dist = oracle.DistanceTo(j, roi.center);
     if (dist <= radius) in_roi.emplace_back(dist, j);

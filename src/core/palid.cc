@@ -1,7 +1,7 @@
 #include "core/palid.h"
 
 #include <algorithm>
-#include <mutex>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -11,21 +11,42 @@
 
 namespace alid {
 
+std::vector<int> PalidStats::TaskHistogram(int bins) const {
+  ALID_CHECK(bins > 0);
+  std::vector<int> histogram(bins, 0);
+  if (task_seconds.empty()) return histogram;
+  const double max_secs =
+      *std::max_element(task_seconds.begin(), task_seconds.end());
+  for (double secs : task_seconds) {
+    int bin = max_secs > 0.0 ? static_cast<int>(secs / max_secs * bins)
+                             : 0;
+    histogram[std::min(bin, bins - 1)] += 1;
+  }
+  return histogram;
+}
+
 Palid::Palid(const LazyAffinityOracle& oracle, const LshIndex& lsh,
              PalidOptions options)
     : oracle_(&oracle), lsh_(&lsh), options_(options) {
   ALID_CHECK(options_.num_executors >= 1);
+  ALID_CHECK(options_.chunk_size >= 0);
   ALID_CHECK(options_.seed_sample_rate > 0.0 &&
              options_.seed_sample_rate <= 1.0);
 }
 
 IndexList Palid::SampleSeeds() const {
-  Rng rng(options_.seed);
+  // Counter-based sampling: item i of a qualifying bucket is a seed iff
+  // HashToUnit(seed, i) < rate. The decision depends only on (seed, i), so
+  // the sampled set is invariant under bucket iteration order — unordered_map
+  // order is not part of the contract — and items in several large buckets
+  // are sampled once, not once per bucket.
   std::unordered_set<Index> seeds;
   lsh_->VisitBuckets(options_.min_bucket_size,
                      [&](std::span<const Index> items) {
                        for (Index i : items) {
-                         if (rng.Bernoulli(options_.seed_sample_rate)) {
+                         if (HashToUnit(options_.seed,
+                                        static_cast<uint64_t>(i)) <
+                             options_.seed_sample_rate) {
                            seeds.insert(i);
                          }
                        }
@@ -39,29 +60,56 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   const IndexList seeds = SampleSeeds();
   AlidDetector detector(*oracle_, *lsh_, options_.alid);
 
+  const int64_t hits_before = oracle_->cache_hits();
+  const int64_t entries_before = oracle_->entries_computed();
+
   WallTimer wall;
-  std::mutex mu;
-  std::vector<Cluster> raw;
-  double task_seconds = 0.0;
+  const int num_seeds = static_cast<int>(seeds.size());
+  int chunk = options_.chunk_size;
+  if (chunk <= 0) {
+    // Auto chunking depends on the seed count only — never on num_executors —
+    // so task boundaries, and with them the per-task RNG streams below, are
+    // identical under every executor count. 64 tasks give ample stealing
+    // slack for any plausible executor width at negligible pool overhead.
+    chunk = std::max(1, (num_seeds + 63) / 64);
+  }
+  const int num_tasks = num_seeds == 0 ? 0 : (num_seeds + chunk - 1) / chunk;
+
+  // Per-seed result slots: task t detects seeds [t*chunk, t*chunk+chunk) and
+  // writes only its own slots, so no result lock exists and the reduce below
+  // sees detections in seed order no matter how tasks were scheduled.
+  std::vector<Cluster> raw(num_seeds);
+  std::vector<double> task_seconds(num_tasks, 0.0);
+  int64_t steals = 0;
   {
-    ThreadPool pool(options_.num_executors);
-    for (Index seed : seeds) {
-      pool.Submit([&, seed] {
-        // Map task: one independent Algorithm 2 run (Figure 5's mappers).
+    ThreadPool pool(options_.num_executors,
+                    {.work_stealing = options_.work_stealing});
+    for (int t = 0; t < num_tasks; ++t) {
+      pool.Post([&, t] {
+        // Map task: a chunk of independent Algorithm 2 runs (Figure 5's
+        // mappers). Any stochastic choice a task ever needs must draw from
+        // a stream keyed by (options.seed, task id) — e.g.
+        // Rng(SplitMix64(options.seed ^ t)) — never by the executor id;
+        // with task boundaries executor-independent (see chunking above),
+        // such choices replay identically under every executor count. The
+        // current map stage is fully deterministic (DetectOne draws nothing;
+        // seed sampling uses counter-based HashToUnit streams), so no
+        // generator is instantiated here.
         WallTimer task_timer;
-        Cluster c = detector.DetectOne(seed);
-        const double secs = task_timer.Seconds();
-        std::lock_guard<std::mutex> lock(mu);
-        task_seconds += secs;
-        raw.push_back(std::move(c));
+        const int lo = t * chunk;
+        const int hi = std::min(num_seeds, lo + chunk);
+        for (int s = lo; s < hi; ++s) raw[s] = detector.DetectOne(seeds[s]);
+        task_seconds[t] = task_timer.Seconds();
       });
     }
     pool.Wait();
+    steals = pool.steal_count();
   }
 
   // Reduce: each item goes to its maximum-density containing cluster; a
   // cluster survives iff it wins at least one item. Duplicate detections of
-  // the same dominant cluster collapse to one survivor.
+  // the same dominant cluster collapse to one survivor. `raw` is in seed
+  // order, so survivors come out deterministically too.
   const Index n = oracle_->size();
   std::vector<int> best_cluster(n, -1);
   std::vector<Scalar> best_density(n, -1.0);
@@ -83,9 +131,18 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   }
 
   if (stats != nullptr) {
-    stats->num_seeds = static_cast<int>(seeds.size());
+    stats->num_seeds = num_seeds;
+    stats->num_tasks = num_tasks;
     stats->wall_seconds = wall.Seconds();
-    stats->total_task_seconds = task_seconds;
+    stats->total_task_seconds =
+        std::accumulate(task_seconds.begin(), task_seconds.end(), 0.0);
+    stats->steals = steals;
+    stats->cache_hits = oracle_->cache_hits() - hits_before;
+    stats->entries_computed = oracle_->entries_computed() - entries_before;
+    const int64_t touched = stats->cache_hits + stats->entries_computed;
+    stats->cache_hit_rate =
+        touched > 0 ? static_cast<double>(stats->cache_hits) / touched : 0.0;
+    stats->task_seconds = std::move(task_seconds);
   }
   return result;
 }

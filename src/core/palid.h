@@ -1,6 +1,7 @@
 #ifndef ALID_CORE_PALID_H_
 #define ALID_CORE_PALID_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/alid.h"
@@ -15,27 +16,58 @@ struct PalidOptions {
   /// Seeds are sampled from every LSH bucket holding more than this many
   /// items (paper: 5).
   int min_bucket_size = 6;
-  /// Uniform within-bucket sample rate for seeds (paper: 20%).
+  /// Uniform within-bucket sample rate for seeds (paper: 20%). Sampling is
+  /// counter-based (HashToUnit keyed by item id), so the sampled set is
+  /// independent of bucket iteration order and platform.
   double seed_sample_rate = 0.2;
-  /// Seed-sampling randomness.
+  /// Seed-sampling randomness; also the root of the per-task RNG streams.
   uint64_t seed = 42;
+  /// Seeds per map task. Each task runs `chunk_size` consecutive seeds so
+  /// scheduling stays coarse enough to amortize pool overhead; 0 picks a
+  /// size giving about 64 tasks total, independent of num_executors (so the
+  /// per-task RNG streams are too). Results never depend on the chunking:
+  /// every detection writes the slot of its seed.
+  int chunk_size = 0;
+  /// Work-stealing executors (default). false falls back to the original
+  /// single-FIFO-queue pool — the paper-faithful coarse-Spark-task ablation.
+  bool work_stealing = true;
   /// Per-map-task ALID options.
   AlidOptions alid;
 };
 
-/// Statistics of one PALID run, for the Table 2 harness: total wall time and
-/// the aggregate busy time across map tasks (whose ratio to wall time shows
-/// the realized parallelism even on machines with few physical cores).
+/// Statistics of one PALID run, for the Table 2 harness: wall time, the
+/// aggregate busy time across map tasks (whose ratio to wall time shows the
+/// realized parallelism even on machines with few physical cores), executor
+/// steal counts, shared-column-cache effectiveness, and the per-task busy
+/// times from which the bench prints a load-balance histogram.
 struct PalidStats {
   int num_seeds = 0;
+  int num_tasks = 0;
   double wall_seconds = 0.0;
   double total_task_seconds = 0.0;
+  /// Map tasks executed by an executor other than the one they were queued
+  /// on (0 under the FIFO ablation).
+  int64_t steals = 0;
+  /// Kernel evaluations avoided / performed during this run. hit_rate is
+  /// hits / (hits + computed); 0 when the oracle has no column cache.
+  int64_t cache_hits = 0;
+  int64_t entries_computed = 0;
+  double cache_hit_rate = 0.0;
+  /// Busy seconds of each map task, in task order.
+  std::vector<double> task_seconds;
+
+  /// Histogram of task_seconds over `bins` equal-width buckets spanning
+  /// [0, max task time] — the load-balance profile of the map stage.
+  std::vector<int> TaskHistogram(int bins = 8) const;
 };
 
 /// Parallel ALID. The map stage runs Algorithm 2 independently from every
-/// sampled seed on a thread pool (one task per seed, executors = threads);
-/// the reduce stage assigns each data item to the containing cluster of
-/// maximum density, exactly as Algorithm 3's reducer does.
+/// sampled seed on a work-stealing thread pool (one task per seed chunk,
+/// executors = workers); the reduce stage assigns each data item to the
+/// containing cluster of maximum density, exactly as Algorithm 3's reducer
+/// does. Detections are written into per-seed slots and reduced in seed
+/// order, so the output is identical for every executor count, chunk size
+/// and scheduling discipline.
 class Palid {
  public:
   Palid(const LazyAffinityOracle& oracle, const LshIndex& lsh,

@@ -1,5 +1,6 @@
 #include "lsh/lsh_index.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <unordered_set>
@@ -103,6 +104,45 @@ std::vector<Index> LshIndex::QueryByIndex(Index i) const {
     }
   }
   return {seen.begin(), seen.end()};
+}
+
+void LshIndex::QueryByIndexBatch(std::span<const Index> items,
+                                 std::vector<Index>* out) const {
+  // Epoch-stamped scratch: bumping the epoch invalidates every stamp at
+  // once, so repeated calls (every CIVS iteration of every map task) touch
+  // only the entries they visit. Thread-local, hence safe under PALID.
+  thread_local std::vector<uint32_t> stamp;
+  thread_local uint32_t epoch = 0;
+  thread_local std::vector<uint64_t> keys;
+
+  out->clear();
+  if (items.empty()) return;
+  const size_t n = static_cast<size_t>(size());
+  if (stamp.size() < n) stamp.resize(n, 0);
+  if (++epoch == 0) {
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    epoch = 1;
+  }
+  for (Index i : items) {
+    ALID_CHECK(i >= 0 && i < size());
+    stamp[i] = epoch;
+  }
+  for (const auto& table : tables_) {
+    keys.clear();
+    for (Index i : items) keys.push_back(table.item_key[i]);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (uint64_t key : keys) {
+      auto it = table.buckets.find(key);
+      if (it == table.buckets.end()) continue;
+      for (Index j : it->second) {
+        if (stamp[j] != epoch) {
+          stamp[j] = epoch;
+          out->push_back(j);
+        }
+      }
+    }
+  }
 }
 
 std::vector<Index> LshIndex::QueryByPoint(std::span<const Scalar> point) const {

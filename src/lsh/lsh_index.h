@@ -57,6 +57,16 @@ class LshIndex {
   /// deduplicated, unordered.
   std::vector<Index> QueryByIndex(Index i) const;
 
+  /// Batched CIVS query (one multi-probe call): the deduplicated union of
+  /// the buckets of every item in `items` across every table, with the
+  /// queried items themselves excluded. Buckets shared by several support
+  /// items — the common case, since a cluster's support collides by design —
+  /// are visited once, and dedup runs on a reusable thread-local stamp
+  /// buffer, so there is no per-query hash-set allocation. Appends to *out
+  /// after clearing it; order is unspecified. Thread-safe.
+  void QueryByIndexBatch(std::span<const Index> items,
+                         std::vector<Index>* out) const;
+
   /// All items colliding with an arbitrary point, deduplicated, unordered.
   std::vector<Index> QueryByPoint(std::span<const Scalar> point) const;
 

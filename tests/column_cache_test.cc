@@ -1,0 +1,164 @@
+// Tests of the shared affinity column cache and its honesty contract with
+// the oracle's Table 1 counters: entries_computed means true kernel work,
+// cache reuse is reported separately through cache_hits.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "affinity/column_cache.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "data/synthetic.h"
+
+namespace alid {
+namespace {
+
+LabeledData SmallData(Index n = 120) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 8;
+  cfg.num_clusters = 3;
+  cfg.seed = 11;
+  return MakeSynthetic(cfg);
+}
+
+TEST(ColumnCacheTest, LookupAfterInsertHitsSymmetrically) {
+  ColumnCache cache;
+  Scalar value = 0.0;
+  EXPECT_FALSE(cache.Lookup(3, 7, &value));
+  cache.Insert(3, 7, 0.25);
+  ASSERT_TRUE(cache.Lookup(3, 7, &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  // a_ij == a_ji: the transposed pair is the same slot.
+  ASSERT_TRUE(cache.Lookup(7, 3, &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(ColumnCacheTest, BoundedByMaxBytesWithLruEviction) {
+  ColumnCacheOptions opts;
+  opts.num_shards = 1;  // single shard makes the LRU order observable
+  opts.max_bytes = 8 * ColumnCache::kBytesPerEntry;
+  ColumnCache cache(opts);
+  for (Index i = 0; i < 100; ++i) cache.Insert(i, i + 1000, 1.0);
+  EXPECT_LE(cache.size_bytes(), opts.max_bytes);
+  EXPECT_GT(cache.evictions(), 0);
+  Scalar value = 0.0;
+  // The newest entry survived, the oldest was evicted.
+  EXPECT_TRUE(cache.Lookup(99, 1099, &value));
+  EXPECT_FALSE(cache.Lookup(0, 1000, &value));
+}
+
+TEST(ColumnCacheTest, LookupRefreshesLruPosition) {
+  ColumnCacheOptions opts;
+  opts.num_shards = 1;
+  opts.max_bytes = 2 * ColumnCache::kBytesPerEntry;
+  ColumnCache cache(opts);
+  Scalar value = 0.0;
+  cache.Insert(1, 100, 1.0);
+  cache.Insert(2, 100, 2.0);
+  ASSERT_TRUE(cache.Lookup(1, 100, &value));  // refresh entry 1
+  cache.Insert(3, 100, 3.0);                  // evicts entry 2, not 1
+  EXPECT_TRUE(cache.Lookup(1, 100, &value));
+  EXPECT_FALSE(cache.Lookup(2, 100, &value));
+  EXPECT_TRUE(cache.Lookup(3, 100, &value));
+}
+
+TEST(ColumnCacheTest, ClearEmptiesAllShards) {
+  ColumnCache cache;
+  for (Index i = 0; i < 50; ++i) cache.Insert(i, i + 50, 0.5);
+  EXPECT_GT(cache.size_bytes(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  Scalar value = 0.0;
+  EXPECT_FALSE(cache.Lookup(0, 50, &value));
+}
+
+TEST(ColumnCacheTest, OracleCountsHitsSeparatelyFromEntriesComputed) {
+  // The acceptance criterion of the runtime overhaul: with the cache on,
+  // entries_computed still reports true kernel evaluations only — repeat
+  // work shows up as cache_hits, never as entries.
+  LabeledData data = SmallData();
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  oracle.EnableColumnCache({});
+
+  IndexList rows;
+  for (Index i = 0; i < 40; ++i) rows.push_back(i);
+  auto first = oracle.Column(rows, 100);
+  EXPECT_EQ(oracle.entries_computed(), 40);
+  EXPECT_EQ(oracle.cache_hits(), 0);
+
+  auto second = oracle.Column(rows, 100);
+  EXPECT_EQ(oracle.entries_computed(), 40);  // no recomputation ...
+  EXPECT_EQ(oracle.cache_hits(), 40);        // ... the reuse is separate
+  EXPECT_EQ(first, second);
+
+  // Single entries hit the same cache, including transposed.
+  oracle.Entry(100, 5);
+  EXPECT_EQ(oracle.entries_computed(), 40);
+  EXPECT_EQ(oracle.cache_hits(), 41);
+}
+
+TEST(ColumnCacheTest, CachedValuesMatchUncachedOracle) {
+  LabeledData data = SmallData();
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle plain(data.data, affinity);
+  LazyAffinityOracle cached(data.data, affinity);
+  cached.EnableColumnCache({});
+  IndexList rows;
+  for (Index i = 10; i < 60; ++i) rows.push_back(i);
+  for (Index col : {0, 5, 99, 100}) {
+    EXPECT_EQ(plain.Column(rows, col), cached.Column(rows, col)) << col;
+    EXPECT_EQ(plain.Column(rows, col), cached.Column(rows, col)) << col;
+  }
+}
+
+TEST(ColumnCacheTest, DisableRestoresStatelessOracle) {
+  LabeledData data = SmallData();
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  oracle.EnableColumnCache({});
+  oracle.Entry(1, 2);
+  oracle.Entry(1, 2);
+  EXPECT_EQ(oracle.cache_hits(), 1);
+  oracle.DisableColumnCache();
+  EXPECT_EQ(oracle.column_cache(), nullptr);
+  EXPECT_EQ(oracle.cache_hits(), 0);
+  const int64_t before = oracle.entries_computed();
+  oracle.Entry(1, 2);
+  EXPECT_EQ(oracle.entries_computed(), before + 1);
+}
+
+TEST(ColumnCacheTest, ConcurrentMixedUseIsConsistent) {
+  LabeledData data = SmallData(200);
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  // Budget comfortably above the 50-column working set so reuse survives
+  // eviction (80 rows x 50 cols x 80 bytes/entry = ~320 KB).
+  oracle.EnableColumnCache({.max_bytes = 1024 * 1024, .num_shards = 4});
+  LazyAffinityOracle reference(data.data, affinity);
+
+  IndexList rows;
+  for (Index i = 0; i < 80; ++i) rows.push_back(i);
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        const Index col = 100 + (t * 20 + rep) % 50;
+        if (oracle.Column(rows, col) != reference.Column(rows, col)) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(oracle.cache_hits(), 0);
+}
+
+}  // namespace
+}  // namespace alid

@@ -240,7 +240,7 @@ TEST(ThreadPoolTest, RunsAllJobs) {
   std::atomic<int> count{0};
   ThreadPool pool(4);
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    pool.Post([&count] { count.fetch_add(1); });
   }
   pool.Wait();
   EXPECT_EQ(count.load(), 100);
@@ -249,10 +249,10 @@ TEST(ThreadPoolTest, RunsAllJobs) {
 TEST(ThreadPoolTest, WaitCanBeCalledRepeatedly) {
   std::atomic<int> count{0};
   ThreadPool pool(2);
-  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Post([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 1);
-  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Post([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 2);
 }
@@ -261,7 +261,7 @@ TEST(ThreadPoolTest, SingleThreadStillWorks) {
   std::atomic<int> sum{0};
   ThreadPool pool(1);
   for (int i = 1; i <= 10; ++i) {
-    pool.Submit([&sum, i] { sum.fetch_add(i); });
+    pool.Post([&sum, i] { sum.fetch_add(i); });
   }
   pool.Wait();
   EXPECT_EQ(sum.load(), 55);

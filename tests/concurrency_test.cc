@@ -68,7 +68,7 @@ TEST(ConcurrencyTest, OracleCountersAreExactUnderContention) {
   {
     ThreadPool pool(kThreads);
     for (int t = 0; t < kThreads; ++t) {
-      pool.Submit([&] {
+      pool.Post([&] {
         for (int i = 0; i < kPerThread; ++i) {
           oracle.Entry(i % 100, (i + 1) % 100);
         }
@@ -84,7 +84,7 @@ TEST(ConcurrencyTest, MemoryTrackerBalancedUnderContention) {
   {
     ThreadPool pool(4);
     for (int t = 0; t < 200; ++t) {
-      pool.Submit([] { ScopedMemoryCharge charge(64); });
+      pool.Post([] { ScopedMemoryCharge charge(64); });
     }
     pool.Wait();
   }
@@ -128,7 +128,7 @@ TEST(ConcurrencyTest, LshQueriesThreadSafe) {
   {
     ThreadPool pool(4);
     for (int rep = 0; rep < 50; ++rep) {
-      pool.Submit([&, rep] {
+      pool.Post([&, rep] {
         const Index i = rep % 20;
         auto res = lsh.QueryByIndex(i);
         std::sort(res.begin(), res.end());

@@ -1,0 +1,138 @@
+// Determinism regression tests for the parallel runtime: PALID's output must
+// be bit-identical across executor counts, chunk sizes, scheduling
+// disciplines, and with the shared column cache on or off.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/palid.h"
+#include "data/synthetic.h"
+
+namespace alid {
+namespace {
+
+LabeledData Workload(Index n = 500) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 12;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.seed = 23;
+  return MakeSynthetic(cfg);
+}
+
+struct Fixture {
+  explicit Fixture(const LabeledData& labeled, bool cache = false) {
+    affinity = std::make_unique<AffinityFunction>(
+        AffinityParams{.k = labeled.suggested_k, .p = 2.0});
+    oracle = std::make_unique<LazyAffinityOracle>(labeled.data, *affinity);
+    if (cache) oracle->EnableColumnCache({});
+    LshParams lp;
+    lp.num_tables = 8;
+    lp.num_projections = 6;
+    lp.segment_length = labeled.suggested_lsh_r;
+    lsh = std::make_unique<LshIndex>(labeled.data, lp);
+  }
+  DetectionResult Detect(PalidOptions opts) const {
+    return Palid(*oracle, *lsh, opts).Detect();
+  }
+  std::unique_ptr<AffinityFunction> affinity;
+  std::unique_ptr<LazyAffinityOracle> oracle;
+  std::unique_ptr<LshIndex> lsh;
+};
+
+// Full structural equality, including cluster order: the runtime promises
+// seed-ordered reduce output, not merely the same set of clusters.
+void ExpectIdentical(const DetectionResult& a, const DetectionResult& b) {
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].seed, b.clusters[c].seed) << "cluster " << c;
+    EXPECT_EQ(a.clusters[c].members, b.clusters[c].members) << "cluster " << c;
+    EXPECT_EQ(a.clusters[c].weights, b.clusters[c].weights) << "cluster " << c;
+    EXPECT_EQ(a.clusters[c].density, b.clusters[c].density) << "cluster " << c;
+  }
+}
+
+TEST(DeterminismTest, IdenticalAcrossExecutorCounts) {
+  LabeledData data = Workload();
+  Fixture fx(data);
+  PalidOptions one;
+  one.num_executors = 1;
+  PalidOptions four;
+  four.num_executors = 4;
+  PalidOptions eight;
+  eight.num_executors = 8;
+  DetectionResult r1 = fx.Detect(one);
+  ASSERT_FALSE(r1.clusters.empty());
+  ExpectIdentical(r1, fx.Detect(four));
+  ExpectIdentical(r1, fx.Detect(eight));
+}
+
+TEST(DeterminismTest, IdenticalAcrossChunkSizes) {
+  LabeledData data = Workload();
+  Fixture fx(data);
+  PalidOptions fine;
+  fine.num_executors = 4;
+  fine.chunk_size = 1;
+  PalidOptions coarse;
+  coarse.num_executors = 4;
+  coarse.chunk_size = 64;
+  PalidOptions automatic;
+  automatic.num_executors = 4;
+  ExpectIdentical(fx.Detect(fine), fx.Detect(coarse));
+  ExpectIdentical(fx.Detect(fine), fx.Detect(automatic));
+}
+
+TEST(DeterminismTest, IdenticalUnderFifoAblation) {
+  LabeledData data = Workload();
+  Fixture fx(data);
+  PalidOptions stealing;
+  stealing.num_executors = 4;
+  PalidOptions fifo;
+  fifo.num_executors = 4;
+  fifo.work_stealing = false;
+  ExpectIdentical(fx.Detect(stealing), fx.Detect(fifo));
+}
+
+TEST(DeterminismTest, ColumnCacheNeverChangesDetections) {
+  LabeledData data = Workload();
+  Fixture plain(data, /*cache=*/false);
+  Fixture cached(data, /*cache=*/true);
+  PalidOptions opts;
+  opts.num_executors = 4;
+  DetectionResult without = plain.Detect(opts);
+  DetectionResult with = cached.Detect(opts);
+  ExpectIdentical(without, with);
+  EXPECT_GT(cached.oracle->cache_hits(), 0);  // the cache actually engaged
+
+  // And a cached run at a different executor count still matches.
+  PalidOptions two;
+  two.num_executors = 2;
+  ExpectIdentical(without, cached.Detect(two));
+}
+
+TEST(DeterminismTest, SeedSamplingIndependentOfExecutors) {
+  LabeledData data = Workload();
+  Fixture fx(data);
+  PalidOptions one;
+  one.num_executors = 1;
+  PalidOptions eight;
+  eight.num_executors = 8;
+  EXPECT_EQ(Palid(*fx.oracle, *fx.lsh, one).SampleSeeds(),
+            Palid(*fx.oracle, *fx.lsh, eight).SampleSeeds());
+}
+
+TEST(DeterminismTest, RepeatedRunsAreIdentical) {
+  LabeledData data = Workload(300);
+  Fixture fx(data, /*cache=*/true);
+  PalidOptions opts;
+  opts.num_executors = 3;
+  // A warm cache (second run) must not perturb results either.
+  DetectionResult r1 = fx.Detect(opts);
+  DetectionResult r2 = fx.Detect(opts);
+  ExpectIdentical(r1, r2);
+}
+
+}  // namespace
+}  // namespace alid

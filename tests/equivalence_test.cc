@@ -61,7 +61,9 @@ TEST_P(EquivalenceProperty, LidReachesAFixedPointOfTheFullDynamics) {
   const Scalar pi = matrix.matrix().QuadraticForm(x);
   for (Index j = 0; j < data.size(); ++j) {
     EXPECT_LE(ax[j], pi + 1e-7);
-    if (x[j] > 0.0) EXPECT_NEAR(ax[j], pi, 1e-7);
+    if (x[j] > 0.0) {
+      EXPECT_NEAR(ax[j], pi, 1e-7);
+    }
   }
 }
 
