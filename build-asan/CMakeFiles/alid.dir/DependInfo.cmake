@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affinity/affinity_function.cc" "CMakeFiles/alid.dir/src/affinity/affinity_function.cc.o" "gcc" "CMakeFiles/alid.dir/src/affinity/affinity_function.cc.o.d"
+  "/root/repo/src/affinity/affinity_matrix.cc" "CMakeFiles/alid.dir/src/affinity/affinity_matrix.cc.o" "gcc" "CMakeFiles/alid.dir/src/affinity/affinity_matrix.cc.o.d"
+  "/root/repo/src/affinity/column_cache.cc" "CMakeFiles/alid.dir/src/affinity/column_cache.cc.o" "gcc" "CMakeFiles/alid.dir/src/affinity/column_cache.cc.o.d"
+  "/root/repo/src/affinity/lazy_affinity_oracle.cc" "CMakeFiles/alid.dir/src/affinity/lazy_affinity_oracle.cc.o" "gcc" "CMakeFiles/alid.dir/src/affinity/lazy_affinity_oracle.cc.o.d"
+  "/root/repo/src/affinity/sparsifier.cc" "CMakeFiles/alid.dir/src/affinity/sparsifier.cc.o" "gcc" "CMakeFiles/alid.dir/src/affinity/sparsifier.cc.o.d"
+  "/root/repo/src/baselines/affinity_view.cc" "CMakeFiles/alid.dir/src/baselines/affinity_view.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/affinity_view.cc.o.d"
+  "/root/repo/src/baselines/ap.cc" "CMakeFiles/alid.dir/src/baselines/ap.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/ap.cc.o.d"
+  "/root/repo/src/baselines/iid.cc" "CMakeFiles/alid.dir/src/baselines/iid.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/iid.cc.o.d"
+  "/root/repo/src/baselines/kmeans.cc" "CMakeFiles/alid.dir/src/baselines/kmeans.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/kmeans.cc.o.d"
+  "/root/repo/src/baselines/mean_shift.cc" "CMakeFiles/alid.dir/src/baselines/mean_shift.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/mean_shift.cc.o.d"
+  "/root/repo/src/baselines/replicator.cc" "CMakeFiles/alid.dir/src/baselines/replicator.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/replicator.cc.o.d"
+  "/root/repo/src/baselines/sea.cc" "CMakeFiles/alid.dir/src/baselines/sea.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/sea.cc.o.d"
+  "/root/repo/src/baselines/spectral.cc" "CMakeFiles/alid.dir/src/baselines/spectral.cc.o" "gcc" "CMakeFiles/alid.dir/src/baselines/spectral.cc.o.d"
+  "/root/repo/src/common/dataset.cc" "CMakeFiles/alid.dir/src/common/dataset.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/dataset.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "CMakeFiles/alid.dir/src/common/matrix.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/matrix.cc.o.d"
+  "/root/repo/src/common/memory_tracker.cc" "CMakeFiles/alid.dir/src/common/memory_tracker.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/memory_tracker.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/alid.dir/src/common/random.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/sparse_matrix.cc" "CMakeFiles/alid.dir/src/common/sparse_matrix.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/sparse_matrix.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/alid.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/alid.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/alid.cc" "CMakeFiles/alid.dir/src/core/alid.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/alid.cc.o.d"
+  "/root/repo/src/core/civs.cc" "CMakeFiles/alid.dir/src/core/civs.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/civs.cc.o.d"
+  "/root/repo/src/core/lid.cc" "CMakeFiles/alid.dir/src/core/lid.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/lid.cc.o.d"
+  "/root/repo/src/core/online_alid.cc" "CMakeFiles/alid.dir/src/core/online_alid.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/online_alid.cc.o.d"
+  "/root/repo/src/core/palid.cc" "CMakeFiles/alid.dir/src/core/palid.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/palid.cc.o.d"
+  "/root/repo/src/core/roi.cc" "CMakeFiles/alid.dir/src/core/roi.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/roi.cc.o.d"
+  "/root/repo/src/core/simplex.cc" "CMakeFiles/alid.dir/src/core/simplex.cc.o" "gcc" "CMakeFiles/alid.dir/src/core/simplex.cc.o.d"
+  "/root/repo/src/data/nart_like.cc" "CMakeFiles/alid.dir/src/data/nart_like.cc.o" "gcc" "CMakeFiles/alid.dir/src/data/nart_like.cc.o.d"
+  "/root/repo/src/data/ndi_like.cc" "CMakeFiles/alid.dir/src/data/ndi_like.cc.o" "gcc" "CMakeFiles/alid.dir/src/data/ndi_like.cc.o.d"
+  "/root/repo/src/data/sift_like.cc" "CMakeFiles/alid.dir/src/data/sift_like.cc.o" "gcc" "CMakeFiles/alid.dir/src/data/sift_like.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/alid.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/alid.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/alid.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/alid.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/linalg/jacobi.cc" "CMakeFiles/alid.dir/src/linalg/jacobi.cc.o" "gcc" "CMakeFiles/alid.dir/src/linalg/jacobi.cc.o.d"
+  "/root/repo/src/linalg/lanczos.cc" "CMakeFiles/alid.dir/src/linalg/lanczos.cc.o" "gcc" "CMakeFiles/alid.dir/src/linalg/lanczos.cc.o.d"
+  "/root/repo/src/lsh/lsh_index.cc" "CMakeFiles/alid.dir/src/lsh/lsh_index.cc.o" "gcc" "CMakeFiles/alid.dir/src/lsh/lsh_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

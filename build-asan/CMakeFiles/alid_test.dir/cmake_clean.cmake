@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alid_test.dir/tests/alid_test.cc.o"
+  "CMakeFiles/alid_test.dir/tests/alid_test.cc.o.d"
+  "alid_test"
+  "alid_test.pdb"
+  "alid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_qualitative.dir/bench/bench_fig10_qualitative.cc.o"
+  "CMakeFiles/bench_fig10_qualitative.dir/bench/bench_fig10_qualitative.cc.o.d"
+  "bench_fig10_qualitative"
+  "bench_fig10_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_noise.dir/bench/bench_fig11_noise.cc.o"
+  "CMakeFiles/bench_fig11_noise.dir/bench/bench_fig11_noise.cc.o.d"
+  "bench_fig11_noise"
+  "bench_fig11_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

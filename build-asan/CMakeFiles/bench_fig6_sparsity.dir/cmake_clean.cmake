@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sparsity.dir/bench/bench_fig6_sparsity.cc.o"
+  "CMakeFiles/bench_fig6_sparsity.dir/bench/bench_fig6_sparsity.cc.o.d"
+  "bench_fig6_sparsity"
+  "bench_fig6_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

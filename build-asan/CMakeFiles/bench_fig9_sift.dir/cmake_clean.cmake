@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sift.dir/bench/bench_fig9_sift.cc.o"
+  "CMakeFiles/bench_fig9_sift.dir/bench/bench_fig9_sift.cc.o.d"
+  "bench_fig9_sift"
+  "bench_fig9_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_palid.dir/bench/bench_table2_palid.cc.o"
+  "CMakeFiles/bench_table2_palid.dir/bench/bench_table2_palid.cc.o.d"
+  "bench_table2_palid"
+  "bench_table2_palid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_palid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_cache_test.dir/tests/column_cache_test.cc.o"
+  "CMakeFiles/column_cache_test.dir/tests/column_cache_test.cc.o.d"
+  "column_cache_test"
+  "column_cache_test.pdb"
+  "column_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

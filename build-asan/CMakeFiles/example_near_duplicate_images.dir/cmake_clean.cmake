@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_near_duplicate_images.dir/examples/near_duplicate_images.cpp.o"
+  "CMakeFiles/example_near_duplicate_images.dir/examples/near_duplicate_images.cpp.o.d"
+  "example_near_duplicate_images"
+  "example_near_duplicate_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_near_duplicate_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_events.dir/examples/news_events.cpp.o"
+  "CMakeFiles/example_news_events.dir/examples/news_events.cpp.o.d"
+  "example_news_events"
+  "example_news_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_events.dir/examples/streaming_events.cpp.o"
+  "CMakeFiles/example_streaming_events.dir/examples/streaming_events.cpp.o.d"
+  "example_streaming_events"
+  "example_streaming_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_visual_words.dir/examples/visual_words.cpp.o"
+  "CMakeFiles/example_visual_words.dir/examples/visual_words.cpp.o.d"
+  "example_visual_words"
+  "example_visual_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_visual_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

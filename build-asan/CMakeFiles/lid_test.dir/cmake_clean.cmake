@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lid_test.dir/tests/lid_test.cc.o"
+  "CMakeFiles/lid_test.dir/tests/lid_test.cc.o.d"
+  "lid_test"
+  "lid_test.pdb"
+  "lid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

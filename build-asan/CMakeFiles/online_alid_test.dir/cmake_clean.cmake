@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_alid_test.dir/tests/online_alid_test.cc.o"
+  "CMakeFiles/online_alid_test.dir/tests/online_alid_test.cc.o.d"
+  "online_alid_test"
+  "online_alid_test.pdb"
+  "online_alid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_alid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

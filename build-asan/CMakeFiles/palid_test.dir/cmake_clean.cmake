@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palid_test.dir/tests/palid_test.cc.o"
+  "CMakeFiles/palid_test.dir/tests/palid_test.cc.o.d"
+  "palid_test"
+  "palid_test.pdb"
+  "palid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_civs_test.dir/tests/roi_civs_test.cc.o"
+  "CMakeFiles/roi_civs_test.dir/tests/roi_civs_test.cc.o.d"
+  "roi_civs_test"
+  "roi_civs_test.pdb"
+  "roi_civs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_civs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/affinity_test[1]_include.cmake")
+include("/root/repo/build-asan/alid_test[1]_include.cmake")
+include("/root/repo/build-asan/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/column_cache_test[1]_include.cmake")
+include("/root/repo/build-asan/common_test[1]_include.cmake")
+include("/root/repo/build-asan/concurrency_test[1]_include.cmake")
+include("/root/repo/build-asan/data_test[1]_include.cmake")
+include("/root/repo/build-asan/determinism_test[1]_include.cmake")
+include("/root/repo/build-asan/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-asan/equivalence_test[1]_include.cmake")
+include("/root/repo/build-asan/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/lid_test[1]_include.cmake")
+include("/root/repo/build-asan/linalg_test[1]_include.cmake")
+include("/root/repo/build-asan/lsh_test[1]_include.cmake")
+include("/root/repo/build-asan/metrics_test[1]_include.cmake")
+include("/root/repo/build-asan/online_alid_test[1]_include.cmake")
+include("/root/repo/build-asan/palid_test[1]_include.cmake")
+include("/root/repo/build-asan/partitioning_test[1]_include.cmake")
+include("/root/repo/build-asan/roi_civs_test[1]_include.cmake")
+include("/root/repo/build-asan/thread_pool_test[1]_include.cmake")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-debug
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-debug/affinity_test[1]_include.cmake")
+include("/root/repo/build-debug/alid_test[1]_include.cmake")
+include("/root/repo/build-debug/baselines_test[1]_include.cmake")
+include("/root/repo/build-debug/column_cache_test[1]_include.cmake")
+include("/root/repo/build-debug/common_test[1]_include.cmake")
+include("/root/repo/build-debug/concurrency_test[1]_include.cmake")
+include("/root/repo/build-debug/data_test[1]_include.cmake")
+include("/root/repo/build-debug/determinism_test[1]_include.cmake")
+include("/root/repo/build-debug/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-debug/equivalence_test[1]_include.cmake")
+include("/root/repo/build-debug/integration_test[1]_include.cmake")
+include("/root/repo/build-debug/lid_test[1]_include.cmake")
+include("/root/repo/build-debug/linalg_test[1]_include.cmake")
+include("/root/repo/build-debug/lsh_test[1]_include.cmake")
+include("/root/repo/build-debug/metrics_test[1]_include.cmake")
+include("/root/repo/build-debug/online_alid_test[1]_include.cmake")
+include("/root/repo/build-debug/palid_test[1]_include.cmake")
+include("/root/repo/build-debug/partitioning_test[1]_include.cmake")
+include("/root/repo/build-debug/roi_civs_test[1]_include.cmake")
+include("/root/repo/build-debug/thread_pool_test[1]_include.cmake")

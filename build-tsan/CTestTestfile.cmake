@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/affinity_test[1]_include.cmake")
+include("/root/repo/build-tsan/alid_test[1]_include.cmake")
+include("/root/repo/build-tsan/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/column_cache_test[1]_include.cmake")
+include("/root/repo/build-tsan/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/concurrency_test[1]_include.cmake")
+include("/root/repo/build-tsan/data_test[1]_include.cmake")
+include("/root/repo/build-tsan/determinism_test[1]_include.cmake")
+include("/root/repo/build-tsan/edge_cases_test[1]_include.cmake")
+include("/root/repo/build-tsan/equivalence_test[1]_include.cmake")
+include("/root/repo/build-tsan/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/lid_test[1]_include.cmake")
+include("/root/repo/build-tsan/linalg_test[1]_include.cmake")
+include("/root/repo/build-tsan/lsh_test[1]_include.cmake")
+include("/root/repo/build-tsan/metrics_test[1]_include.cmake")
+include("/root/repo/build-tsan/online_alid_test[1]_include.cmake")
+include("/root/repo/build-tsan/palid_test[1]_include.cmake")
+include("/root/repo/build-tsan/partitioning_test[1]_include.cmake")
+include("/root/repo/build-tsan/roi_civs_test[1]_include.cmake")
+include("/root/repo/build-tsan/thread_pool_test[1]_include.cmake")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/affinity_test[1]_include.cmake")
+include("/root/repo/build/alid_test[1]_include.cmake")
+include("/root/repo/build/baselines_test[1]_include.cmake")
+include("/root/repo/build/column_cache_test[1]_include.cmake")
+include("/root/repo/build/common_test[1]_include.cmake")
+include("/root/repo/build/concurrency_test[1]_include.cmake")
+include("/root/repo/build/data_test[1]_include.cmake")
+include("/root/repo/build/determinism_test[1]_include.cmake")
+include("/root/repo/build/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/equivalence_test[1]_include.cmake")
+include("/root/repo/build/integration_test[1]_include.cmake")
+include("/root/repo/build/lid_test[1]_include.cmake")
+include("/root/repo/build/linalg_test[1]_include.cmake")
+include("/root/repo/build/lsh_test[1]_include.cmake")
+include("/root/repo/build/metrics_test[1]_include.cmake")
+include("/root/repo/build/online_alid_test[1]_include.cmake")
+include("/root/repo/build/palid_test[1]_include.cmake")
+include("/root/repo/build/partitioning_test[1]_include.cmake")
+include("/root/repo/build/roi_civs_test[1]_include.cmake")
+include("/root/repo/build/thread_pool_test[1]_include.cmake")
