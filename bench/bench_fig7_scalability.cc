@@ -10,8 +10,24 @@
 // baselines; ALID's memory curve is orders of magnitude below the O(n^2)
 // methods; AVG-F stays comparable across methods. The O(n^2) baselines are
 // capped at the sizes a 1-core machine can materialize.
+//
+// A second section sweeps 1/2/4/8 executors over the *parallelized*
+// baselines (k-means, mean shift, SC-FL, AP, SEA) and PALID, all on one
+// shared work-stealing pool per width — the same-substrate comparison the
+// scalability literature demands. Every baseline's output is bit-identical
+// across the sweep (tests/baseline_determinism_test.cc), so only wall time
+// moves. The final JSON line carries per-baseline speedup columns for the
+// bench trajectory.
 #include "bench_util.h"
 
+#include <memory>
+#include <string_view>
+
+#include "baselines/kmeans.h"
+#include "baselines/mean_shift.h"
+#include "baselines/spectral.h"
+#include "common/thread_pool.h"
+#include "core/palid.h"
 #include "data/ndi_like.h"
 #include "data/synthetic.h"
 
@@ -60,6 +76,119 @@ void SweepSizes(const char* name,
               LogLogSlope(xs, alid_time), LogLogSlope(xs, alid_mem));
 }
 
+struct ParallelRow {
+  const char* method;
+  int executors;
+  double wall_seconds;
+  double speedup;  // vs the method's own 1-executor (serial) row
+};
+
+// Sweeps 1/2/4/8 executors over every parallelized baseline and PALID, one
+// shared pool per width. "1 executor" runs the serial path (no pool) — the
+// honest single-substrate baseline, since a pooled ParallelFor lets the
+// calling thread participate alongside the workers.
+void ParallelBaselineSweep() {
+  PrintHeader("parallel baselines: executor sweep on one shared pool");
+  SyntheticConfig cfg;
+  cfg.n = Scaled(3000);
+  cfg.dim = 32;
+  cfg.num_clusters = 20;
+  cfg.regime = SyntheticRegime::kProportional;
+  cfg.omega = 1.0;
+  cfg.seed = 105;
+  LabeledData data = MakeSynthetic(cfg);
+  const int k = cfg.num_clusters;
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  // Shared inputs built once, outside the timed sections: the sweep times
+  // each method's own hot loops, not input materialization.
+  LshIndex lsh(data.data, MakeLshParams(data));
+  SparseMatrix sparse =
+      Sparsifier::FromLshCollisions(data.data, affinity, lsh);
+
+  std::vector<ParallelRow> rows;
+  std::printf("%-10s %-6s %-10s %-8s\n", "method", "execs", "wall(s)",
+              "speedup");
+  for (int execs : {1, 2, 4, 8}) {
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool = nullptr;
+    if (execs > 1) {
+      owned = std::make_unique<ThreadPool>(execs);
+      pool = owned.get();
+    }
+    auto time_method = [&](const char* name,
+                           const std::function<void()>& run) {
+      WallTimer timer;
+      run();
+      rows.push_back({name, execs, timer.Seconds(), 0.0});
+    };
+    time_method("KMEANS", [&] {
+      KMeansOptions o;
+      o.pool = pool;
+      RunKMeans(data.data, k, o);
+    });
+    time_method("MEANSHIFT", [&] {
+      MeanShiftOptions o;
+      o.pool = pool;
+      o.max_ascents = 64;
+      RunMeanShift(data.data, o);
+    });
+    time_method("SC-FL", [&] {
+      SpectralOptions o;
+      o.num_clusters = k;
+      o.pool = pool;
+      SpectralClusterFull(data.data, affinity, o);
+    });
+    time_method("AP", [&] {
+      ApOptions o;
+      o.max_iterations = 100;
+      o.preference = 0.01;  // below the surviving similarities (Sec. 5)
+      o.pool = pool;
+      ApDetector(AffinityView(&sparse), o).Detect();
+    });
+    time_method("SEA", [&] {
+      SeaOptions o;
+      o.pool = pool;
+      SeaDetector(AffinityView(&sparse), o).DetectAll();
+    });
+    time_method("PALID", [&] {
+      // Fresh oracle (and cache) per row keeps the sweep fair; the map
+      // tasks run on the same shared pool as the baselines above.
+      LazyAffinityOracle oracle(data.data, affinity);
+      PalidOptions o;
+      if (pool != nullptr) {
+        o.pool = pool;
+      } else {
+        o.num_executors = 1;
+      }
+      Palid(oracle, lsh, o).Detect();
+    });
+  }
+  for (ParallelRow& row : rows) {
+    for (const ParallelRow& base : rows) {
+      if (base.executors == 1 &&
+          std::string_view(base.method) == row.method) {
+        row.speedup = row.wall_seconds > 0.0
+                          ? base.wall_seconds / row.wall_seconds
+                          : 0.0;
+      }
+    }
+    std::printf("%-10s %-6d %-10.3f %-8.2f\n", row.method, row.executors,
+                row.wall_seconds, row.speedup);
+  }
+  std::printf("Expected shape: every method's 8-executor wall time at or "
+              "below its serial wall time on multi-core hardware (identical "
+              "output bits either way).\n");
+  std::printf("\nJSON {\"bench\":\"fig7_parallel_baselines\",\"n\":%d,"
+              "\"rows\":[", data.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%s{\"method\":\"%s\",\"executors\":%d,"
+                "\"wall_seconds\":%.6f,\"speedup\":%.4f}",
+                i == 0 ? "" : ",", rows[i].method, rows[i].executors,
+                rows[i].wall_seconds, rows[i].speedup);
+  }
+  std::printf("]}\n");
+}
+
 void Main() {
   std::printf("Figure 7: scalability on the three a* regimes and NDI "
               "(scale %.2f)\n", Scale());
@@ -94,6 +223,8 @@ void Main() {
   std::printf("\nExpected shape (paper, log-log): ALID runtime slopes "
               "~2 / ~1.7 / ~1 on the three regimes; memory far below the "
               "O(n^2) baselines; AVG-F comparable across methods.\n");
+
+  ParallelBaselineSweep();
 }
 
 }  // namespace

@@ -34,10 +34,10 @@ struct SweepRow {
 SweepRow RunOnce(const LabeledData& data, const LshIndex& lsh,
                  const AffinityFunction& affinity, int executors,
                  bool work_stealing, double base_wall) {
-  // A fresh oracle (and cache) per configuration keeps the sweep fair: no
-  // run benefits from a predecessor's warm cache.
+  // A fresh oracle (with its default-on, auto-budgeted cache) per
+  // configuration keeps the sweep fair: no run benefits from a
+  // predecessor's warm cache.
   LazyAffinityOracle oracle(data.data, affinity);
-  oracle.EnableColumnCache({});
   PalidOptions opts;
   opts.num_executors = executors;
   opts.work_stealing = work_stealing;
@@ -81,15 +81,19 @@ void PrintJson(const std::vector<SweepRow>& rows, Index n) {
         "%s{\"method\":\"%s\",\"executors\":%d,\"wall_seconds\":%.6f,"
         "\"speedup\":%.4f,\"task_seconds\":%.6f,\"concurrency\":%.4f,"
         "\"steals\":%lld,\"cache_hits\":%lld,\"entries_computed\":%lld,"
-        "\"cache_hit_rate\":%.4f,\"num_seeds\":%d,\"num_tasks\":%d,"
-        "\"avg_f\":%.4f}",
+        "\"cache_hit_rate\":%.4f,\"cache_evictions\":%lld,"
+        "\"cache_bytes\":%lld,\"cache_budget_bytes\":%lld,"
+        "\"num_seeds\":%d,\"num_tasks\":%d,\"avg_f\":%.4f}",
         i == 0 ? "" : ",", r.method, r.executors, r.stats.wall_seconds,
         r.speedup, r.stats.total_task_seconds, r.concurrency,
         static_cast<long long>(r.stats.steals),
         static_cast<long long>(r.stats.cache_hits),
         static_cast<long long>(r.stats.entries_computed),
-        r.stats.cache_hit_rate, r.stats.num_seeds, r.stats.num_tasks,
-        r.avg_f);
+        r.stats.cache_hit_rate,
+        static_cast<long long>(r.stats.cache_evictions),
+        static_cast<long long>(r.stats.cache_bytes),
+        static_cast<long long>(r.stats.cache_budget_bytes),
+        r.stats.num_seeds, r.stats.num_tasks, r.avg_f);
   }
   std::printf("]}\n");
 }

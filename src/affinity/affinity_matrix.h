@@ -1,6 +1,7 @@
 #ifndef ALID_AFFINITY_AFFINITY_MATRIX_H_
 #define ALID_AFFINITY_AFFINITY_MATRIX_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "affinity/affinity_function.h"
@@ -10,14 +11,20 @@
 
 namespace alid {
 
+class ThreadPool;
+
 /// The fully materialized global affinity matrix A — the O(n^2) time/space
 /// cost center of the baselines (DS, IID, AP on dense input). Construction is
 /// charged against the global MemoryTracker so the Figure 7/9 memory curves
 /// reflect exactly this quadratic footprint.
 class AffinityMatrix {
  public:
-  /// Materializes A for the whole dataset.
-  AffinityMatrix(const Dataset& data, const AffinityFunction& affinity);
+  /// Materializes A for the whole dataset. With a pool, rows fill in
+  /// parallel (row i owns cells (i, j) and (j, i) for j > i, so every cell
+  /// has exactly one writer and the matrix is identical for every pool
+  /// width).
+  AffinityMatrix(const Dataset& data, const AffinityFunction& affinity,
+                 ThreadPool* pool = nullptr, int64_t grain = 0);
 
   ~AffinityMatrix();
 

@@ -19,6 +19,20 @@ uint64_t PairKey(Index i, Index j) {
 
 }  // namespace
 
+ColumnCacheOptions ColumnCacheOptions::ForDataSize(Index n,
+                                                   double budget_fraction) {
+  ALID_CHECK(n >= 0);
+  ALID_CHECK(budget_fraction > 0.0 && budget_fraction <= 1.0);
+  const double dense_bytes = static_cast<double>(n) * static_cast<double>(n) *
+                             static_cast<double>(sizeof(Scalar));
+  ColumnCacheOptions options;
+  options.max_bytes = static_cast<size_t>(
+      std::clamp(dense_bytes * budget_fraction,
+                 static_cast<double>(kMinAutoBudgetBytes),
+                 static_cast<double>(kMaxAutoBudgetBytes)));
+  return options;
+}
+
 struct ColumnCache::Shard {
   std::mutex mu;
   // front = most recently used. The map indexes into the list.
@@ -89,6 +103,12 @@ void ColumnCache::Insert(Index i, Index j, Scalar value) {
     bytes_.fetch_add(delta_bytes, std::memory_order_relaxed);
     MemoryTracker::Global().Add(delta_bytes);
   }
+}
+
+void ColumnCache::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 void ColumnCache::Clear() {

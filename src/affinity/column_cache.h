@@ -22,6 +22,18 @@ struct ColumnCacheOptions {
   /// Independent LRU shards; concurrent PALID map tasks hash to different
   /// shards, so lock contention stays negligible next to a kernel eval.
   int num_shards = 16;
+
+  /// The data-aware budget the oracle installs by default: the cache may hold
+  /// up to this fraction of the dense matrix footprint (n^2 * sizeof(Scalar)),
+  /// clamped to [kMinAutoBudgetBytes, kMaxAutoBudgetBytes]. A fraction of the
+  /// dense footprint keeps the policy honest on both ends: small datasets
+  /// cache everything they could ever touch, large ones stay orders of
+  /// magnitude below the O(n^2) baselines' materialized matrices.
+  static ColumnCacheOptions ForDataSize(Index n,
+                                        double budget_fraction = 1.0 / 16.0);
+
+  static constexpr size_t kMinAutoBudgetBytes = size_t{1} << 20;    // 1 MiB
+  static constexpr size_t kMaxAutoBudgetBytes = size_t{256} << 20;  // 256 MiB
 };
 
 /// A thread-safe, sharded, bounded LRU cache of affinity-kernel entries,
@@ -51,6 +63,11 @@ class ColumnCache {
 
   /// Drops every entry (counters are kept).
   void Clear();
+
+  /// Zeroes hits/misses/evictions (entries stay warm). Pairs with the
+  /// oracle's ResetCounters so `requested = entries_computed + cache_hits`
+  /// always describes one measurement window.
+  void ResetCounters();
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }

@@ -7,7 +7,13 @@ namespace alid {
 
 LazyAffinityOracle::LazyAffinityOracle(const Dataset& data,
                                        const AffinityFunction& affinity)
-    : data_(&data), affinity_(&affinity) {}
+    : data_(&data), affinity_(&affinity) {
+  // Default-on shared cache, budgeted to the dataset. Cached values are
+  // bit-identical to recomputation, so this can never change a detection —
+  // only the entries_computed / cache_hits split and the bounded footprint.
+  cache_ = std::make_unique<ColumnCache>(
+      ColumnCacheOptions::ForDataSize(data.size()));
+}
 
 Scalar LazyAffinityOracle::Entry(Index i, Index j) const {
   if (cache_ != nullptr) {
@@ -68,6 +74,10 @@ void LazyAffinityOracle::ResetCounters() {
   distances_computed_.store(0);
   current_bytes_.store(0);
   peak_bytes_.store(0);
+  // The cache's counters belong to the same measurement window — without
+  // this, requested work (entries_computed + cache_hits) double-counts
+  // pre-reset hits. Cached entries stay warm; only the tallies reset.
+  if (cache_ != nullptr) cache_->ResetCounters();
 }
 
 }  // namespace alid

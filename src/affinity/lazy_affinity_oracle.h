@@ -18,15 +18,19 @@ namespace alid {
 /// vertices (Figure 3), so the oracle evaluates exactly those kernel entries
 /// and counts them. The counters feed Table 1's empirical verification.
 ///
-/// By default the oracle is stateless w.r.t. results: each detection owns its
-/// local columns and releases them when the cluster is peeled off, matching
-/// the paper's O(a*(a*+delta)) space argument. EnableColumnCache() adds an
-/// optional shared, sharded, bounded LRU layer (ColumnCache) so concurrent
-/// PALID runs whose ROIs overlap reuse kernel entries instead of recomputing
-/// them. Cache hits never advance entries_computed — that counter keeps
-/// meaning true kernel evaluations, so Table 1 numbers stay honest; reuse is
-/// reported separately through cache_hits(). Counters and the cache are
-/// thread-safe so PALID workers can share one oracle.
+/// Detections own their local columns and release them when the cluster is
+/// peeled off, matching the paper's O(a*(a*+delta)) space argument. On top of
+/// that the constructor installs a shared, sharded, bounded LRU layer
+/// (ColumnCache) by default — auto-budgeted as a fraction of the dense-matrix
+/// footprint via ColumnCacheOptions::ForDataSize — so detections (and
+/// concurrent PALID runs) whose ROIs overlap reuse kernel entries instead of
+/// recomputing them. Cached values are bit-identical to recomputation, so
+/// results never depend on the cache; DisableColumnCache() restores the
+/// paper-faithful stateless oracle. Cache hits never advance
+/// entries_computed — that counter keeps meaning true kernel evaluations, so
+/// Table 1 numbers stay honest; reuse is reported separately through
+/// cache_hits(). Counters and the cache are thread-safe so PALID workers can
+/// share one oracle.
 class LazyAffinityOracle {
  public:
   LazyAffinityOracle(const Dataset& data, const AffinityFunction& affinity);
@@ -48,8 +52,9 @@ class LazyAffinityOracle {
     return data_->DistanceTo(i, point, affinity_->params().p);
   }
 
-  /// Installs (or resizes) the shared column cache. Call before detections
-  /// start sharing this oracle; not thread-safe against concurrent reads.
+  /// Replaces (or resizes) the default shared column cache. Call before
+  /// detections start sharing this oracle; not thread-safe against
+  /// concurrent reads.
   void EnableColumnCache(ColumnCacheOptions options = {});
 
   /// Removes the cache, restoring the paper-faithful stateless oracle.
@@ -60,6 +65,17 @@ class LazyAffinityOracle {
 
   /// Kernel evaluations avoided by the column cache (0 when disabled).
   int64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+
+  /// Entries dropped by the cache's LRU policy while over budget.
+  int64_t cache_evictions() const { return cache_ ? cache_->evictions() : 0; }
+
+  /// Current accounted cache footprint / configured budget (0 when disabled).
+  int64_t cache_size_bytes() const {
+    return cache_ ? static_cast<int64_t>(cache_->size_bytes()) : 0;
+  }
+  int64_t cache_budget_bytes() const {
+    return cache_ ? static_cast<int64_t>(cache_->options().max_bytes) : 0;
+  }
 
   /// ROI-membership distance evaluations — the CIVS scanning cost the
   /// logistic radius schedule (Eq. 16) is designed to keep small early.

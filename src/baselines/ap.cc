@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace alid {
@@ -70,45 +71,58 @@ DetectionResult ApDetector::Detect() const {
   int stable = 0;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     // --- Responsibilities: r(i,k) = s(i,k) - max_{k' != k} (a(i,k')+s(i,k')).
-    for (Index i = 0; i < n; ++i) {
-      Scalar best = -std::numeric_limits<Scalar>::infinity();
-      Scalar second = best;
-      for (int64_t e = row_start[i]; e < row_start[i + 1]; ++e) {
-        const Scalar v = a[e] + sim[e];
-        if (v > best) {
-          second = best;
-          best = v;
-        } else if (v > second) {
-          second = v;
-        }
-      }
-      for (int64_t e = row_start[i]; e < row_start[i + 1]; ++e) {
-        const Scalar competitor = (a[e] + sim[e] == best) ? second : best;
-        r[e] = lam * r[e] + (1.0 - lam) * (sim[e] - competitor);
-      }
-    }
-    // --- Availabilities.
-    for (Index k = 0; k < n; ++k) {
-      Scalar pos_sum = 0.0;
-      Scalar r_kk = 0.0;
-      for (int64_t e : col_edges[k]) {
-        if (src[e] == k) {
-          r_kk = r[e];
-        } else if (r[e] > 0.0) {
-          pos_sum += r[e];
-        }
-      }
-      for (int64_t e : col_edges[k]) {
-        Scalar next;
-        if (src[e] == k) {
-          next = pos_sum;  // a(k,k)
-        } else {
-          const Scalar own = r[e] > 0.0 ? r[e] : 0.0;
-          next = std::min<Scalar>(0.0, r_kk + pos_sum - own);
-        }
-        a[e] = lam * a[e] + (1.0 - lam) * next;
-      }
-    }
+    // Rows are independent (read a/sim, write only the row's r edges), so the
+    // sweep runs chunked on the pool with bit-identical messages.
+    ParallelChunks(
+        options_.pool, 0, n, options_.grain,
+        [&](int64_t, int64_t lo, int64_t hi) {
+          for (int64_t ii = lo; ii < hi; ++ii) {
+            const Index i = static_cast<Index>(ii);
+            Scalar best = -std::numeric_limits<Scalar>::infinity();
+            Scalar second = best;
+            for (int64_t e = row_start[i]; e < row_start[i + 1]; ++e) {
+              const Scalar v = a[e] + sim[e];
+              if (v > best) {
+                second = best;
+                best = v;
+              } else if (v > second) {
+                second = v;
+              }
+            }
+            for (int64_t e = row_start[i]; e < row_start[i + 1]; ++e) {
+              const Scalar competitor = (a[e] + sim[e] == best) ? second : best;
+              r[e] = lam * r[e] + (1.0 - lam) * (sim[e] - competitor);
+            }
+          }
+        });
+    // --- Availabilities: columns are independent (read r, write only the
+    // column's a edges).
+    ParallelChunks(
+        options_.pool, 0, n, options_.grain,
+        [&](int64_t, int64_t lo, int64_t hi) {
+          for (int64_t kk = lo; kk < hi; ++kk) {
+            const Index k = static_cast<Index>(kk);
+            Scalar pos_sum = 0.0;
+            Scalar r_kk = 0.0;
+            for (int64_t e : col_edges[k]) {
+              if (src[e] == k) {
+                r_kk = r[e];
+              } else if (r[e] > 0.0) {
+                pos_sum += r[e];
+              }
+            }
+            for (int64_t e : col_edges[k]) {
+              Scalar next;
+              if (src[e] == k) {
+                next = pos_sum;  // a(k,k)
+              } else {
+                const Scalar own = r[e] > 0.0 ? r[e] : 0.0;
+                next = std::min<Scalar>(0.0, r_kk + pos_sum - own);
+              }
+              a[e] = lam * a[e] + (1.0 - lam) * next;
+            }
+          }
+        });
     // --- Exemplar set & convergence.
     for (Index k = 0; k < n; ++k) {
       const int64_t self = row_start[k + 1] - 1;  // self edge is last in row
@@ -123,7 +137,8 @@ DetectionResult ApDetector::Detect() const {
   }
 
   // Ensure at least one exemplar so every item can be assigned.
-  if (std::none_of(exemplar.begin(), exemplar.end(), [](bool b) { return b; })) {
+  if (std::none_of(exemplar.begin(), exemplar.end(),
+                   [](bool b) { return b; })) {
     Index best = 0;
     Scalar best_v = -std::numeric_limits<Scalar>::infinity();
     for (Index k = 0; k < n; ++k) {

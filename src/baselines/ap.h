@@ -1,6 +1,7 @@
 #ifndef ALID_BASELINES_AP_H_
 #define ALID_BASELINES_AP_H_
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "core/cluster.h"
 
 namespace alid {
+
+class ThreadPool;
 
 /// Options of the Affinity Propagation baseline.
 struct ApOptions {
@@ -27,6 +30,14 @@ struct ApOptions {
   /// inputs). Relative to each similarity value.
   double jitter = 1e-9;
   uint64_t jitter_seed = 42;
+  /// Optional shared worker pool for the message sweeps. The responsibility
+  /// update is row-independent and the availability update is
+  /// column-independent (every edge has exactly one writer per sweep), so
+  /// messages — and with them the exemplar set — are bit-identical for
+  /// every pool width.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel sweeps (0 = ~64 fixed chunks).
+  int64_t grain = 0;
 };
 
 /// Affinity Propagation (Frey & Dueck, Science 2007): exemplar-based

@@ -1,12 +1,15 @@
 #ifndef ALID_BASELINES_KMEANS_H_
 #define ALID_BASELINES_KMEANS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/types.h"
 
 namespace alid {
+
+class ThreadPool;
 
 /// Options of the k-means baseline.
 struct KMeansOptions {
@@ -16,6 +19,15 @@ struct KMeansOptions {
   uint64_t seed = 42;
   /// Independent restarts; the best-SSE run wins.
   int restarts = 1;
+  /// Optional shared worker pool for the assignment/reduction hot loop and
+  /// the k-means++ distance updates; nullptr runs serially. Labels, centers
+  /// and SSE are bit-identical for every pool width: chunk boundaries depend
+  /// only on n and `grain`, and the centroid partial sums reduce in chunk
+  /// order.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel loops (0 = ~64 fixed chunks). Part of the
+  /// FP reduction order: a fixed grain fixes the result exactly.
+  int64_t grain = 0;
 };
 
 /// Result of a k-means run.
@@ -27,6 +39,10 @@ struct KMeansResult {
   /// Sum of squared distances to the assigned centers.
   Scalar sse = 0.0;
   int iterations = 0;
+  /// SSE after each Lloyd assignment step (of the winning restart) —
+  /// monotonically non-increasing, which the stress harness asserts to lock
+  /// in the parallel reduction's correctness.
+  std::vector<Scalar> sse_history;
 };
 
 /// Lloyd's k-means with k-means++ seeding — the canonical partitioning

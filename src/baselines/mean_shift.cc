@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace alid {
@@ -12,23 +14,32 @@ namespace alid {
 namespace {
 
 // Adaptive bandwidth: median distance to the ceil(sqrt(n))-th nearest
-// neighbour over a sample of points.
-double EstimateBandwidth(const Dataset& data, Rng& rng) {
+// neighbour over a sample of points. Each sampled point's k-th distance is
+// independent work written to its own slot, so the estimate is identical for
+// every pool width.
+double EstimateBandwidth(const Dataset& data, Rng& rng,
+                         const MeanShiftOptions& options) {
   const Index n = data.size();
   const int kth = std::max<int>(1, static_cast<int>(std::sqrt(double(n))));
   const int sample = std::min<Index>(n, 50);
   auto ids = rng.SampleWithoutReplacement(n, sample);
-  std::vector<Scalar> kth_dists;
-  std::vector<Scalar> dists;
-  for (Index i : ids) {
-    dists.clear();
-    for (Index j = 0; j < n; ++j) {
-      if (j != i) dists.push_back(std::sqrt(data.SquaredL2(i, j)));
-    }
-    const int k = std::min<int>(kth, static_cast<int>(dists.size()) - 1);
-    std::nth_element(dists.begin(), dists.begin() + k, dists.end());
-    kth_dists.push_back(dists[k]);
-  }
+  std::vector<Scalar> kth_dists(ids.size(), 0.0);
+  ParallelChunks(
+      options.pool, 0, static_cast<int64_t>(ids.size()), options.grain,
+      [&](int64_t, int64_t lo, int64_t hi) {
+        std::vector<Scalar> dists;
+        dists.reserve(n);
+        for (int64_t s = lo; s < hi; ++s) {
+          const Index i = ids[s];
+          dists.clear();
+          for (Index j = 0; j < n; ++j) {
+            if (j != i) dists.push_back(std::sqrt(data.SquaredL2(i, j)));
+          }
+          const int k = std::min<int>(kth, static_cast<int>(dists.size()) - 1);
+          std::nth_element(dists.begin(), dists.begin() + k, dists.end());
+          kth_dists[s] = dists[k];
+        }
+      });
   std::nth_element(kth_dists.begin(), kth_dists.begin() + kth_dists.size() / 2,
                    kth_dists.end());
   return std::max<double>(kth_dists[kth_dists.size() / 2], 1e-9);
@@ -43,7 +54,7 @@ MeanShiftResult RunMeanShift(const Dataset& data, MeanShiftOptions options) {
   Rng rng(options.seed);
 
   double h = options.bandwidth;
-  if (h <= 0.0) h = EstimateBandwidth(data, rng);
+  if (h <= 0.0) h = EstimateBandwidth(data, rng, options);
   const double inv_2h2 = 1.0 / (2.0 * h * h);
   const double merge_d2 =
       (options.merge_fraction * h) * (options.merge_fraction * h);
@@ -56,40 +67,56 @@ MeanShiftResult RunMeanShift(const Dataset& data, MeanShiftOptions options) {
     starts.resize(n);
     for (Index i = 0; i < n; ++i) starts[i] = i;
   }
+  const int64_t num_starts = static_cast<int64_t>(starts.size());
+
+  // Map stage: every ascent is an independent gradient trajectory over the
+  // immutable dataset, written to its own row of `ascended`.
+  std::vector<Scalar> ascended(static_cast<size_t>(num_starts) * d);
+  ParallelChunks(
+      options.pool, 0, num_starts, options.grain,
+      [&](int64_t, int64_t lo, int64_t hi) {
+        std::vector<Scalar> y(d), next(d);
+        for (int64_t s = lo; s < hi; ++s) {
+          auto row = data[starts[s]];
+          y.assign(row.begin(), row.end());
+          for (int iter = 0; iter < options.max_iterations; ++iter) {
+            std::fill(next.begin(), next.end(), 0.0);
+            Scalar weight_sum = 0.0;
+            for (Index j = 0; j < n; ++j) {
+              const Scalar d2 = SquaredL2(y, data[j]);
+              const Scalar w = std::exp(-d2 * inv_2h2);
+              weight_sum += w;
+              auto vj = data[j];
+              for (int t = 0; t < d; ++t) next[t] += w * vj[t];
+            }
+            if (weight_sum <= 0.0) break;
+            Scalar shift2 = 0.0;
+            for (int t = 0; t < d; ++t) {
+              next[t] /= weight_sum;
+              const Scalar delta = next[t] - y[t];
+              shift2 += delta * delta;
+            }
+            y = next;
+            if (shift2 < (options.shift_tolerance * h) *
+                             (options.shift_tolerance * h)) {
+              break;
+            }
+          }
+          std::copy(y.begin(), y.end(),
+                    ascended.begin() + static_cast<size_t>(s) * d);
+        }
+      });
 
   MeanShiftResult result;
   result.modes = Dataset(d);
   result.labels.assign(n, -1);
 
-  std::vector<Scalar> y(d), next(d);
-  std::vector<int> start_mode(starts.size(), -1);
-  for (size_t s = 0; s < starts.size(); ++s) {
-    auto row = data[starts[s]];
-    y.assign(row.begin(), row.end());
-    for (int iter = 0; iter < options.max_iterations; ++iter) {
-      std::fill(next.begin(), next.end(), 0.0);
-      Scalar weight_sum = 0.0;
-      for (Index j = 0; j < n; ++j) {
-        const Scalar d2 = SquaredL2(y, data[j]);
-        const Scalar w = std::exp(-d2 * inv_2h2);
-        weight_sum += w;
-        auto vj = data[j];
-        for (int t = 0; t < d; ++t) next[t] += w * vj[t];
-      }
-      if (weight_sum <= 0.0) break;
-      Scalar shift2 = 0.0;
-      for (int t = 0; t < d; ++t) {
-        next[t] /= weight_sum;
-        const Scalar delta = next[t] - y[t];
-        shift2 += delta * delta;
-      }
-      y = next;
-      if (shift2 < (options.shift_tolerance * h) *
-                       (options.shift_tolerance * h)) {
-        break;
-      }
-    }
-    // Merge into an existing mode or register a new one.
+  // Reduce stage, sequential in start order: merge each converged point into
+  // an existing mode or register a new one. Start order is fixed, so the
+  // mode set and ids never depend on how the ascents were scheduled.
+  for (int64_t s = 0; s < num_starts; ++s) {
+    std::span<const Scalar> y{ascended.data() + static_cast<size_t>(s) * d,
+                              static_cast<size_t>(d)};
     int mode = -1;
     for (Index m = 0; m < result.modes.size(); ++m) {
       if (SquaredL2(y, result.modes[m]) < merge_d2) {
@@ -101,25 +128,28 @@ MeanShiftResult RunMeanShift(const Dataset& data, MeanShiftOptions options) {
       result.modes.Append(y);
       mode = result.modes.size() - 1;
     }
-    start_mode[s] = mode;
     result.labels[starts[s]] = mode;
   }
 
   // Assign any remaining points (when max_ascents subsampled) to the nearest
-  // mode.
-  for (Index i = 0; i < n; ++i) {
-    if (result.labels[i] >= 0) continue;
-    int best = 0;
-    Scalar best_d = std::numeric_limits<Scalar>::max();
-    for (Index m = 0; m < result.modes.size(); ++m) {
-      const Scalar d2 = SquaredL2(data[i], result.modes[m]);
-      if (d2 < best_d) {
-        best_d = d2;
-        best = static_cast<int>(m);
-      }
-    }
-    result.labels[i] = best;
-  }
+  // mode; each point owns its slot.
+  ParallelChunks(options.pool, 0, n, options.grain,
+                 [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t ii = lo; ii < hi; ++ii) {
+                     const Index i = static_cast<Index>(ii);
+                     if (result.labels[i] >= 0) continue;
+                     int best = 0;
+                     Scalar best_d = std::numeric_limits<Scalar>::max();
+                     for (Index m = 0; m < result.modes.size(); ++m) {
+                       const Scalar d2 = SquaredL2(data[i], result.modes[m]);
+                       if (d2 < best_d) {
+                         best_d = d2;
+                         best = static_cast<int>(m);
+                       }
+                     }
+                     result.labels[i] = best;
+                   }
+                 });
   return result;
 }
 

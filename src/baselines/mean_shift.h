@@ -1,12 +1,15 @@
 #ifndef ALID_BASELINES_MEAN_SHIFT_H_
 #define ALID_BASELINES_MEAN_SHIFT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/types.h"
 
 namespace alid {
+
+class ThreadPool;
 
 /// Options of the mean-shift baseline.
 struct MeanShiftOptions {
@@ -23,6 +26,14 @@ struct MeanShiftOptions {
   /// assigning the rest to the nearest discovered mode.
   int max_ascents = 0;
   uint64_t seed = 42;
+  /// Optional shared worker pool: the per-point gradient ascents, the
+  /// bandwidth estimate and the nearest-mode assignment run chunked on it.
+  /// Every ascent is an independent trajectory written to its own slot and
+  /// the modes merge sequentially in start order afterwards, so labels and
+  /// modes are bit-identical for every pool width.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel loops (0 = ~64 fixed chunks).
+  int64_t grain = 0;
 };
 
 /// Result of mean shift: a hard mode assignment.

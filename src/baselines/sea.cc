@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace alid {
 
@@ -41,20 +42,36 @@ Cluster SeaDetector::ExtractFrom(Index seed,
   Scalar density = 0.0;
   for (int round = 0; round < options_.max_rounds; ++round) {
     const int s = static_cast<int>(support.size());
+    // Size-only gate: tiny supports are not worth the chunk bookkeeping, and
+    // because serial and pooled execution share the same chunk decomposition
+    // the gate can never change a weight.
+    ThreadPool* pool =
+        s >= SeaOptions::kMinParallelSupport ? options_.pool : nullptr;
 
     // --- Shrink: replicator dynamics restricted to the local subgraph.
+    // (A x)_b is accumulated destination-row-wise — row b walks its own
+    // adjacency and gathers x over the support — which is equivalent to the
+    // scatter form because A is symmetric, and makes rows independent.
     std::vector<Scalar> ax(s, 0.0);
     for (int it = 0; it < options_.rd_iterations; ++it) {
-      std::fill(ax.begin(), ax.end(), 0.0);
-      for (int a = 0; a < s; ++a) {
-        if (x[a] == 0.0) continue;
-        affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
-          auto p = pos.find(j);
-          if (p != pos.end()) ax[p->second] += v * x[a];
-        });
-      }
-      Scalar pi = 0.0;
-      for (int a = 0; a < s; ++a) pi += x[a] * ax[a];
+      ParallelChunks(pool, 0, s, options_.grain,
+                     [&](int64_t, int64_t lo, int64_t hi) {
+                       for (int64_t b = lo; b < hi; ++b) {
+                         Scalar acc = 0.0;
+                         affinity_.ForEachInRow(
+                             support[b], [&](Index j, Scalar v) {
+                               auto p = pos.find(j);
+                               if (p != pos.end()) acc += v * x[p->second];
+                             });
+                         ax[b] = acc;
+                       }
+                     });
+      const Scalar pi =
+          ParallelSum(pool, 0, s, options_.grain, [&](int64_t lo, int64_t hi) {
+            Scalar partial = 0.0;
+            for (int64_t a = lo; a < hi; ++a) partial += x[a] * ax[a];
+            return partial;
+          });
       if (pi <= 0.0) break;
       Scalar change = 0.0;
       for (int a = 0; a < s; ++a) {
@@ -88,14 +105,24 @@ Cluster SeaDetector::ExtractFrom(Index seed,
       pos[support[a]] = static_cast<int>(a);
     }
 
-    // Current density pi(x) over the local subgraph.
-    density = 0.0;
-    for (size_t a = 0; a < support.size(); ++a) {
-      affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
-        auto p = pos.find(j);
-        if (p != pos.end()) density += x[a] * v * x[p->second];
-      });
-    }
+    // Current density pi(x) over the local subgraph (destination-row form,
+    // like the shrink sweep — the support just changed size, so re-gate).
+    const int kept_s = static_cast<int>(support.size());
+    ThreadPool* kept_pool =
+        kept_s >= SeaOptions::kMinParallelSupport ? options_.pool : nullptr;
+    density = ParallelSum(
+        kept_pool, 0, kept_s, options_.grain, [&](int64_t lo, int64_t hi) {
+          Scalar partial = 0.0;
+          for (int64_t a = lo; a < hi; ++a) {
+            Scalar row = 0.0;
+            affinity_.ForEachInRow(support[a], [&](Index j, Scalar v) {
+              auto p = pos.find(j);
+              if (p != pos.end()) row += v * x[p->second];
+            });
+            partial += x[a] * row;
+          }
+          return partial;
+        });
 
     // --- Expand: add neighbours with pi(s_j, x) > pi(x).
     std::unordered_map<Index, Scalar> affinity_to_x;  // candidate -> pi(s_j,x)
@@ -128,7 +155,9 @@ Cluster SeaDetector::ExtractFrom(Index seed,
   cluster.seed = seed;
   cluster.density = density;
   std::vector<std::pair<Index, Scalar>> pairs;
-  for (size_t a = 0; a < support.size(); ++a) pairs.emplace_back(support[a], x[a]);
+  for (size_t a = 0; a < support.size(); ++a) {
+    pairs.emplace_back(support[a], x[a]);
+  }
   std::sort(pairs.begin(), pairs.end());
   for (const auto& [g, w] : pairs) {
     cluster.members.push_back(g);

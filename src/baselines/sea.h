@@ -1,12 +1,15 @@
 #ifndef ALID_BASELINES_SEA_H_
 #define ALID_BASELINES_SEA_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "baselines/affinity_view.h"
 #include "core/cluster.h"
 
 namespace alid {
+
+class ThreadPool;
 
 /// Options of the Shrinking and Expansion Algorithm baseline.
 struct SeaOptions {
@@ -20,6 +23,17 @@ struct SeaOptions {
   double support_threshold = 1e-6;
   /// Expansion adds neighbours j with pi(s_j, x) > pi(x) + this margin.
   double expansion_margin = 1e-12;
+  /// Optional shared worker pool for the replicator sweeps. The A x product
+  /// over the support is computed destination-row-wise (each support vertex
+  /// accumulates its own row sequentially — valid because A is symmetric),
+  /// so rows are independent and the dynamics are bit-identical for every
+  /// pool width. Engaged only once the support outgrows
+  /// kMinParallelSupport — a size-only gate, so results never depend on it.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel sweeps (0 = ~64 fixed chunks).
+  int64_t grain = 0;
+
+  static constexpr int kMinParallelSupport = 48;
 };
 
 /// The Shrinking and Expansion Algorithm of Liu, Latecki & Yan (TPAMI 2013):

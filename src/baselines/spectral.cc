@@ -6,6 +6,7 @@
 #include "affinity/affinity_matrix.h"
 #include "common/check.h"
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "baselines/kmeans.h"
 #include "linalg/jacobi.h"
@@ -34,6 +35,8 @@ std::vector<int> ClusterEmbedding(DenseMatrix embedding, int k,
   KMeansOptions km;
   km.seed = options.seed;
   km.restarts = options.kmeans_restarts;
+  km.pool = options.pool;
+  km.grain = options.grain;
   return RunKMeans(rows, k, km).labels;
 }
 
@@ -46,25 +49,42 @@ SpectralResult SpectralClusterFull(const Dataset& data,
   const int k = options.num_clusters;
   ALID_CHECK(k >= 1 && k <= n);
 
-  AffinityMatrix w(data, affinity);
+  AffinityMatrix w(data, affinity, options.pool, options.grain);
   std::vector<Scalar> inv_sqrt_deg(n, 0.0);
-  for (Index i = 0; i < n; ++i) {
-    Scalar deg = 0.0;
-    auto row = w.matrix().Row(i);
-    for (Scalar v : row) deg += v;
-    inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
-  }
+  ParallelChunks(options.pool, 0, n, options.grain,
+                 [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     Scalar deg = 0.0;
+                     for (Scalar v : w.matrix().Row(static_cast<Index>(i))) {
+                       deg += v;
+                     }
+                     inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+                   }
+                 });
 
-  // Top-K eigenvectors of D^{-1/2} W D^{-1/2} without forming it.
+  // Top-K eigenvectors of D^{-1/2} W D^{-1/2} without forming it. Each output
+  // row is one sequential dot, so the matvec — the O(n^2) cost center —
+  // parallelizes over rows without perturbing a single bit. The element-wise
+  // z scaling stays serial: one multiply per element is cheaper than a pool
+  // dispatch.
   auto matvec = [&](std::span<const Scalar> x) {
-    std::vector<Scalar> z(n);
+    std::vector<Scalar> z(n), t(n);
     for (Index i = 0; i < n; ++i) z[i] = x[i] * inv_sqrt_deg[i];
-    std::vector<Scalar> t = w.matrix().MatVec(z);
-    for (Index i = 0; i < n; ++i) t[i] *= inv_sqrt_deg[i];
+    ParallelChunks(options.pool, 0, n, options.grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       auto row = w.matrix().Row(static_cast<Index>(i));
+                       Scalar acc = 0.0;
+                       for (Index j = 0; j < n; ++j) acc += row[j] * z[j];
+                       t[i] = acc * inv_sqrt_deg[i];
+                     }
+                   });
     return t;
   };
   LanczosOptions lz;
   lz.seed = options.seed;
+  lz.pool = options.pool;
+  lz.grain = options.grain;
   EigenDecompositionTopK eig = LanczosTopK(n, k, matvec, lz);
 
   SpectralResult out;
@@ -80,6 +100,8 @@ SpectralResult SpectralClusterNystrom(const Dataset& data,
   const int m = std::min<Index>(options.nystrom_landmarks, n);
   ALID_CHECK(k >= 1 && k <= n);
   ALID_CHECK(m >= k);
+  ThreadPool* pool = options.pool;
+  const int64_t grain = options.grain;
 
   Rng rng(options.seed);
   IndexList landmarks = rng.SampleWithoutReplacement(n, m);
@@ -93,25 +115,33 @@ SpectralResult SpectralClusterNystrom(const Dataset& data,
   const Index nr = static_cast<Index>(rest.size());
 
   // Landmark block A (with the true kernel diagonal e^0 = 1, so the Nystrom
-  // extension stays positive semi-definite) and cross block B.
+  // extension stays positive semi-definite) and cross block B. Row i owns
+  // its cells (and the mirrored (j, i) for A), so both fills parallelize
+  // with one writer per cell.
   const double p = affinity.params().p;
   DenseMatrix a(m, m, 0.0);
-  for (int i = 0; i < m; ++i) {
-    a(i, i) = 1.0;
-    for (int j = i + 1; j < m; ++j) {
-      const Scalar v = affinity.FromDistance(
-          data.Distance(landmarks[i], landmarks[j], p));
-      a(i, j) = v;
-      a(j, i) = v;
+  ParallelChunks(pool, 0, m, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t ii = lo; ii < hi; ++ii) {
+      const int i = static_cast<int>(ii);
+      a(i, i) = 1.0;
+      for (int j = i + 1; j < m; ++j) {
+        const Scalar v = affinity.FromDistance(
+            data.Distance(landmarks[i], landmarks[j], p));
+        a(i, j) = v;
+        a(j, i) = v;
+      }
     }
-  }
+  });
   DenseMatrix b(m, nr, 0.0);
-  for (int i = 0; i < m; ++i) {
-    for (Index j = 0; j < nr; ++j) {
-      b(i, j) =
-          affinity.FromDistance(data.Distance(landmarks[i], rest[j], p));
+  ParallelChunks(pool, 0, m, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t ii = lo; ii < hi; ++ii) {
+      const int i = static_cast<int>(ii);
+      for (Index j = 0; j < nr; ++j) {
+        b(i, j) =
+            affinity.FromDistance(data.Distance(landmarks[i], rest[j], p));
+      }
     }
-  }
+  });
 
   // Approximate degrees: d = [A 1 + B 1 ; B^T 1 + B^T A^{-1} (B 1)].
   EigenDecomposition eig_a = JacobiEigenSolver(a);
@@ -140,30 +170,38 @@ SpectralResult SpectralClusterNystrom(const Dataset& data,
   std::vector<Scalar> ainv_b1 = apply_a_power(b1, -1.0);   // A^{-1} B 1
   std::vector<Scalar> d(n, 0.0);
   for (int i = 0; i < m; ++i) d[landmarks[i]] = a1[i] + b1[i];
-  for (Index j = 0; j < nr; ++j) {
-    Scalar s = 0.0;
-    for (int i = 0; i < m; ++i) s += b(i, j) * (1.0 + ainv_b1[i]);
-    d[rest[j]] = s;
-  }
+  ParallelChunks(pool, 0, nr, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      Scalar s = 0.0;
+      for (int i = 0; i < m; ++i) s += b(i, j) * (1.0 + ainv_b1[i]);
+      d[rest[j]] = s;
+    }
+  });
   for (Index i = 0; i < n; ++i) d[i] = d[i] > 0.0 ? 1.0 / std::sqrt(d[i]) : 0.0;
 
   // Normalize blocks: A_ij /= sqrt(d_i d_j), B_ij likewise.
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < m; ++j) a(i, j) *= d[landmarks[i]] * d[landmarks[j]];
-    for (Index j = 0; j < nr; ++j) b(i, j) *= d[landmarks[i]] * d[rest[j]];
-  }
+  ParallelChunks(pool, 0, m, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t ii = lo; ii < hi; ++ii) {
+      const int i = static_cast<int>(ii);
+      for (int j = 0; j < m; ++j) a(i, j) *= d[landmarks[i]] * d[landmarks[j]];
+      for (Index j = 0; j < nr; ++j) b(i, j) *= d[landmarks[i]] * d[rest[j]];
+    }
+  });
 
   // One-shot orthogonalization: S = A + A^{-1/2} B B^T A^{-1/2}.
   eig_a = JacobiEigenSolver(a);  // re-decompose the normalized A
   DenseMatrix bbt(m, m, 0.0);
-  for (int i = 0; i < m; ++i) {
-    for (int j = i; j < m; ++j) {
-      Scalar s = 0.0;
-      for (Index t = 0; t < nr; ++t) s += b(i, t) * b(j, t);
-      bbt(i, j) = s;
-      bbt(j, i) = s;
+  ParallelChunks(pool, 0, m, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t ii = lo; ii < hi; ++ii) {
+      const int i = static_cast<int>(ii);
+      for (int j = i; j < m; ++j) {
+        Scalar s = 0.0;
+        for (Index t = 0; t < nr; ++t) s += b(i, t) * b(j, t);
+        bbt(i, j) = s;
+        bbt(j, i) = s;
+      }
     }
-  }
+  });
   // A^{-1/2} as a dense matrix.
   DenseMatrix a_inv_half(m, m, 0.0);
   for (int c = 0; c < m; ++c) {
@@ -210,13 +248,15 @@ SpectralResult SpectralClusterNystrom(const Dataset& data,
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < k; ++j) embedding(landmarks[i], j) = top(i, j);
   }
-  for (Index t = 0; t < nr; ++t) {
-    for (int j = 0; j < k; ++j) {
-      Scalar v = 0.0;
-      for (int i = 0; i < m; ++i) v += b(i, t) * proj(i, j);
-      embedding(rest[t], j) = v;
+  ParallelChunks(pool, 0, nr, grain, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      for (int j = 0; j < k; ++j) {
+        Scalar v = 0.0;
+        for (int i = 0; i < m; ++i) v += b(i, t) * proj(i, j);
+        embedding(rest[t], j) = v;
+      }
     }
-  }
+  });
 
   SpectralResult out;
   out.labels = ClusterEmbedding(std::move(embedding), k, options);

@@ -1,6 +1,7 @@
 #ifndef ALID_BASELINES_SPECTRAL_H_
 #define ALID_BASELINES_SPECTRAL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "affinity/affinity_function.h"
@@ -8,6 +9,8 @@
 #include "common/types.h"
 
 namespace alid {
+
+class ThreadPool;
 
 /// Options of the spectral-clustering baselines.
 struct SpectralOptions {
@@ -20,6 +23,13 @@ struct SpectralOptions {
   uint64_t seed = 42;
   /// k-means restarts on the spectral embedding.
   int kmeans_restarts = 3;
+  /// Optional shared worker pool, threaded through every hot layer: the
+  /// affinity-row construction, the Lanczos matvecs (SC-FL), the Nystrom
+  /// block fills, and the final k-means. All reductions are chunk-ordered,
+  /// so labels are bit-identical for every pool width.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel loops (0 = ~64 fixed chunks).
+  int64_t grain = 0;
 };
 
 /// Result: a hard partition of all n items into num_clusters groups.

@@ -38,6 +38,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::CalledFromWorker() const { return tls_pool == this; }
+
 void ThreadPool::Post(std::function<void()> job) {
   ALID_CHECK_MSG(!shutdown_.load(), "Post after shutdown");
   pending_.fetch_add(1, std::memory_order_relaxed);

@@ -74,6 +74,13 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
   const ThreadPoolOptions& options() const { return options_; }
 
+  /// True iff the calling thread is one of this pool's workers. Shared
+  /// helpers (ParallelChunks) use it to degrade to serial execution instead
+  /// of tripping ParallelFor's re-entrancy check when a pool task itself
+  /// reaches a parallelized loop (e.g. a PALID map task calling a baseline
+  /// that shares the same pool).
+  bool CalledFromWorker() const;
+
   /// Jobs executed by a worker other than the one they were queued on.
   /// Always 0 in FIFO mode.
   int64_t steal_count() const {

@@ -1,6 +1,7 @@
 #include "core/palid.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_set>
 
@@ -62,6 +63,7 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
 
   const int64_t hits_before = oracle_->cache_hits();
   const int64_t entries_before = oracle_->entries_computed();
+  const int64_t evictions_before = oracle_->cache_evictions();
 
   WallTimer wall;
   const int num_seeds = static_cast<int>(seeds.size());
@@ -82,10 +84,21 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   std::vector<double> task_seconds(num_tasks, 0.0);
   int64_t steals = 0;
   {
-    ThreadPool pool(options_.num_executors,
-                    {.work_stealing = options_.work_stealing});
+    // An external pool (options.pool) lets benches run PALID and the
+    // parallel baselines on one substrate; otherwise the run owns a pool
+    // sized to num_executors. Either way the map tasks and their chunking
+    // are identical — the executor pool never influences results.
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool = options_.pool;
+    if (pool == nullptr) {
+      owned = std::make_unique<ThreadPool>(
+          options_.num_executors,
+          ThreadPoolOptions{.work_stealing = options_.work_stealing});
+      pool = owned.get();
+    }
+    const int64_t steals_before = pool->steal_count();
     for (int t = 0; t < num_tasks; ++t) {
-      pool.Post([&, t] {
+      pool->Post([&, t] {
         // Map task: a chunk of independent Algorithm 2 runs (Figure 5's
         // mappers). Any stochastic choice a task ever needs must draw from
         // a stream keyed by (options.seed, task id) — e.g.
@@ -102,8 +115,8 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
         task_seconds[t] = task_timer.Seconds();
       });
     }
-    pool.Wait();
-    steals = pool.steal_count();
+    pool->Wait();
+    steals = pool->steal_count() - steals_before;
   }
 
   // Reduce: each item goes to its maximum-density containing cluster; a
@@ -142,6 +155,9 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
     const int64_t touched = stats->cache_hits + stats->entries_computed;
     stats->cache_hit_rate =
         touched > 0 ? static_cast<double>(stats->cache_hits) / touched : 0.0;
+    stats->cache_evictions = oracle_->cache_evictions() - evictions_before;
+    stats->cache_bytes = oracle_->cache_size_bytes();
+    stats->cache_budget_bytes = oracle_->cache_budget_bytes();
     stats->task_seconds = std::move(task_seconds);
   }
   return result;

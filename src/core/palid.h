@@ -8,6 +8,8 @@
 
 namespace alid {
 
+class ThreadPool;
+
 /// Options of Parallel ALID (Algorithm 3, Section 4.6).
 struct PalidOptions {
   /// Number of executors (worker threads). The paper's Table 2 sweeps
@@ -31,6 +33,13 @@ struct PalidOptions {
   /// Work-stealing executors (default). false falls back to the original
   /// single-FIFO-queue pool — the paper-faithful coarse-Spark-task ablation.
   bool work_stealing = true;
+  /// Optional externally owned executor pool — e.g. the one the parallel
+  /// baselines run on, so a bench sweep exercises PALID and its competitors
+  /// on the same substrate. When set, the map stage runs on it and
+  /// num_executors / work_stealing are taken from the pool itself. Detect()
+  /// must be the pool's only client until it returns (its completion barrier
+  /// waits for every job posted to the pool).
+  ThreadPool* pool = nullptr;
   /// Per-map-task ALID options.
   AlidOptions alid;
 };
@@ -53,6 +62,12 @@ struct PalidStats {
   int64_t cache_hits = 0;
   int64_t entries_computed = 0;
   double cache_hit_rate = 0.0;
+  /// Column-cache eviction activity during this run plus the cache's
+  /// footprint and configured budget at the end of it (all 0 when the oracle
+  /// has no cache) — the observability knobs of the default-on flip.
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes = 0;
+  int64_t cache_budget_bytes = 0;
   /// Busy seconds of each map task, in task order.
   std::vector<double> task_seconds;
 

@@ -5,10 +5,24 @@
 
 #include "common/check.h"
 #include "common/dataset.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "linalg/jacobi.h"
 
 namespace alid {
+
+namespace {
+
+// Default grain of the O(n) vector kernels: one chunk for small problems (no
+// pool overhead where a dot costs microseconds), splitting only when n is
+// large enough for the pool to pay off.
+constexpr int64_t kVectorGrain = 4096;
+
+int64_t VectorGrain(const LanczosOptions& options) {
+  return options.grain > 0 ? options.grain : kVectorGrain;
+}
+
+}  // namespace
 
 EigenDecompositionTopK LanczosTopK(
     Index n, int k,
@@ -22,6 +36,8 @@ EigenDecompositionTopK LanczosTopK(
   ALID_CHECK(m >= k);
 
   Rng rng(options.seed);
+  ThreadPool* pool = options.pool;
+  const int64_t grain = VectorGrain(options);
 
   // Lanczos basis vectors (rows of `basis` for cache friendliness).
   std::vector<std::vector<Scalar>> basis;
@@ -31,31 +47,45 @@ EigenDecompositionTopK LanczosTopK(
   std::vector<Scalar> q(n);
   for (auto& v : q) v = rng.Gaussian();
   {
-    Scalar norm = std::sqrt(Dot(q, q));
-    for (auto& v : q) v /= norm;
+    const Scalar norm = std::sqrt(ParallelDot(pool, q, q, grain));
+    ParallelChunks(pool, 0, n, grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) q[i] /= norm;
+                   });
   }
 
   for (int j = 0; j < m; ++j) {
     basis.push_back(q);
     std::vector<Scalar> w = matvec(q);
     ALID_CHECK(static_cast<Index>(w.size()) == n);
-    const Scalar a = Dot(w, q);
+    const Scalar a = ParallelDot(pool, w, q, grain);
     alpha.push_back(a);
-    for (Index i = 0; i < n; ++i) {
-      w[i] -= a * q[i];
-      if (j > 0) w[i] -= beta.back() * basis[j - 1][i];
-    }
+    const Scalar b_prev = j > 0 ? beta.back() : 0.0;
+    const std::vector<Scalar>* prev = j > 0 ? &basis[j - 1] : nullptr;
+    ParallelChunks(pool, 0, n, grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       w[i] -= a * q[i];
+                       if (prev != nullptr) w[i] -= b_prev * (*prev)[i];
+                     }
+                   });
     // Full reorthogonalization against the whole basis (twice is enough).
     for (int pass = 0; pass < 2; ++pass) {
       for (const auto& b : basis) {
-        const Scalar proj = Dot(w, b);
-        for (Index i = 0; i < n; ++i) w[i] -= proj * b[i];
+        const Scalar proj = ParallelDot(pool, w, b, grain);
+        ParallelChunks(pool, 0, n, grain,
+                       [&](int64_t, int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) w[i] -= proj * b[i];
+                       });
       }
     }
-    const Scalar b = std::sqrt(Dot(w, w));
+    const Scalar b = std::sqrt(ParallelDot(pool, w, w, grain));
     if (b < options.tolerance || j == m - 1) break;
     beta.push_back(b);
-    for (Index i = 0; i < n; ++i) q[i] = w[i] / b;
+    ParallelChunks(pool, 0, n, grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) q[i] = w[i] / b;
+                   });
   }
 
   const int steps = static_cast<int>(alpha.size());
@@ -74,14 +104,20 @@ EigenDecompositionTopK LanczosTopK(
   EigenDecompositionTopK out;
   out.values.assign(tri.values.begin(), tri.values.begin() + kk);
   out.vectors = DenseMatrix(n, kk, 0.0);
-  for (int j = 0; j < kk; ++j) {
-    for (int s = 0; s < steps; ++s) {
-      const Scalar coef = tri.vectors(s, j);
-      if (coef == 0.0) continue;
-      const auto& b = basis[s];
-      for (Index i = 0; i < n; ++i) out.vectors(i, j) += coef * b[i];
-    }
-  }
+  // Ritz vectors, one row range per chunk; each (i, j) element accumulates
+  // over s in ascending order regardless of scheduling.
+  ParallelChunks(pool, 0, n, grain,
+                 [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     for (int j = 0; j < kk; ++j) {
+                       Scalar acc = 0.0;
+                       for (int s = 0; s < steps; ++s) {
+                         acc += tri.vectors(s, j) * basis[s][i];
+                       }
+                       out.vectors(i, j) = acc;
+                     }
+                   }
+                 });
   return out;
 }
 

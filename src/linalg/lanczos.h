@@ -1,6 +1,7 @@
 #ifndef ALID_LINALG_LANCZOS_H_
 #define ALID_LINALG_LANCZOS_H_
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -10,6 +11,8 @@
 
 namespace alid {
 
+class ThreadPool;
+
 /// Options of the Lanczos process.
 struct LanczosOptions {
   /// Krylov subspace dimension; 0 means max(3k, 30), capped at n.
@@ -18,6 +21,15 @@ struct LanczosOptions {
   double tolerance = 1e-9;
   /// Seed of the random start vector.
   uint64_t seed = 42;
+  /// Optional shared worker pool. The basis updates, reorthogonalization
+  /// and Ritz-vector reconstruction run chunked on it; every inner product
+  /// reduces per-chunk partials in chunk order, so the decomposition is
+  /// bit-identical for every pool width. (The caller's matvec is free to use
+  /// the same pool — that is where the O(n^2) work lives.)
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel loops (0 = one ~4096-element grain, so
+  /// small problems stay serial and large ones split).
+  int64_t grain = 0;
 };
 
 /// Top-k eigenpairs as returned by LanczosTopK.

@@ -106,6 +106,7 @@ TEST(ColumnCacheTest, CachedValuesMatchUncachedOracle) {
   LabeledData data = SmallData();
   AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
   LazyAffinityOracle plain(data.data, affinity);
+  plain.DisableColumnCache();
   LazyAffinityOracle cached(data.data, affinity);
   cached.EnableColumnCache({});
   IndexList rows;
@@ -130,6 +131,58 @@ TEST(ColumnCacheTest, DisableRestoresStatelessOracle) {
   const int64_t before = oracle.entries_computed();
   oracle.Entry(1, 2);
   EXPECT_EQ(oracle.entries_computed(), before + 1);
+}
+
+TEST(ColumnCacheTest, OracleInstallsAutoBudgetedCacheByDefault) {
+  LabeledData data = SmallData();
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  ASSERT_NE(oracle.column_cache(), nullptr);
+  EXPECT_EQ(static_cast<size_t>(oracle.cache_budget_bytes()),
+            ColumnCacheOptions::ForDataSize(data.size()).max_bytes);
+  // Small n clamps to the floor budget, never below.
+  EXPECT_GE(static_cast<size_t>(oracle.cache_budget_bytes()),
+            ColumnCacheOptions::kMinAutoBudgetBytes);
+  oracle.Entry(0, 1);
+  oracle.Entry(0, 1);
+  EXPECT_EQ(oracle.entries_computed(), 1);
+  EXPECT_EQ(oracle.cache_hits(), 1);
+}
+
+TEST(ColumnCacheTest, AutoBudgetScalesWithDataSizeAndClamps) {
+  const size_t small = ColumnCacheOptions::ForDataSize(10).max_bytes;
+  const size_t mid = ColumnCacheOptions::ForDataSize(20000).max_bytes;
+  const size_t huge = ColumnCacheOptions::ForDataSize(1000000).max_bytes;
+  EXPECT_EQ(small, ColumnCacheOptions::kMinAutoBudgetBytes);
+  // 20000^2 * 8 / 16 = 200 MB: inside the clamp window, fraction applied.
+  EXPECT_EQ(mid, static_cast<size_t>(20000) * 20000 * sizeof(Scalar) / 16);
+  EXPECT_EQ(huge, ColumnCacheOptions::kMaxAutoBudgetBytes);
+}
+
+TEST(ColumnCacheTest, OracleEvictionUnderTightBudgetStaysCorrectAndCounted) {
+  // A budget far below the working set: the cache must evict (and report
+  // it), stay within budget, and never corrupt returned values.
+  LabeledData data = SmallData(200);
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  oracle.EnableColumnCache(
+      {.max_bytes = 32 * ColumnCache::kBytesPerEntry, .num_shards = 2});
+  LazyAffinityOracle reference(data.data, affinity);
+  reference.DisableColumnCache();
+
+  IndexList rows;
+  for (Index i = 0; i < 100; ++i) rows.push_back(i);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Index col = 100; col < 140; ++col) {
+      EXPECT_EQ(oracle.Column(rows, col), reference.Column(rows, col)) << col;
+    }
+  }
+  EXPECT_GT(oracle.cache_evictions(), 0);
+  EXPECT_LE(static_cast<size_t>(oracle.cache_size_bytes()),
+            static_cast<size_t>(oracle.cache_budget_bytes()));
+  // Thrashing caps reuse, but the counters still partition the requests:
+  // 3 passes x 40 columns x 100 rows, each either a hit or true work.
+  EXPECT_EQ(oracle.cache_hits() + oracle.entries_computed(), 3 * 40 * 100);
 }
 
 TEST(ColumnCacheTest, ConcurrentMixedUseIsConsistent) {

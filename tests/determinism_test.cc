@@ -7,6 +7,7 @@
 
 #include "core/palid.h"
 #include "data/synthetic.h"
+#include "test_util.h"
 
 namespace alid {
 namespace {
@@ -22,36 +23,21 @@ LabeledData Workload(Index n = 500) {
   return MakeSynthetic(cfg);
 }
 
-struct Fixture {
-  explicit Fixture(const LabeledData& labeled, bool cache = false) {
-    affinity = std::make_unique<AffinityFunction>(
-        AffinityParams{.k = labeled.suggested_k, .p = 2.0});
-    oracle = std::make_unique<LazyAffinityOracle>(labeled.data, *affinity);
-    if (cache) oracle->EnableColumnCache({});
-    LshParams lp;
-    lp.num_tables = 8;
-    lp.num_projections = 6;
-    lp.segment_length = labeled.suggested_lsh_r;
-    lsh = std::make_unique<LshIndex>(labeled.data, lp);
-  }
+// TestPipeline's cache flag matters here: the oracle's cache is default-on,
+// and cache=false restores the stateless oracle so the cached/uncached
+// comparisons below stay meaningful.
+struct Fixture : TestPipeline {
+  explicit Fixture(const LabeledData& labeled, bool cache = false)
+      : TestPipeline(labeled, cache) {}
   DetectionResult Detect(PalidOptions opts) const {
     return Palid(*oracle, *lsh, opts).Detect();
   }
-  std::unique_ptr<AffinityFunction> affinity;
-  std::unique_ptr<LazyAffinityOracle> oracle;
-  std::unique_ptr<LshIndex> lsh;
 };
 
 // Full structural equality, including cluster order: the runtime promises
 // seed-ordered reduce output, not merely the same set of clusters.
 void ExpectIdentical(const DetectionResult& a, const DetectionResult& b) {
-  ASSERT_EQ(a.clusters.size(), b.clusters.size());
-  for (size_t c = 0; c < a.clusters.size(); ++c) {
-    EXPECT_EQ(a.clusters[c].seed, b.clusters[c].seed) << "cluster " << c;
-    EXPECT_EQ(a.clusters[c].members, b.clusters[c].members) << "cluster " << c;
-    EXPECT_EQ(a.clusters[c].weights, b.clusters[c].weights) << "cluster " << c;
-    EXPECT_EQ(a.clusters[c].density, b.clusters[c].density) << "cluster " << c;
-  }
+  ExpectIdenticalDetections(a, b);
 }
 
 TEST(DeterminismTest, IdenticalAcrossExecutorCounts) {

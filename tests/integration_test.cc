@@ -15,25 +15,12 @@
 #include "data/ndi_like.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "test_util.h"
 
 namespace alid {
 namespace {
 
-struct Pipeline {
-  explicit Pipeline(const LabeledData& labeled) {
-    affinity = std::make_unique<AffinityFunction>(
-        AffinityParams{.k = labeled.suggested_k, .p = 2.0});
-    oracle = std::make_unique<LazyAffinityOracle>(labeled.data, *affinity);
-    LshParams lp;
-    lp.num_tables = 8;
-    lp.num_projections = 6;
-    lp.segment_length = labeled.suggested_lsh_r;
-    lsh = std::make_unique<LshIndex>(labeled.data, lp);
-  }
-  std::unique_ptr<AffinityFunction> affinity;
-  std::unique_ptr<LazyAffinityOracle> oracle;
-  std::unique_ptr<LshIndex> lsh;
-};
+using Pipeline = TestPipeline;
 
 TEST(IntegrationTest, AlidMatchesIidQualityAtFractionOfTheEntries) {
   SyntheticConfig cfg;
