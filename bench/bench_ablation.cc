@@ -4,8 +4,15 @@
 //   3. Lazy column oracle vs materializing the full matrix (entries touched).
 //   4. CIVS budget delta sweep: quality/time trade-off.
 //   5. Peeling density threshold tau sweep: precision/recall trade-off.
+//   6. Streaming ingest substrate: serial vs the shared executor pool
+//      (bit-identical state, only wall time moves).
 #include "bench_util.h"
 
+#include <memory>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/online_alid.h"
 #include "data/sift_like.h"
 #include "data/synthetic.h"
 
@@ -117,6 +124,56 @@ void Main() {
                 "the failure mode is one-sided: tau above the true-cluster "
                 "densities drops everything. The paper's 0.75 sits safely "
                 "below the ~0.9 planted densities.\n");
+  }
+
+  PrintHeader("6. streaming ingest substrate (windowed OnlineAlid)");
+  {
+    // The same shuffled stream, batched, on no pool vs the shared
+    // work-stealing pool: the batch hash/score phases are the only
+    // parallel parts, so the streamed state is bit-identical and the
+    // wall-time delta isolates the substrate.
+    LabeledData stream = Workload(Scaled(1200));
+    Rng rng(31);
+    const auto order = rng.Permutation(stream.size());
+    const int dim = stream.data.dim();
+    auto run = [&](ThreadPool* pool) {
+      OnlineAlidOptions opts;
+      opts.affinity = {.k = stream.suggested_k, .p = 2.0};
+      opts.lsh.segment_length = stream.suggested_lsh_r;
+      opts.window = Scaled(700);
+      opts.pool = pool;
+      auto online = std::make_unique<OnlineAlid>(dim, opts);
+      std::vector<Scalar> batch;
+      WallTimer timer;
+      for (Index pos = 0; pos < stream.size(); ++pos) {
+        const auto point = stream.data[order[pos]];
+        batch.insert(batch.end(), point.begin(), point.end());
+        if (static_cast<Index>(batch.size()) == 128 * dim) {
+          online->InsertBatch(batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) online->InsertBatch(batch);
+      online->Refresh();
+      std::printf("  %-22s wall %.3fs  clusters %zu  absorbed %lld  "
+                  "evicted %lld  steals %lld\n",
+                  pool == nullptr ? "serial ingest" : "shared pool (4)",
+                  timer.Seconds(), online->clusters().size(),
+                  static_cast<long long>(online->stats().absorbed),
+                  static_cast<long long>(online->stats().evicted),
+                  static_cast<long long>(
+                      pool != nullptr ? pool->steal_count() : 0));
+      return online;
+    };
+    auto serial = run(nullptr);
+    ThreadPool pool(4);
+    auto pooled = run(&pool);
+    std::printf("  state identical: %s\n",
+                serial->clusters().size() == pooled->clusters().size() &&
+                        serial->stats().absorbed == pooled->stats().absorbed &&
+                        serial->stats().evicted == pooled->stats().evicted
+                    ? "yes"
+                    : "NO — determinism bug");
   }
 }
 

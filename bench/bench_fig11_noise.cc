@@ -15,6 +15,7 @@
 #include "baselines/kmeans.h"
 #include "baselines/mean_shift.h"
 #include "baselines/spectral.h"
+#include "common/thread_pool.h"
 #include "data/nart_like.h"
 #include "data/ndi_like.h"
 
@@ -27,7 +28,7 @@ double ScoreLabels(const LabeledData& data, const std::vector<int>& labels) {
 
 void SweepNoise(const char* name,
                 const std::function<LabeledData(double)>& make,
-                const std::vector<double>& degrees) {
+                const std::vector<double>& degrees, ThreadPool* pool) {
   PrintHeader(name);
   std::printf("%-8s %6s %6s %6s %6s %6s %6s %6s %6s\n", "noise", "AP", "IID",
               "SEA", "ALID", "KM", "SC-FL", "SC-NYS", "MS");
@@ -36,26 +37,30 @@ void SweepNoise(const char* name,
     const int k_true = static_cast<int>(data.true_clusters.size());
     AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
 
-    const double f_ap = RunAp(data, /*r_scale=*/-1.0).avg_f;
+    const double f_ap =
+        RunAp(data, /*r_scale=*/-1.0, /*max_iterations=*/200, pool).avg_f;
     const double f_iid = RunIid(data, /*r_scale=*/-1.0).avg_f;
-    const double f_sea = RunSea(data, /*r_scale=*/-1.0).avg_f;
+    const double f_sea = RunSea(data, /*r_scale=*/-1.0, pool).avg_f;
     const double f_alid = RunAlid(data).avg_f;
 
     // Partitioning methods get K = true clusters + 1 (noise as an extra
     // cluster), the Liu et al. protocol the appendix follows.
     KMeansOptions km;
     km.restarts = 2;
+    km.pool = pool;
     const double f_km =
         ScoreLabels(data, RunKMeans(data.data, k_true + 1, km).labels);
     SpectralOptions so;
     so.num_clusters = k_true + 1;
     so.nystrom_landmarks = std::min<Index>(150, data.size() / 2);
+    so.pool = pool;
     const double f_scfl =
         ScoreLabels(data, SpectralClusterFull(data.data, affinity, so).labels);
     const double f_scnys = ScoreLabels(
         data, SpectralClusterNystrom(data.data, affinity, so).labels);
     MeanShiftOptions ms;
     ms.max_ascents = std::min<Index>(150, data.size());
+    ms.pool = pool;
     // The appendix tunes MS's bandwidth per data set; 1.5x the intra-cluster
     // scale is the tuned value for these workloads.
     ms.bandwidth = data.suggested_lsh_r / 2.0;
@@ -70,6 +75,10 @@ void SweepNoise(const char* name,
 void Main() {
   std::printf("Figure 11: noise resistance — AVG-F vs noise degree "
               "(scale %.2f)\n", Scale());
+  // One shared work-stealing pool under every parallelized baseline: the
+  // sweep measures noise resistance, and every method's output is
+  // bit-identical to its serial run, so only wall-clock moves.
+  ThreadPool pool(4);
   const std::vector<double> degrees{0.0, 1.0, 2.0, 4.0, 6.0};
 
   const Index nart_truth = Scaled(200);
@@ -83,7 +92,7 @@ void Main() {
                cfg.seed = 501;
                return MakeNartLike(cfg);
              },
-             degrees);
+             degrees, &pool);
 
   const Index ndi_truth = Scaled(200);
   SweepNoise("(b) Sub-NDI-like",
@@ -94,7 +103,7 @@ void Main() {
                cfg.seed = 502;
                return MakeNdiLike(cfg);
              },
-             degrees);
+             degrees, &pool);
 
   std::printf("\nExpected shape: partitioning methods (KM, SC-FL, SC-NYS) "
               "fall fastest with noise; affinity-based methods stay high; "

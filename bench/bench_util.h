@@ -20,6 +20,7 @@
 #include "baselines/iid.h"
 #include "baselines/sea.h"
 #include "common/memory_tracker.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/alid.h"
 #include "data/labeled_data.h"
@@ -126,8 +127,10 @@ inline RunStats RunIid(const LabeledData& data, double r_scale = -1.0) {
 }
 
 /// Runs SEA on the LSH-sparsified matrix (its native input; r_scale < 0 uses
-/// the dense matrix expressed as CSR).
-inline RunStats RunSea(const LabeledData& data, double r_scale = 1.0) {
+/// the dense matrix expressed as CSR). `pool` runs the replicator sweeps on
+/// a shared executor pool (output bit-identical to the serial run).
+inline RunStats RunSea(const LabeledData& data, double r_scale = 1.0,
+                       ThreadPool* pool = nullptr) {
   MemoryTracker::Global().Reset();
   WallTimer timer;
   AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
@@ -142,7 +145,7 @@ inline RunStats RunSea(const LabeledData& data, double r_scale = 1.0) {
   }
   ScopedMemoryCharge charge(static_cast<int64_t>(sparse.MemoryBytes()));
   stats.entries = sparse.nnz() / 2;
-  SeaDetector sea{AffinityView(&sparse)};
+  SeaDetector sea{AffinityView(&sparse), {.pool = pool}};
   DetectionResult result = sea.DetectAll();
   stats.seconds = timer.Seconds();
   stats.peak_bytes = MemoryTracker::Global().peak_bytes();
@@ -154,8 +157,10 @@ inline RunStats RunSea(const LabeledData& data, double r_scale = 1.0) {
 
 /// Runs AP; r_scale < 0 uses the dense matrix, otherwise the LSH-sparsified
 /// one (with a preference below the surviving intra-cluster similarities).
+/// `pool` runs the message sweeps on a shared executor pool (output
+/// bit-identical to the serial run).
 inline RunStats RunAp(const LabeledData& data, double r_scale = -1.0,
-                      int max_iterations = 200) {
+                      int max_iterations = 200, ThreadPool* pool = nullptr) {
   MemoryTracker::Global().Reset();
   WallTimer timer;
   AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
@@ -163,6 +168,7 @@ inline RunStats RunAp(const LabeledData& data, double r_scale = -1.0,
   stats.method = "AP";
   ApOptions opts;
   opts.max_iterations = max_iterations;
+  opts.pool = pool;
   DetectionResult result;
   if (r_scale < 0.0) {
     AffinityMatrix matrix(data.data, affinity);

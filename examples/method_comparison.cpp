@@ -14,6 +14,7 @@
 #include "baselines/mean_shift.h"
 #include "baselines/sea.h"
 #include "baselines/spectral.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/alid.h"
 #include "data/synthetic.h"
@@ -21,6 +22,10 @@
 
 int main() {
   using namespace alid;
+
+  // One shared work-stealing pool drives every parallelized hot loop below;
+  // each method's output is bit-identical to its serial run.
+  ThreadPool pool(4);
 
   SyntheticConfig config;
   config.n = 1200;
@@ -69,7 +74,7 @@ int main() {
     LshIndex lsh(data.data, lp);
     SparseMatrix sparse =
         Sparsifier::FromLshCollisions(data.data, affinity, lsh);
-    SeaDetector sea{AffinityView(&sparse)};
+    SeaDetector sea{AffinityView(&sparse), {.pool = &pool}};
     row("SEA (sparse graph)",
         AverageF1(data.true_clusters, sea.DetectAll().Filtered(0.6)),
         t.Seconds());
@@ -77,13 +82,14 @@ int main() {
   {
     WallTimer t;
     AffinityMatrix matrix(data.data, affinity);
-    ApDetector ap{AffinityView(&matrix.matrix())};
+    ApDetector ap{AffinityView(&matrix.matrix()), {.pool = &pool}};
     row("AP (full matrix)", AverageF1(data.true_clusters, ap.Detect()),
         t.Seconds());
   }
   {  // Partitioning methods need K up front; noise gets one extra bucket.
     WallTimer t;
-    KMeansResult km = RunKMeans(data.data, k_true + 1, {.restarts = 3});
+    KMeansResult km =
+        RunKMeans(data.data, k_true + 1, {.restarts = 3, .pool = &pool});
     row("k-means (K=true+1)",
         AverageF1(data.true_clusters, LabelsToClusters(km.labels)),
         t.Seconds());
@@ -92,6 +98,7 @@ int main() {
     WallTimer t;
     SpectralOptions so;
     so.num_clusters = k_true + 1;
+    so.pool = &pool;
     SpectralResult sc = SpectralClusterFull(data.data, affinity, so);
     row("SC-FL (K=true+1)",
         AverageF1(data.true_clusters, LabelsToClusters(sc.labels)),
@@ -102,6 +109,7 @@ int main() {
     SpectralOptions so;
     so.num_clusters = k_true + 1;
     so.nystrom_landmarks = 120;
+    so.pool = &pool;
     SpectralResult sc = SpectralClusterNystrom(data.data, affinity, so);
     row("SC-NYS (K=true+1)",
         AverageF1(data.true_clusters, LabelsToClusters(sc.labels)),
@@ -112,6 +120,7 @@ int main() {
     MeanShiftOptions ms;
     ms.bandwidth = data.suggested_lsh_r / 2.0;
     ms.max_ascents = 150;
+    ms.pool = &pool;
     MeanShiftResult r = RunMeanShift(data.data, ms);
     row("mean shift",
         AverageF1(data.true_clusters, LabelsToClusters(r.labels)),

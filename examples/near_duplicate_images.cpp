@@ -13,6 +13,7 @@
 #include "affinity/sparsifier.h"
 #include "baselines/iid.h"
 #include "baselines/sea.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/alid.h"
 #include "data/ndi_like.h"
@@ -66,7 +67,10 @@ int main() {
     LshIndex sea_lsh(images.data, sea_lp);
     SparseMatrix sparse =
         Sparsifier::FromLshCollisions(images.data, affinity, sea_lsh);
-    SeaDetector sea{AffinityView(&sparse)};
+    // SEA's replicator sweeps run on a shared worker pool (bit-identical
+    // to the serial run).
+    ThreadPool pool(4);
+    SeaDetector sea{AffinityView(&sparse), {.pool = &pool}};
     DetectionResult r = sea.DetectAll().Filtered(0.6);
     std::printf("%-6s %-8.3f %-10.3f %lld\n", "SEA",
                 AverageF1(images.true_clusters, r), t.Seconds(),

@@ -9,6 +9,7 @@
 //   ./build/examples/visual_words
 #include <cstdio>
 
+#include "common/thread_pool.h"
 #include "core/palid.h"
 #include "data/sift_like.h"
 #include "eval/metrics.h"
@@ -35,8 +36,11 @@ int main() {
   std::printf("%-10s %-8s %-10s %-12s %-8s\n", "executors", "seeds",
               "wall(s)", "task-sum(s)", "AVG-F");
   for (int executors : {1, 2, 4}) {
+    // PALID runs its map stage on an externally shared executor pool — the
+    // same substrate a serving process would also schedule other work on.
+    ThreadPool pool(executors);
     PalidOptions options;
-    options.num_executors = executors;
+    options.pool = &pool;
     Palid palid(oracle, lsh, options);
     PalidStats stats;
     DetectionResult words = palid.Detect(&stats).Filtered(0.75);

@@ -1,6 +1,7 @@
 #include "affinity/column_cache.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/memory_tracker.h"
@@ -109,6 +110,32 @@ void ColumnCache::ResetCounters() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+}
+
+int64_t ColumnCache::EraseItems(std::span<const Index> items) {
+  if (items.empty()) return 0;
+  const std::unordered_set<uint64_t> gone(items.begin(), items.end());
+  int64_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const uint64_t lo = it->first & 0xffffffffull;
+      const uint64_t hi = it->first >> 32;
+      if (gone.count(lo) != 0 || gone.count(hi) != 0) {
+        shard->index.erase(it->first);
+        it = shard->lru.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (erased != 0) {
+    const int64_t freed = erased * static_cast<int64_t>(kBytesPerEntry);
+    bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    MemoryTracker::Global().Add(-freed);
+  }
+  return erased;
 }
 
 void ColumnCache::Clear() {

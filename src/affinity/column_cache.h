@@ -6,6 +6,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -63,6 +64,15 @@ class ColumnCache {
 
   /// Drops every entry (counters are kept).
   void Clear();
+
+  /// Targeted invalidation for the streaming runtime's sliding-window
+  /// expiry: drops every cached entry involving any of `items`. An expired
+  /// item's slot may be re-used by a later arrival, and a kernel value
+  /// computed against the old occupant must never be served for the new
+  /// one. One pass over the shards; returns the number of entries erased.
+  /// Thread-safe, though the streaming runtime only calls it from its
+  /// serial expiry phase.
+  int64_t EraseItems(std::span<const Index> items);
 
   /// Zeroes hits/misses/evictions (entries stay warm). Pairs with the
   /// oracle's ResetCounters so `requested = entries_computed + cache_hits`

@@ -56,6 +56,11 @@ void LazyAffinityOracle::EnableColumnCache(ColumnCacheOptions options) {
 
 void LazyAffinityOracle::DisableColumnCache() { cache_.reset(); }
 
+int64_t LazyAffinityOracle::InvalidateCachedItems(
+    std::span<const Index> items) {
+  return cache_ != nullptr ? cache_->EraseItems(items) : 0;
+}
+
 void LazyAffinityOracle::Charge(int64_t bytes) const {
   MemoryTracker::Global().Add(bytes);
   const int64_t now = current_bytes_.fetch_add(bytes) + bytes;

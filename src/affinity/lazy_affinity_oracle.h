@@ -60,6 +60,12 @@ class LazyAffinityOracle {
   /// Removes the cache, restoring the paper-faithful stateless oracle.
   void DisableColumnCache();
 
+  /// Streaming expiry hook: drops every cached kernel entry involving
+  /// `items` (whose dataset rows are about to be re-used by new arrivals),
+  /// so the cache never serves an affinity computed against an evicted
+  /// point. Returns entries dropped (0 when the cache is disabled).
+  int64_t InvalidateCachedItems(std::span<const Index> items);
+
   /// The installed cache, or nullptr when disabled.
   const ColumnCache* column_cache() const { return cache_.get(); }
 

@@ -1,0 +1,23 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace alid {
+
+std::vector<int> EqualWidthHistogram(std::span<const double> values,
+                                     int bins) {
+  ALID_CHECK(bins > 0);
+  std::vector<int> histogram(bins, 0);
+  if (values.empty()) return histogram;
+  const double max_value = *std::max_element(values.begin(), values.end());
+  for (double value : values) {
+    const int bin =
+        max_value > 0.0 ? static_cast<int>(value / max_value * bins) : 0;
+    histogram[std::min(bin, bins - 1)] += 1;
+  }
+  return histogram;
+}
+
+}  // namespace alid

@@ -1,0 +1,17 @@
+#ifndef ALID_COMMON_HISTOGRAM_H_
+#define ALID_COMMON_HISTOGRAM_H_
+
+#include <span>
+#include <vector>
+
+namespace alid {
+
+/// Histogram of `values` over `bins` equal-width buckets spanning
+/// [0, max value] — the load/latency profile shape shared by
+/// PalidStats::TaskHistogram and StreamStats::LatencyHistogram.
+std::vector<int> EqualWidthHistogram(std::span<const double> values,
+                                     int bins);
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_HISTOGRAM_H_

@@ -1,67 +1,215 @@
 #include "core/online_alid.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "common/check.h"
+#include "common/histogram.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 
 namespace alid {
 
+std::vector<int> StreamStats::LatencyHistogram(int bins) const {
+  return EqualWidthHistogram(batch_seconds, bins);
+}
+
 OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
     : options_(options), data_(dim), affinity_fn_(options.affinity) {
+  ALID_CHECK(options_.window >= 0);
+  ALID_CHECK(options_.refresh_interval >= 1);
   oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
+  if (!options_.column_cache) oracle_->DisableColumnCache();
   lsh_ = std::make_unique<LshIndex>(data_, options_.lsh);
 }
 
 Index OnlineAlid::Insert(std::span<const Scalar> point) {
-  const Index idx = data_.size();
-  data_.Append(point);
-  lsh_->AppendItem(idx);
-  assignment_.push_back(-1);
+  ALID_CHECK(static_cast<int>(point.size()) == data_.dim());
+  return InsertBatch(point)[0];
+}
 
-  // Which existing cluster (if any) is the newcomer infective against?
-  // Candidates are the clusters of the newcomer's LSH neighbours.
-  std::vector<bool> candidate(clusters_.size(), false);
-  for (Index j : lsh_->QueryByIndex(idx)) {
-    if (assignment_[j] >= 0) candidate[assignment_[j]] = true;
+std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
+  const int dim = data_.dim();
+  ALID_CHECK(dim > 0 && points.size() % static_cast<size_t>(dim) == 0);
+  const Index count = static_cast<Index>(points.size() / dim);
+  std::vector<Index> slots(count);
+  if (count == 0) return slots;
+  WallTimer timer;
+
+  // Phase 1 (serial): slot allocation + row writes, in arrival order.
+  // Expired slots are re-used smallest-first, so the slot sequence depends
+  // only on the stream history.
+  for (Index k = 0; k < count; ++k) {
+    slots[k] =
+        AllocateSlot(points.subspan(static_cast<size_t>(k) * dim, dim));
   }
-  int best_cluster = -1;
+
+  // Phase 2 (parallel, pure): per-table LSH keys of every arrival. Each
+  // arrival's keys are self-contained, so any chunking yields the same bits.
+  const int tables = lsh_->num_tables();
+  std::vector<uint64_t> keys(static_cast<size_t>(count) * tables);
+  ParallelChunks(options_.pool, 0, count, options_.grain,
+                 [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t k = lo; k < hi; ++k) {
+                     lsh_->ComputeItemKeys(
+                         slots[k], &keys[static_cast<size_t>(k) * tables]);
+                   }
+                 });
+
+  // Phase 3 (serial): bucket insertion in arrival order.
+  for (Index k = 0; k < count; ++k) {
+    lsh_->InsertItemWithKeys(
+        slots[k], std::span<const uint64_t>(
+                      keys.data() + static_cast<size_t>(k) * tables,
+                      static_cast<size_t>(tables)));
+  }
+
+  // Phase 4 (parallel, pure): Theorem-1 absorb scoring of every arrival
+  // against the batch-start clusters. Same-batch neighbours are already in
+  // the LSH buckets but still unassigned, so the candidate sets — like the
+  // scores — depend only on the batch boundary, never on the executors.
+  std::vector<Choice> choices(count);
+  ParallelChunks(options_.pool, 0, count, options_.grain,
+                 [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t k = lo; k < hi; ++k) {
+                     choices[k] = ScoreArrival(slots[k]);
+                   }
+                 });
+
+  // Phase 5 (serial): apply in arrival order. Clusters mutate here, so the
+  // snapshot versions tell ApplyArrival which precomputed choices are stale.
+  const std::vector<uint64_t> versions = cluster_version_;
+  for (Index k = 0; k < count; ++k) {
+    ApplyArrival(slots[k], choices[k], versions);
+  }
+
+  // Phase 6 (serial): sliding-window expiry, targeted cache invalidation,
+  // and repair of the clusters that lost members.
+  if (options_.window > 0) ExpireToWindow();
+
+  CompactClusters();
+  stats_.alive = alive();
+  stats_.clusters_alive = static_cast<int>(clusters_.size());
+  if (stats_.batch_seconds.size() >= StreamStats::kMaxLatencySamples) {
+    // Halve amortizes the shift: the profile keeps the recent window.
+    stats_.batch_seconds.erase(
+        stats_.batch_seconds.begin(),
+        stats_.batch_seconds.begin() + StreamStats::kMaxLatencySamples / 2);
+  }
+  stats_.batch_seconds.push_back(timer.Seconds());
+  return slots;
+}
+
+Index OnlineAlid::AllocateSlot(std::span<const Scalar> point) {
+  Index slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();  // descending order: back() is the smallest
+    free_slots_.pop_back();
+    std::copy(point.begin(), point.end(), data_.MutableRow(slot).begin());
+    alive_[slot] = 1;
+  } else {
+    slot = data_.size();
+    data_.Append(point);
+    assignment_.push_back(-1);
+    alive_.push_back(1);
+  }
+  window_fifo_.push_back(slot);
+  return slot;
+}
+
+OnlineAlid::Choice OnlineAlid::ScoreArrival(Index slot) const {
+  Choice best;
+  if (clusters_.empty()) return best;
+  // Candidates are the clusters of the newcomer's LSH neighbours.
+  std::vector<uint8_t> candidate(clusters_.size(), 0);
+  for (Index j : lsh_->QueryByIndex(slot)) {
+    if (assignment_[j] >= 0) candidate[assignment_[j]] = 1;
+  }
   Scalar best_margin = -std::numeric_limits<Scalar>::infinity();
   for (size_t c = 0; c < clusters_.size(); ++c) {
-    if (!candidate[c]) continue;
+    if (candidate[c] == 0 || cluster_dead_[c] != 0) continue;
     const Cluster& cl = clusters_[c];
-    Scalar aff = 0.0;  // pi(s_idx, x_c)
-    for (size_t t = 0; t < cl.members.size(); ++t) {
-      aff += cl.weights[t] * oracle_->Entry(cl.members[t], idx);
-    }
     // Absorb when (near-)infective: same-cluster arrivals sit at the density
     // (Theorem 1 equality on the support), hence the slack.
-    const Scalar margin =
-        aff - cl.density * (1.0 - options_.absorb_slack);
+    const Scalar margin = ClusterAffinity(cl, slot) -
+                          cl.density * (1.0 - options_.absorb_slack);
     if (margin > 0.0 && margin > best_margin) {
       best_margin = margin;
-      best_cluster = static_cast<int>(c);
+      best.cluster = static_cast<int>(c);
     }
   }
-  if (best_cluster >= 0) {
-    // Local re-detection absorbs the newcomer and rebalances the weights.
-    RedetectCluster(best_cluster, idx);
-  }
+  return best;
+}
 
-  if (++since_refresh_ >= options_.refresh_interval) Refresh();
-  return idx;
+Scalar OnlineAlid::ClusterAffinity(const Cluster& cluster, Index slot) const {
+  Scalar aff = 0.0;  // pi(s_slot, x_cluster)
+  for (size_t t = 0; t < cluster.members.size(); ++t) {
+    aff += cluster.weights[t] * oracle_->Entry(cluster.members[t], slot);
+  }
+  return aff;
+}
+
+void OnlineAlid::ApplyArrival(Index slot, const Choice& choice,
+                              const std::vector<uint64_t>& versions) {
+  ++stats_.arrivals;
+  if (assignment_[slot] >= 0) {
+    // An earlier arrival of this batch already pulled this one in: its
+    // re-detection (or a mid-batch refresh) absorbed the still-unassigned
+    // newcomer and rebalanced the weights. Re-detecting again from here
+    // would seed inside a cluster the arrival may no longer target.
+    ++stats_.absorbed;
+  } else {
+    int target = choice.cluster;
+    if (target >= 0) {
+      if (cluster_dead_[target] != 0) {
+        target = -1;  // dissolved earlier in this batch
+      } else if (cluster_version_[target] != versions[target]) {
+        // The chosen cluster absorbed an earlier same-batch arrival (or was
+        // otherwise re-detected): re-score against its current state. The
+        // re-check is serial, so the outcome is executor-independent.
+        const Cluster& cl = clusters_[target];
+        const Scalar margin = ClusterAffinity(cl, slot) -
+                              cl.density * (1.0 - options_.absorb_slack);
+        if (margin <= 0.0) target = -1;
+      }
+    }
+    if (target >= 0) {
+      // Local re-detection absorbs the newcomer and rebalances the weights.
+      RedetectCluster(target, slot);
+      if (assignment_[slot] >= 0) {
+        ++stats_.absorbed;
+      } else {
+        ++stats_.pooled;
+      }
+    } else {
+      ++stats_.pooled;
+    }
+  }
+  if (++since_refresh_ >= options_.refresh_interval) {
+    DetectFromPool();
+    since_refresh_ = 0;
+    ++stats_.refreshes;
+  }
 }
 
 void OnlineAlid::Refresh() {
   DetectFromPool();
+  CompactClusters();
   since_refresh_ = 0;
+  ++stats_.refreshes;
+  stats_.alive = alive();
+  stats_.clusters_alive = static_cast<int>(clusters_.size());
 }
 
 void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
-  // Items owned by *other* clusters stay out of this re-detection.
+  ++stats_.redetections;
+  // Items owned by *other* clusters — and expired slots — stay out of this
+  // re-detection.
   std::vector<bool> exclude(data_.size(), false);
   for (Index i = 0; i < data_.size(); ++i) {
-    exclude[i] = assignment_[i] >= 0 && assignment_[i] != cluster_id;
+    exclude[i] = alive_[i] == 0 ||
+                 (assignment_[i] >= 0 && assignment_[i] != cluster_id);
   }
   ALID_CHECK(!exclude[seed]);
   AlidDetector detector(*oracle_, *lsh_, options_.alid);
@@ -69,6 +217,7 @@ void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
 
   // Release the old membership.
   for (Index i : clusters_[cluster_id].members) assignment_[i] = -1;
+  ++cluster_version_[cluster_id];
   if (fresh.density >= options_.alid.density_threshold &&
       static_cast<int>(fresh.members.size()) >=
           options_.alid.min_cluster_size) {
@@ -77,21 +226,19 @@ void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
     return;
   }
   // The cluster dissolved (e.g., it was marginal and the newcomer pulled the
-  // dynamics elsewhere): drop it and compact ids.
-  clusters_.erase(clusters_.begin() + cluster_id);
-  for (int& a : assignment_) {
-    if (a > cluster_id) --a;
-  }
+  // dynamics elsewhere): mark it dead; CompactClusters erases it at the end
+  // of the batch so same-batch cluster ids stay stable.
+  DissolveCluster(cluster_id);
 }
 
 void OnlineAlid::DetectFromPool() {
   std::vector<bool> exclude(data_.size(), false);
-  Index pool = 0;
+  Index pool_count = 0;
   for (Index i = 0; i < data_.size(); ++i) {
-    exclude[i] = assignment_[i] >= 0;
-    pool += !exclude[i];
+    exclude[i] = alive_[i] == 0 || assignment_[i] >= 0;
+    pool_count += exclude[i] ? 0 : 1;
   }
-  if (pool == 0) return;
+  if (pool_count == 0) return;
   AlidDetector detector(*oracle_, *lsh_, options_.alid);
   for (Index seed = 0; seed < data_.size(); ++seed) {
     if (exclude[seed]) continue;
@@ -104,17 +251,26 @@ void OnlineAlid::DetectFromPool() {
     // A pool cluster might be the missing half of an existing one (its
     // members arrived after that cluster was detected). If the cross
     // density matches dominant-cluster coherence, merge by re-detection
-    // over the union.
+    // over the union. The pair sum runs chunk-deterministic on the shared
+    // pool with a *fixed* auto grain — this is the one reduction whose FP
+    // grouping a grain could move, and pinning it keeps the streamed state
+    // bit-identical across grains as well as executor counts.
     int merge_with = -1;
     for (size_t e = 0; e < clusters_.size(); ++e) {
+      if (cluster_dead_[e] != 0) continue;
       const Cluster& cl = clusters_[e];
-      Scalar cross = 0.0;  // pi(x_new, x_e)
-      for (size_t a = 0; a < c.members.size(); ++a) {
-        for (size_t b = 0; b < cl.members.size(); ++b) {
-          cross += c.weights[a] * cl.weights[b] *
-                   oracle_->Entry(c.members[a], cl.members[b]);
-        }
-      }
+      const Scalar cross = ParallelSum(
+          options_.pool, 0, static_cast<int64_t>(c.members.size()),
+          /*grain=*/0, [&](int64_t lo, int64_t hi) {
+            Scalar partial = 0.0;  // pi(x_new, x_e) over this chunk
+            for (int64_t a = lo; a < hi; ++a) {
+              for (size_t b = 0; b < cl.members.size(); ++b) {
+                partial += c.weights[a] * cl.weights[b] *
+                           oracle_->Entry(c.members[a], cl.members[b]);
+              }
+            }
+            return partial;
+          });
       if (cross >= options_.alid.density_threshold) {
         merge_with = static_cast<int>(e);
         break;
@@ -125,9 +281,10 @@ void OnlineAlid::DetectFromPool() {
       for (Index i : clusters_[merge_with].members) assignment_[i] = -1;
       std::vector<bool> other_owned(data_.size(), false);
       for (Index i = 0; i < data_.size(); ++i) {
-        other_owned[i] = assignment_[i] >= 0;
+        other_owned[i] = alive_[i] == 0 || assignment_[i] >= 0;
       }
       Cluster merged = detector.DetectOne(c.seed, &other_owned);
+      ++cluster_version_[merge_with];
       if (merged.density >= options_.alid.density_threshold &&
           static_cast<int>(merged.members.size()) >=
               options_.alid.min_cluster_size) {
@@ -136,15 +293,106 @@ void OnlineAlid::DetectFromPool() {
         for (Index i : clusters_[merge_with].members) exclude[i] = true;
         continue;
       }
-      // Merge failed; fall through and install the pool cluster as-is.
+      // Merge failed: restore the sibling's membership (its members are
+      // disjoint from the pool cluster, so this is exact) and fall through
+      // to install the pool cluster as-is.
+      Assign(merge_with);
     }
     clusters_.push_back(std::move(c));
+    cluster_version_.push_back(0);
+    cluster_dead_.push_back(0);
     Assign(static_cast<int>(clusters_.size()) - 1);
+    ++stats_.clusters_born;
   }
 }
 
 void OnlineAlid::Assign(int cluster_id) {
   for (Index i : clusters_[cluster_id].members) assignment_[i] = cluster_id;
+}
+
+void OnlineAlid::ExpireToWindow() {
+  std::vector<Index> expired;
+  std::vector<int> dirty;
+  while (static_cast<Index>(window_fifo_.size()) > options_.window) {
+    const Index slot = window_fifo_.front();
+    window_fifo_.pop_front();
+    lsh_->RemoveItem(slot);
+    alive_[slot] = 0;
+    const int cid = assignment_[slot];
+    if (cid >= 0) {
+      Cluster& cl = clusters_[cid];
+      const auto pos =
+          std::lower_bound(cl.members.begin(), cl.members.end(), slot);
+      ALID_CHECK(pos != cl.members.end() && *pos == slot);
+      cl.weights.erase(cl.weights.begin() + (pos - cl.members.begin()));
+      cl.members.erase(pos);
+      assignment_[slot] = -1;
+      ++cluster_version_[cid];
+      dirty.push_back(cid);
+    }
+    expired.push_back(slot);
+    ++stats_.evicted;
+  }
+  if (expired.empty()) return;
+  // Invalidate before any repair detection runs and before the slots are
+  // re-used: a cached kernel value against an evicted point must never be
+  // served again.
+  stats_.cache_entries_invalidated += oracle_->InvalidateCachedItems(expired);
+  free_slots_.insert(free_slots_.end(), expired.begin(), expired.end());
+  std::sort(free_slots_.begin(), free_slots_.end(), std::greater<Index>());
+  // Repair the clusters that lost members, in ascending id order.
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (int cid : dirty) RepairCluster(cid);
+}
+
+void OnlineAlid::RepairCluster(int cluster_id) {
+  if (cluster_dead_[cluster_id] != 0) return;
+  const Cluster& cl = clusters_[cluster_id];
+  if (static_cast<int>(cl.members.size()) < options_.alid.min_cluster_size) {
+    DissolveCluster(cluster_id);
+    return;
+  }
+  // Re-detect from the heaviest surviving member (first on ties) so the
+  // weights rebalance around what is left inside the window.
+  size_t heaviest = 0;
+  for (size_t t = 1; t < cl.weights.size(); ++t) {
+    if (cl.weights[t] > cl.weights[heaviest]) heaviest = t;
+  }
+  RedetectCluster(cluster_id, cl.members[heaviest]);
+}
+
+void OnlineAlid::DissolveCluster(int cluster_id) {
+  for (Index i : clusters_[cluster_id].members) assignment_[i] = -1;
+  clusters_[cluster_id].members.clear();
+  clusters_[cluster_id].weights.clear();
+  clusters_[cluster_id].density = 0.0;
+  cluster_dead_[cluster_id] = 1;
+  ++cluster_version_[cluster_id];
+  ++stats_.clusters_dissolved;
+}
+
+void OnlineAlid::CompactClusters() {
+  if (std::find(cluster_dead_.begin(), cluster_dead_.end(), uint8_t{1}) ==
+      cluster_dead_.end()) {
+    return;
+  }
+  std::vector<int> remap(clusters_.size(), -1);
+  std::vector<Cluster> kept;
+  std::vector<uint64_t> kept_versions;
+  kept.reserve(clusters_.size());
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    if (cluster_dead_[c] != 0) continue;
+    remap[c] = static_cast<int>(kept.size());
+    kept.push_back(std::move(clusters_[c]));
+    kept_versions.push_back(cluster_version_[c]);
+  }
+  clusters_ = std::move(kept);
+  cluster_version_ = std::move(kept_versions);
+  cluster_dead_.assign(clusters_.size(), 0);
+  for (int& a : assignment_) {
+    if (a >= 0) a = remap[a];  // dead clusters hold no assignments
+  }
 }
 
 }  // namespace alid

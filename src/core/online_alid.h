@@ -1,6 +1,8 @@
 #ifndef ALID_CORE_ONLINE_ALID_H_
 #define ALID_CORE_ONLINE_ALID_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -9,11 +11,14 @@
 
 namespace alid {
 
-/// Options of the streaming extension.
+class ThreadPool;
+
+/// Options of the streaming subsystem.
 struct OnlineAlidOptions {
   /// Affinity kernel of the stream.
   AffinityParams affinity;
-  /// LSH parameters (the index grows with the stream via AppendItem).
+  /// LSH parameters (the index grows — and, under a window, shrinks — with
+  /// the stream).
   LshParams lsh;
   /// Per-detection ALID options.
   AlidOptions alid;
@@ -25,46 +30,154 @@ struct OnlineAlidOptions {
   /// (Theorem 1's equality on the support), so the strict > test alone
   /// would bounce half of them into the pool and fragment the cluster.
   double absorb_slack = 0.05;
+  /// Sliding window: at most this many arrivals stay alive. Older items are
+  /// expired — removed from the LSH buckets, peeled out of their cluster
+  /// (which is then locally re-detected or dissolved), and their cached
+  /// affinities invalidated — and their slots re-used by later arrivals, so
+  /// index and cache footprints stay bounded by the window, not the stream.
+  /// 0 keeps every arrival forever (the append-only mode of the original
+  /// extension).
+  Index window = 0;
+  /// Optional shared executor pool for the batch-ingest phases (arrival
+  /// hashing and absorb scoring run chunked on it; all mutation phases stay
+  /// serial in arrival order). The streamed state is bit-identical for any
+  /// pool width, scheduling discipline, grain, or pool == nullptr — the
+  /// same determinism contract as src/common/parallel.*.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the parallel phases (see DeterministicGrain); 0 auto.
+  int64_t grain = 0;
+  /// Installs the shared column cache under the oracle (the default-on
+  /// runtime behavior). Cached values are bit-identical to recomputation
+  /// and expiry invalidates them before a slot is re-used, so the streamed
+  /// state never depends on this flag; false keeps the stateless oracle
+  /// (the cache-on ≡ cache-off harness flips it).
+  bool column_cache = true;
+};
+
+/// Counters and per-batch ingest latencies of one OnlineAlid stream — the
+/// streaming counterpart of PalidStats.
+struct StreamStats {
+  int64_t arrivals = 0;  ///< Items ever inserted.
+  int64_t absorbed = 0;  ///< Arrivals absorbed into a live cluster on entry.
+  int64_t pooled = 0;    ///< Arrivals that joined the unassigned pool (a
+                         ///< refresh pass may still cluster them later).
+  int64_t evicted = 0;   ///< Items expired out of the sliding window.
+  int64_t redetections = 0;  ///< Local Algorithm-2 re-runs (absorb + repair).
+  int64_t refreshes = 0;     ///< Maintenance passes over the pool.
+  int64_t clusters_born = 0;
+  int64_t clusters_dissolved = 0;
+  /// Cached kernel entries dropped by the expiry invalidation path.
+  int64_t cache_entries_invalidated = 0;
+  Index alive = 0;         ///< Live items (inside the window).
+  int clusters_alive = 0;  ///< Current dominant clusters.
+  /// Wall seconds of the most recent InsertBatch calls, in call order —
+  /// bounded at kMaxLatencySamples (oldest halved away) so a long-lived
+  /// stream's stats footprint stays bounded like everything else.
+  std::vector<double> batch_seconds;
+
+  static constexpr size_t kMaxLatencySamples = 8192;
+
+  /// Histogram of batch_seconds over `bins` equal-width buckets spanning
+  /// [0, max batch time] — the ingest-latency profile of the stream.
+  std::vector<int> LatencyHistogram(int bins = 8) const;
 };
 
 /// OnlineAlid — the "online version to efficiently process streaming data
-/// sources" the paper names as future work (Section 6), built from the same
-/// primitives as batch ALID.
+/// sources" the paper names as future work (Section 6), grown into a
+/// windowed, batch-parallel streaming subsystem on the shared runtime.
 ///
-/// Strategy: arriving items are hashed into the growing LSH index. An item
-/// that lands inside the locality of an existing dominant cluster and is
-/// infective against it (pi(s_j, x) > pi(x), the Theorem 1 test) triggers a
-/// *local* re-detection seeded at that cluster, which absorbs the newcomer
-/// and rebalances the weights. Items that match nothing join the unassigned
-/// pool; every `refresh_interval` arrivals, one peeling pass over the pool
-/// detects newly formed clusters. Costs stay local: no global recomputation
-/// ever happens.
+/// Ingest strategy per batch: every arrival is written into a slot (expired
+/// slots are re-used smallest-first) and hashed into the growing LSH index —
+/// the hashing and the Theorem-1 absorb scoring run chunked on the shared
+/// pool, both pure against the batch-start state, so the streamed state is
+/// bit-identical for every executor count. Absorptions then apply serially
+/// in arrival order: an arrival whose chosen cluster was mutated earlier in
+/// the same batch is re-scored against the cluster's current state before a
+/// *local* re-detection absorbs it. Arrivals matching nothing join the
+/// unassigned pool; every `refresh_interval` arrivals one peeling pass over
+/// the pool detects newly formed clusters. Under a sliding window, batch
+/// ingest ends by expiring the oldest items: they leave the LSH buckets,
+/// their cached affinities are invalidated (their slots will be re-used),
+/// and every cluster that lost members is locally re-detected or dissolved.
+/// Costs stay local: no global recomputation ever happens.
 class OnlineAlid {
  public:
   explicit OnlineAlid(int dim, OnlineAlidOptions options);
 
-  /// Feeds one data point; returns its index in the stream. Triggers local
-  /// maintenance as described above.
+  /// Feeds one data point; returns its slot (equal to the stream position
+  /// until a window expires items and slots start being re-used). Triggers
+  /// the same maintenance as a batch of one.
   Index Insert(std::span<const Scalar> point);
+
+  /// Batch ingest: `points` holds count * dim scalars, row-major, in
+  /// arrival order. Returns the slot of each arrival. Absorb candidates are
+  /// evaluated against the state at batch start (in parallel when a pool is
+  /// set); window expiry runs once at the end of the batch.
+  std::vector<Index> InsertBatch(std::span<const Scalar> points);
 
   /// Current dominant clusters (density >= the ALID keep-threshold).
   const std::vector<Cluster>& clusters() const { return clusters_; }
 
-  /// Cluster id of item i, or -1 while unassigned.
-  int ClusterOf(Index i) const { return assignment_[i]; }
+  /// Cluster id of the item in slot i, or -1 while unassigned, expired, or
+  /// out of the slot universe (slots are re-used under a window, so they
+  /// stop at about `window + batch` even as size() keeps counting arrivals).
+  int ClusterOf(Index i) const {
+    return i >= 0 && i < static_cast<Index>(assignment_.size())
+               ? assignment_[i]
+               : -1;
+  }
 
-  /// Number of items fed so far.
-  Index size() const { return data_.size(); }
+  /// True iff slot i currently holds a live (non-expired) item.
+  bool IsAlive(Index i) const {
+    return i >= 0 && i < static_cast<Index>(alive_.size()) && alive_[i] != 0;
+  }
+
+  /// Number of items fed so far (monotonic; expired items still count).
+  Index size() const { return static_cast<Index>(stats_.arrivals); }
+
+  /// Live items currently inside the window.
+  Index alive() const { return static_cast<Index>(window_fifo_.size()); }
 
   /// Forces the periodic maintenance pass now (e.g., at end of stream).
   void Refresh();
 
+  /// Stream observability — the streaming counterpart of PalidStats.
+  const StreamStats& stats() const { return stats_; }
+
+  /// The shared oracle (cache hit/eviction counters for benches and tests).
+  const LazyAffinityOracle& oracle() const { return *oracle_; }
+
  private:
+  // Absorb decision of one arrival: the target cluster (-1 = pool). The
+  // deciding margin is recomputed on the apply path whenever the target
+  // mutated, so only the choice itself is carried across the phases.
+  struct Choice {
+    int cluster = -1;
+  };
+
+  // Writes the point into a re-used or appended slot (serial phase).
+  Index AllocateSlot(std::span<const Scalar> point);
+  // Pure Theorem-1 scoring of one arrival against the current clusters.
+  Choice ScoreArrival(Index slot) const;
+  // pi(s_j, x) of the newcomer against one cluster's weighted support.
+  Scalar ClusterAffinity(const Cluster& cluster, Index slot) const;
+  // Serial per-arrival apply: absorb (re-scoring if the chosen cluster
+  // mutated earlier in the batch, per `versions`) and refresh bookkeeping.
+  void ApplyArrival(Index slot, const Choice& choice,
+                    const std::vector<uint64_t>& versions);
   // Re-runs Algorithm 2 from a seed and installs/updates a cluster.
   void RedetectCluster(int cluster_id, Index seed);
   // Peels new clusters out of the unassigned pool.
   void DetectFromPool();
   void Assign(int cluster_id);
+  // Expires the oldest items down to the window, invalidates their cached
+  // affinities and repairs the clusters they were peeled out of.
+  void ExpireToWindow();
+  // Re-detects a cluster that lost members to expiry (or dissolves it).
+  void RepairCluster(int cluster_id);
+  void DissolveCluster(int cluster_id);
+  // Erases dead clusters and remaps assignments (end of batch / refresh).
+  void CompactClusters();
 
   OnlineAlidOptions options_;
   Dataset data_;
@@ -73,8 +186,19 @@ class OnlineAlid {
   std::unique_ptr<LshIndex> lsh_;
 
   std::vector<Cluster> clusters_;
-  std::vector<int> assignment_;  // item -> cluster id or -1
+  // Mutation counter per cluster id; the batch apply phase re-scores an
+  // arrival whose precomputed target moved since the batch started.
+  std::vector<uint64_t> cluster_version_;
+  // Dissolved-in-this-batch markers; compacted away at batch end so public
+  // cluster ids stay dense.
+  std::vector<uint8_t> cluster_dead_;
+  std::vector<int> assignment_;   // slot -> cluster id or -1
+  std::vector<uint8_t> alive_;    // slot -> live?
+  // Expired slots, descending, so the smallest is an O(1) pop_back away.
+  std::vector<Index> free_slots_;
+  std::deque<Index> window_fifo_;  // live slots, oldest arrival first
   Index since_refresh_ = 0;
+  StreamStats stats_;
 };
 
 }  // namespace alid

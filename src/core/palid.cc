@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -13,17 +14,7 @@
 namespace alid {
 
 std::vector<int> PalidStats::TaskHistogram(int bins) const {
-  ALID_CHECK(bins > 0);
-  std::vector<int> histogram(bins, 0);
-  if (task_seconds.empty()) return histogram;
-  const double max_secs =
-      *std::max_element(task_seconds.begin(), task_seconds.end());
-  for (double secs : task_seconds) {
-    int bin = max_secs > 0.0 ? static_cast<int>(secs / max_secs * bins)
-                             : 0;
-    histogram[std::min(bin, bins - 1)] += 1;
-  }
-  return histogram;
+  return EqualWidthHistogram(task_seconds, bins);
 }
 
 Palid::Palid(const LazyAffinityOracle& oracle, const LshIndex& lsh,

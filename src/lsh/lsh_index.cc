@@ -51,6 +51,8 @@ LshIndex::LshIndex(const Dataset& data, LshParams params)
   }
 
   indexed_count_ = n;
+  live_count_ = n;
+  removed_.assign(static_cast<size_t>(n), 0);
   for (const auto& table : tables_) {
     memory_bytes_ += table.projections.size() * sizeof(Scalar);
     memory_bytes_ += table.offsets.size() * sizeof(Scalar);
@@ -65,14 +67,61 @@ LshIndex::LshIndex(const Dataset& data, LshParams params)
 
 void LshIndex::AppendItem(Index i) {
   ALID_CHECK_MSG(i == indexed_count_, "items must be appended in order");
-  ALID_CHECK(i < data_->size());
-  for (auto& table : tables_) {
-    const uint64_t key = HashPoint(table, (*data_)[i]);
-    table.item_key.push_back(key);
-    table.buckets[key].push_back(i);
+  std::vector<uint64_t> keys(tables_.size());
+  ComputeItemKeys(i, keys.data());
+  InsertItemWithKeys(i, keys);
+}
+
+void LshIndex::ComputeItemKeys(Index i, uint64_t* out) const {
+  ALID_CHECK(i >= 0 && i < data_->size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    out[t] = HashPoint(tables_[t], (*data_)[i]);
   }
-  ++indexed_count_;
-  memory_bytes_ += tables_.size() * (sizeof(uint64_t) + sizeof(Index));
+}
+
+void LshIndex::InsertItemWithKeys(Index i, std::span<const uint64_t> keys) {
+  ALID_CHECK(static_cast<int>(keys.size()) == params_.num_tables);
+  ALID_CHECK(i >= 0 && i < data_->size());
+  if (i == indexed_count_) {
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      tables_[t].item_key.push_back(keys[t]);
+      tables_[t].buckets[keys[t]].push_back(i);
+    }
+    removed_.push_back(0);
+    ++indexed_count_;
+    memory_bytes_ += tables_.size() * (sizeof(uint64_t) + sizeof(Index));
+  } else {
+    ALID_CHECK_MSG(IsItemRemoved(i),
+                   "only removed slots may be re-inserted out of order");
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      tables_[t].item_key[i] = keys[t];
+      tables_[t].buckets[keys[t]].push_back(i);
+    }
+    removed_[i] = 0;
+    memory_bytes_ += tables_.size() * sizeof(Index);
+  }
+  ++live_count_;
+  charge_->Adjust(static_cast<int64_t>(memory_bytes_));
+}
+
+void LshIndex::RemoveItem(Index i) {
+  ALID_CHECK(i >= 0 && i < indexed_count_);
+  ALID_CHECK_MSG(removed_[i] == 0, "item already removed");
+  for (auto& table : tables_) {
+    auto it = table.buckets.find(table.item_key[i]);
+    ALID_CHECK(it != table.buckets.end());
+    auto& items = it->second;
+    auto pos = std::find(items.begin(), items.end(), i);
+    ALID_CHECK(pos != items.end());
+    // erase() keeps the remaining order, so bucket iteration — and with it
+    // every query result — depends only on the operation history, never on
+    // which item happened to sit last.
+    items.erase(pos);
+    if (items.empty()) table.buckets.erase(it);
+  }
+  removed_[i] = 1;
+  --live_count_;
+  memory_bytes_ -= tables_.size() * sizeof(Index);
   charge_->Adjust(static_cast<int64_t>(memory_bytes_));
 }
 
@@ -95,6 +144,7 @@ uint64_t LshIndex::HashPoint(const Table& table,
 
 std::vector<Index> LshIndex::QueryByIndex(Index i) const {
   ALID_CHECK(i >= 0 && i < size());
+  ALID_CHECK_MSG(removed_[i] == 0, "cannot query a removed item");
   std::unordered_set<Index> seen;
   for (const auto& table : tables_) {
     auto it = table.buckets.find(table.item_key[i]);
@@ -125,6 +175,7 @@ void LshIndex::QueryByIndexBatch(std::span<const Index> items,
   }
   for (Index i : items) {
     ALID_CHECK(i >= 0 && i < size());
+    ALID_CHECK_MSG(removed_[i] == 0, "cannot query a removed item");
     stamp[i] = epoch;
   }
   for (const auto& table : tables_) {
@@ -174,8 +225,13 @@ double LshIndex::MeanCandidatesPerItem(int sample, uint64_t seed) const {
   const int count = std::min<int>(sample, n);
   auto ids = rng.SampleWithoutReplacement(n, count);
   double total = 0.0;
-  for (Index i : ids) total += static_cast<double>(QueryByIndex(i).size());
-  return total / count;
+  int live = 0;
+  for (Index i : ids) {
+    if (removed_[i] != 0) continue;  // expired stream slots have no buckets
+    total += static_cast<double>(QueryByIndex(i).size());
+    ++live;
+  }
+  return live > 0 ? total / live : 0.0;
 }
 
 }  // namespace alid

@@ -43,15 +43,40 @@ class LshIndex {
   LshIndex& operator=(const LshIndex&) = delete;
 
   const LshParams& params() const { return params_; }
-  /// Number of items hashed into the tables (== dataset size unless the
+  int num_tables() const { return params_.num_tables; }
+  /// Number of item slots the tables know about (== dataset size unless the
   /// dataset grew and AppendItem was not yet called for the new rows).
+  /// Removed slots still count; see live_count().
   Index size() const { return indexed_count_; }
+  /// Items currently present in the buckets (size() minus removed slots).
+  Index live_count() const { return live_count_; }
 
   /// Hashes the data point with index `i` (which must already exist in the
   /// underlying Dataset, appended after this index was built) into every
   /// table. Enables the streaming extension (OnlineAlid): the index grows
   /// with the dataset instead of being rebuilt.
   void AppendItem(Index i);
+
+  /// Pure per-item hashing: writes item i's bucket key for every table into
+  /// out[0 .. num_tables()). Thread-safe — OnlineAlid's batch ingest hashes
+  /// a whole arrival batch in parallel with this and applies the mutations
+  /// serially through InsertItemWithKeys.
+  void ComputeItemKeys(Index i, uint64_t* out) const;
+
+  /// Inserts item i with precomputed keys: either the next append slot
+  /// (i == size()) or a previously removed slot whose dataset row was
+  /// overwritten by a new arrival. Not thread-safe.
+  void InsertItemWithKeys(Index i, std::span<const uint64_t> keys);
+
+  /// Removes item i from every bucket — the sliding-window expiry path of
+  /// the streaming runtime. The slot may later be re-used through
+  /// InsertItemWithKeys. Not thread-safe.
+  void RemoveItem(Index i);
+
+  /// True iff slot i was removed and not yet re-inserted.
+  bool IsItemRemoved(Index i) const {
+    return i >= 0 && i < indexed_count_ && removed_[i] != 0;
+  }
 
   /// All items colliding with item i in at least one table (i excluded),
   /// deduplicated, unordered.
@@ -99,7 +124,9 @@ class LshIndex {
   const Dataset* data_;
   LshParams params_;
   std::vector<Table> tables_;
-  Index indexed_count_ = 0;  // how many dataset rows are hashed in
+  Index indexed_count_ = 0;  // how many dataset rows the tables know about
+  Index live_count_ = 0;     // indexed slots currently present in buckets
+  std::vector<uint8_t> removed_;  // slot -> removed flag
   size_t memory_bytes_ = 0;
   std::unique_ptr<ScopedMemoryCharge> charge_;
 };

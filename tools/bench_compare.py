@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare two bench JSONL records.
+
+Each input is a bench_trajectory.jsonl as produced by the release-bench CI
+job: one single-line JSON record per bench binary (fig7 / table1 / table2 /
+stream), each carrying wall-time keys somewhere inside. The script pairs up
+every wall-time metric that exists in both records — identified by a stable
+path such as ``table2_palid/PALID/executors=8/wall_seconds`` — and compares
+current against previous:
+
+  * ratio > --fail-ratio (default 1.25): regression, exit 1
+  * ratio > --warn-ratio (default 1.10): warning, exit 0
+  * otherwise: ok
+
+Timings below --min-seconds in *both* records are skipped: micro-timings on
+shared CI runners are noise, and a 3 ms -> 5 ms move is not a regression.
+Metrics present on only one side (new or retired benches) are reported but
+never fail the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+WALL_KEYS = ("wall_seconds", "p95_batch_seconds")
+
+
+def load_records(path):
+    """bench-name -> parsed record, from a JSONL file."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(f"warning: skipping unparsable line in {path}: {error}")
+                continue
+            name = record.get("bench")
+            if name:
+                records[name] = record
+    return records
+
+
+def row_label(row):
+    """A stable, human-readable identity for one sweep row."""
+    parts = []
+    for key in ("method", "regime", "dataset", "window", "batch",
+                "executors"):
+        if key in row:
+            parts.append(f"{key}={row[key]}")
+    return "/".join(parts) if parts else "row"
+
+
+def flatten(record):
+    """{metric-path: seconds} for every wall-time leaf of one record."""
+    out = {}
+    bench = record.get("bench", "bench")
+    for key in WALL_KEYS:
+        if isinstance(record.get(key), (int, float)):
+            out[f"{bench}/{key}"] = float(record[key])
+    for row in record.get("rows", []):
+        if not isinstance(row, dict):
+            continue
+        label = row_label(row)
+        for key in WALL_KEYS:
+            if isinstance(row.get(key), (int, float)):
+                out[f"{bench}/{label}/{key}"] = float(row[key])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", help="previous bench_trajectory.jsonl")
+    parser.add_argument("current", help="current bench_trajectory.jsonl")
+    parser.add_argument("--fail-ratio", type=float, default=1.25,
+                        help="fail when current/previous exceeds this")
+    parser.add_argument("--warn-ratio", type=float, default=1.10,
+                        help="warn when current/previous exceeds this")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore metrics below this in both records")
+    args = parser.parse_args()
+
+    previous = {}
+    for record in load_records(args.previous).values():
+        previous.update(flatten(record))
+    current = {}
+    for record in load_records(args.current).values():
+        current.update(flatten(record))
+
+    if not previous:
+        print("no previous wall-time metrics found — nothing to gate")
+        return 0
+    if not current:
+        print("error: current record carries no wall-time metrics")
+        return 1
+
+    failures, warnings, compared = [], [], 0
+    for path in sorted(set(previous) & set(current)):
+        prev, curr = previous[path], current[path]
+        if prev < args.min_seconds and curr < args.min_seconds:
+            continue
+        compared += 1
+        ratio = curr / prev if prev > 0 else float("inf")
+        line = f"{path}: {prev:.3f}s -> {curr:.3f}s (x{ratio:.2f})"
+        if ratio > args.fail_ratio:
+            failures.append(line)
+            print(f"FAIL {line}")
+        elif ratio > args.warn_ratio:
+            warnings.append(line)
+            print(f"WARN {line}")
+        else:
+            print(f"  ok {line}")
+    for path in sorted(set(current) - set(previous)):
+        print(f" new {path}: {current[path]:.3f}s (no baseline)")
+    for path in sorted(set(previous) - set(current)):
+        print(f"gone {path} (was {previous[path]:.3f}s)")
+
+    print(f"\ncompared {compared} metrics: "
+          f"{len(failures)} regressions, {len(warnings)} warnings")
+    if failures:
+        print(f"perf-trajectory gate FAILED "
+              f"(>{args.fail_ratio:.2f}x on {len(failures)} metrics)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI gate for the ROADMAP's parallel-speedup claim.
+
+Parses the uploaded bench trajectory (bench_trajectory.jsonl) for PALID's
+executor sweeps — the ``fig7_parallel_baselines`` record and, as a fallback,
+``table2_palid`` — and fails when the 8-executor wall time exceeds half the
+1-executor wall time (i.e. when the measured speedup at 8 executors is below
+2x). The ROADMAP claims >=3x on real 8-core hardware; the gate's 2x bound
+leaves headroom for shared CI runners.
+
+On hosts with fewer than --min-cores (default 4) the check is skipped with a
+notice: wall-clock speedup is physically capped by the core count there and
+the claim must be read off a wider machine.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            name = record.get("bench")
+            if name:
+                records[name] = record
+    return records
+
+
+def palid_walls(record):
+    """{executors: wall_seconds} for the work-stealing PALID rows."""
+    walls = {}
+    for row in record.get("rows", []):
+        if row.get("method") == "PALID" and "executors" in row:
+            walls[int(row["executors"])] = float(row["wall_seconds"])
+    return walls
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectory", help="bench_trajectory.jsonl")
+    parser.add_argument("--min-cores", type=int, default=4,
+                        help="skip (exit 0) below this many CPUs")
+    parser.add_argument("--max-ratio", type=float, default=0.5,
+                        help="fail when wall(8) / wall(1) exceeds this")
+    args = parser.parse_args()
+
+    cores = os.cpu_count() or 1
+    if cores < args.min_cores:
+        print(f"::notice::speedup gate skipped: host has {cores} cores "
+              f"(< {args.min_cores}); wall-clock speedup is core-bound here "
+              f"and the >=3x-at-8-executors claim must be validated on "
+              f"multi-core hardware")
+        return 0
+
+    records = load_records(args.trajectory)
+    checked = 0
+    failed = False
+    for name in ("fig7_parallel_baselines", "table2_palid"):
+        record = records.get(name)
+        if record is None:
+            continue
+        walls = palid_walls(record)
+        if 1 not in walls or 8 not in walls:
+            print(f"warning: {name} has no PALID 1/8-executor pair")
+            continue
+        checked += 1
+        ratio = walls[8] / walls[1] if walls[1] > 0 else float("inf")
+        speedup = 1.0 / ratio if ratio > 0 else float("inf")
+        verdict = "ok" if ratio <= args.max_ratio else "FAIL"
+        print(f"{verdict} {name}: PALID wall(1)={walls[1]:.3f}s "
+              f"wall(8)={walls[8]:.3f}s -> {speedup:.2f}x speedup "
+              f"(gate: >= {1.0 / args.max_ratio:.1f}x on {cores} cores)")
+        if ratio > args.max_ratio:
+            failed = True
+    if checked == 0:
+        print("error: no PALID executor sweep found in the trajectory")
+        return 1
+    if failed:
+        print("speedup gate FAILED: 8-executor PALID is not at least "
+              f"{1.0 / args.max_ratio:.1f}x faster than 1 executor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
