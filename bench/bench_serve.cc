@@ -1,0 +1,264 @@
+// Cluster-serving QPS/latency — the read side of the runtime: assignment
+// queries against an immutable, LSH-accelerated ClusterSnapshot published
+// through the server's RCU swap.
+//
+// The workload streams a bursty synthetic source through OnlineAlid, exports
+// snapshots along the way, and then hammers the final snapshot with a mixed
+// query stream (jittered cluster points + far noise). The sweep crosses
+// query batch size {1, 64} with executors {1, 8} on one shared
+// work-stealing pool and reports QPS and p50/p95/p99 per-query latency; a
+// final row re-runs the batched-parallel configuration while a publisher
+// thread hot-swaps the intermediate snapshots underneath the readers
+// ("mode":"swap") — the snapshot-isolation cost under churn. Batched
+// results are bit-identical across the executor axis (tests/serve_test.cc),
+// so only the wall-clock columns move — on a 1-core host only scheduling
+// columns do.
+//
+// The last line is a single-line JSON record of the sweep for the bench
+// trajectory (machine-readable, stable key names).
+#include "bench_util.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/random.h"
+#include "core/online_alid.h"
+#include "data/synthetic.h"
+#include "serve/cluster_server.h"
+#include "serve/cluster_snapshot.h"
+
+namespace alid::bench {
+namespace {
+
+struct ServeRow {
+  const char* mode;  // "steady" or "swap"
+  Index batch;
+  int executors;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_query_seconds = 0.0;
+  double p95_query_seconds = 0.0;
+  double p99_query_seconds = 0.0;
+  double speedup = 0.0;  // vs the 1-executor row of the same (mode, batch)
+  int64_t assigned = 0;
+  int64_t unassigned = 0;
+  int64_t swaps = 0;
+};
+
+// Runs the query workload against `server`; per-call wall times divided by
+// the call's batch size give the per-query latency profile.
+ServeRow RunQueries(const ClusterServer& server,
+                    const std::vector<Scalar>& queries, int dim, Index batch,
+                    int executors, const char* mode) {
+  ServeRow row;
+  row.mode = mode;
+  row.batch = batch;
+  row.executors = executors;
+  const Index count = static_cast<Index>(queries.size()) / dim;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(count / batch) + 1);
+  const std::span<const Scalar> all(queries);
+
+  WallTimer wall;
+  for (Index begin = 0; begin < count; begin += batch) {
+    const Index size = std::min<Index>(batch, count - begin);
+    WallTimer call;
+    if (batch == 1) {
+      const AssignResult r =
+          server.Assign(all.subspan(static_cast<size_t>(begin) * dim,
+                                    static_cast<size_t>(dim)));
+      row.assigned += r.cluster >= 0 ? 1 : 0;
+    } else {
+      const std::vector<AssignResult> results = server.AssignBatch(
+          all.subspan(static_cast<size_t>(begin) * dim,
+                      static_cast<size_t>(size) * dim));
+      for (const AssignResult& r : results) {
+        row.assigned += r.cluster >= 0 ? 1 : 0;
+      }
+    }
+    latencies.push_back(call.Seconds() / static_cast<double>(size));
+  }
+  row.wall_seconds = wall.Seconds();
+  row.unassigned = count - row.assigned;
+  row.qps = row.wall_seconds > 0.0
+                ? static_cast<double>(count) / row.wall_seconds
+                : 0.0;
+  row.p50_query_seconds = Percentile(latencies, 0.50);
+  row.p95_query_seconds = Percentile(latencies, 0.95);
+  row.p99_query_seconds = Percentile(latencies, 0.99);
+  return row;
+}
+
+void PrintRow(const ServeRow& r) {
+  std::printf("%-7s %-6d %-6d %-9.3f %-9.2f %-11.1f %-12.3e %-12.3e "
+              "%-12.3e %-9lld %-7lld\n",
+              r.mode, r.batch, r.executors, r.wall_seconds, r.speedup, r.qps,
+              r.p50_query_seconds, r.p95_query_seconds, r.p99_query_seconds,
+              static_cast<long long>(r.assigned),
+              static_cast<long long>(r.swaps));
+}
+
+void PrintJson(const std::vector<ServeRow>& rows, Index n, Index queries,
+               int clusters, Index members) {
+  std::printf("\nJSON {\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
+              "\"clusters\":%d,\"members\":%d,\"rows\":[",
+              n, queries, clusters, members);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServeRow& r = rows[i];
+    std::printf(
+        "%s{\"mode\":\"%s\",\"batch\":%d,\"executors\":%d,"
+        "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"qps\":%.2f,"
+        "\"p50_query_seconds\":%.9f,\"p95_query_seconds\":%.9f,"
+        "\"p99_query_seconds\":%.9f,\"assigned\":%lld,\"unassigned\":%lld,"
+        "\"swaps\":%lld}",
+        i == 0 ? "" : ",", r.mode, r.batch, r.executors, r.wall_seconds,
+        r.speedup, r.qps, r.p50_query_seconds, r.p95_query_seconds,
+        r.p99_query_seconds, static_cast<long long>(r.assigned),
+        static_cast<long long>(r.unassigned),
+        static_cast<long long>(r.swaps));
+  }
+  std::printf("]}\n");
+}
+
+void Main() {
+  std::printf("Cluster serving: QPS / latency x batch x executors "
+              "(scale %.2f)\n", Scale());
+  SyntheticConfig cfg;
+  cfg.n = Scaled(1600);
+  cfg.dim = 16;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.overlap_clusters = false;
+  cfg.seed = 907;
+  LabeledData data = MakeSynthetic(cfg);
+  Rng rng(23);
+  const std::vector<Index> order = rng.Permutation(data.size());
+
+  // Stream the source and export snapshots along the way: intermediate
+  // states feed the swap-under-load row, the final state the steady rows.
+  OnlineAlidOptions opts;
+  opts.affinity = {.k = data.suggested_k, .p = 2.0};
+  opts.lsh.segment_length = data.suggested_lsh_r;
+  opts.refresh_interval = 256;
+  OnlineAlid online(data.data.dim(), opts);
+  const int dim = data.data.dim();
+  std::vector<std::shared_ptr<const ClusterSnapshot>> snapshots;
+  std::vector<Scalar> flat;
+  for (Index pos = 0; pos < data.size(); ++pos) {
+    const auto point = data.data[order[pos]];
+    flat.insert(flat.end(), point.begin(), point.end());
+    if (static_cast<Index>(flat.size()) == 256 * dim) {
+      online.InsertBatch(flat);
+      flat.clear();
+      online.Refresh();
+      snapshots.push_back(ClusterSnapshot::FromStream(online));
+    }
+  }
+  if (!flat.empty()) online.InsertBatch(flat);
+  online.Refresh();
+  snapshots.push_back(ClusterSnapshot::FromStream(online));
+  const auto& final_snapshot = snapshots.back();
+  std::printf("streamed n=%d -> %d clusters over %d support members, %zu "
+              "snapshots exported\n",
+              data.size(), final_snapshot->num_clusters(),
+              final_snapshot->num_members(), snapshots.size());
+
+  // Query mix: jittered copies of random rows (assignable) + far uniform
+  // noise (unassignable), in one fixed shuffled stream. Sized so each
+  // row's wall time clears bench_compare's noise floor and the QPS
+  // trajectory is actually gated.
+  const Index num_queries = Scaled(100000);
+  std::vector<Scalar> queries;
+  queries.reserve(static_cast<size_t>(num_queries) * dim);
+  for (Index q = 0; q < num_queries; ++q) {
+    if (rng.Uniform() < 0.8) {
+      const auto row =
+          data.data[static_cast<Index>(rng.UniformInt(0, data.size() - 1))];
+      for (int d = 0; d < dim; ++d) {
+        queries.push_back(row[d] + rng.Gaussian() * 0.05);
+      }
+    } else {
+      for (int d = 0; d < dim; ++d) {
+        queries.push_back(rng.Uniform(-900.0, 900.0));
+      }
+    }
+  }
+
+  PrintHeader("steady-state serving (single published snapshot)");
+  std::printf("%-7s %-6s %-6s %-9s %-9s %-11s %-12s %-12s %-12s %-9s %-7s\n",
+              "mode", "batch", "execs", "wall(s)", "speedup", "qps",
+              "p50(s)", "p95(s)", "p99(s)", "assigned", "swaps");
+  std::vector<ServeRow> rows;
+  for (Index batch : {Index{1}, Index{64}}) {
+    double base_wall = 0.0;
+    for (int executors : {1, 8}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (executors > 1) pool = std::make_unique<ThreadPool>(executors);
+      ClusterServer server(dim, {.pool = pool.get()});
+      server.Publish(final_snapshot);
+      ServeRow row =
+          RunQueries(server, queries, dim, batch, executors, "steady");
+      if (executors == 1) {
+        base_wall = row.wall_seconds;
+        row.speedup = 1.0;
+      } else {
+        row.speedup = row.wall_seconds > 0.0 && base_wall > 0.0
+                          ? base_wall / row.wall_seconds
+                          : 0.0;
+      }
+      PrintRow(row);
+      rows.push_back(row);
+    }
+  }
+
+  PrintHeader("snapshot swaps under query load (RCU publication)");
+  {
+    ThreadPool pool(8);
+    ClusterServer server(dim, {.pool = &pool});
+    server.Publish(snapshots.front());
+    std::atomic<bool> done{false};
+    std::atomic<int64_t> swaps{0};
+    // The publisher cycles through the exported stream states as fast as it
+    // can — every swap retires a whole snapshot under live readers.
+    std::thread publisher([&] {
+      size_t next = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        server.Publish(snapshots[next % snapshots.size()]);
+        swaps.fetch_add(1, std::memory_order_relaxed);
+        next++;
+        std::this_thread::yield();
+      }
+    });
+    ServeRow row = RunQueries(server, queries, dim, 64, 8, "swap");
+    done.store(true, std::memory_order_release);
+    publisher.join();
+    row.swaps = swaps.load();
+    const ServeRow* steady = nullptr;
+    for (const ServeRow& r : rows) {
+      if (r.batch == 64 && r.executors == 8) steady = &r;
+    }
+    row.speedup = steady != nullptr && row.wall_seconds > 0.0
+                      ? steady->wall_seconds / row.wall_seconds
+                      : 0.0;  // vs the swap-free twin: the isolation cost
+    PrintRow(row);
+    rows.push_back(row);
+  }
+
+  std::printf("\nExpected shape: batched queries amortize the snapshot "
+              "acquire and fan out across executors (the batch answers from "
+              "ONE snapshot either way); the swap row tracks its steady "
+              "twin closely because readers never block on publication — "
+              "retired snapshots die with their last in-flight reader.\n");
+  PrintJson(rows, data.size(), num_queries, final_snapshot->num_clusters(),
+            final_snapshot->num_members());
+}
+
+}  // namespace
+}  // namespace alid::bench
+
+int main() {
+  alid::bench::Main();
+  return 0;
+}

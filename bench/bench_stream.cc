@@ -46,16 +46,6 @@ struct StreamRow {
   int clusters = 0;
 };
 
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double pos = q * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
-}
-
 StreamRow RunStream(const LabeledData& data,
                     const std::vector<Index>& order, Index batch,
                     Index window, int executors) {

@@ -194,6 +194,19 @@ inline RunStats RunAp(const LabeledData& data, double r_scale = -1.0,
   return stats;
 }
 
+/// Linear-interpolated q-quantile of `values` (sorts a copy). Shared by the
+/// stream and serve latency columns so the percentile convention behind the
+/// trajectory record's p50/p95/p99 keys can never diverge between benches.
+inline double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }

@@ -1,7 +1,6 @@
 #include "affinity/column_cache.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/check.h"
 #include "common/memory_tracker.h"
@@ -35,22 +34,40 @@ ColumnCacheOptions ColumnCacheOptions::ForDataSize(Index n,
 }
 
 struct ColumnCache::Shard {
+  struct Entry {
+    uint64_t key;
+    Scalar value;
+    // Generations of the pair's two items at insert time; a mismatch against
+    // the live tags means one item was invalidated since.
+    uint32_t gen_lo;
+    uint32_t gen_hi;
+  };
   std::mutex mu;
   // front = most recently used. The map indexes into the list.
-  std::list<std::pair<uint64_t, Scalar>> lru;
-  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Scalar>>::iterator>
-      index;
+  std::list<Entry> lru;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
 };
 
 ColumnCache::ColumnCache(ColumnCacheOptions options) : options_(options) {
   ALID_CHECK(options_.num_shards > 0);
   ALID_CHECK(options_.max_bytes >= kBytesPerEntry);
-  max_bytes_per_shard_ = std::max<size_t>(
-      kBytesPerEntry,
-      options_.max_bytes / static_cast<size_t>(options_.num_shards));
+  ALID_CHECK(options_.generation_slots > 0 &&
+             (options_.generation_slots & (options_.generation_slots - 1)) ==
+                 0);
+  max_bytes_.store(options_.max_bytes, std::memory_order_relaxed);
+  max_bytes_per_shard_.store(
+      std::max<size_t>(kBytesPerEntry,
+                       options_.max_bytes /
+                           static_cast<size_t>(options_.num_shards)),
+      std::memory_order_relaxed);
   shards_.reserve(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  generations_ = std::make_unique<std::atomic<uint32_t>[]>(
+      static_cast<size_t>(options_.generation_slots));
+  for (int g = 0; g < options_.generation_slots; ++g) {
+    generations_[g].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -61,38 +78,67 @@ ColumnCache::Shard& ColumnCache::ShardFor(uint64_t key) {
   return *shards_[SplitMix64(key) % shards_.size()];
 }
 
+uint32_t ColumnCache::GenerationOf(Index item) const {
+  const uint32_t slot = static_cast<uint32_t>(item) &
+                        static_cast<uint32_t>(options_.generation_slots - 1);
+  return generations_[slot].load(std::memory_order_relaxed);
+}
+
 bool ColumnCache::Lookup(Index i, Index j, Scalar* value) {
   const uint64_t key = PairKey(i, j);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  const uint32_t gen_lo = GenerationOf(std::min(i, j));
+  const uint32_t gen_hi = GenerationOf(std::max(i, j));
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (it->second->gen_lo == gen_lo && it->second->gen_hi == gen_hi) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        *value = it->second->value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Outdated by an EraseItems tag: drop lazily, right where it is found.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      stale = true;
+    }
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *value = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  if (stale) {
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_sub(static_cast<int64_t>(kBytesPerEntry),
+                     std::memory_order_relaxed);
+    MemoryTracker::Global().Add(-static_cast<int64_t>(kBytesPerEntry));
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 void ColumnCache::Insert(Index i, Index j, Scalar value) {
   const uint64_t key = PairKey(i, j);
   Shard& shard = ShardFor(key);
+  const uint32_t gen_lo = GenerationOf(std::min(i, j));
+  const uint32_t gen_hi = GenerationOf(std::max(i, j));
+  const size_t shard_budget =
+      max_bytes_per_shard_.load(std::memory_order_relaxed);
   int64_t delta_bytes = 0;
   int64_t evicted = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      it->second->second = value;
+      it->second->value = value;
+      it->second->gen_lo = gen_lo;
+      it->second->gen_hi = gen_hi;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      shard.lru.emplace_front(key, value);
+      shard.lru.push_front(Shard::Entry{key, value, gen_lo, gen_hi});
       shard.index[key] = shard.lru.begin();
       delta_bytes += static_cast<int64_t>(kBytesPerEntry);
-      while (shard.index.size() * kBytesPerEntry > max_bytes_per_shard_) {
-        shard.index.erase(shard.lru.back().first);
+      while (shard.index.size() * kBytesPerEntry > shard_budget) {
+        shard.index.erase(shard.lru.back().key);
         shard.lru.pop_back();
         delta_bytes -= static_cast<int64_t>(kBytesPerEntry);
         ++evicted;
@@ -110,32 +156,46 @@ void ColumnCache::ResetCounters() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  stale_drops_.store(0, std::memory_order_relaxed);
 }
 
 int64_t ColumnCache::EraseItems(std::span<const Index> items) {
-  if (items.empty()) return 0;
-  const std::unordered_set<uint64_t> gone(items.begin(), items.end());
-  int64_t erased = 0;
+  // O(items), independent of the cache budget: bump each item's generation
+  // slot; stale entries fall out lazily on their next Lookup (or via LRU
+  // eviction). Entries of an unrelated item sharing a slot are
+  // over-invalidated — an extra recompute, never a stale value.
+  for (Index item : items) {
+    const uint32_t slot =
+        static_cast<uint32_t>(item) &
+        static_cast<uint32_t>(options_.generation_slots - 1);
+    generations_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+  return static_cast<int64_t>(items.size());
+}
+
+void ColumnCache::Rebudget(size_t new_max_bytes) {
+  ALID_CHECK(new_max_bytes >= kBytesPerEntry);
+  max_bytes_.store(new_max_bytes, std::memory_order_relaxed);
+  const size_t per_shard = std::max<size_t>(
+      kBytesPerEntry, new_max_bytes / static_cast<size_t>(shards_.size()));
+  max_bytes_per_shard_.store(per_shard, std::memory_order_relaxed);
+  // A shrink evicts down to the new bound right away; a growth keeps every
+  // warm entry (the whole point of re-budgeting in place).
+  int64_t evicted = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
-      const uint64_t lo = it->first & 0xffffffffull;
-      const uint64_t hi = it->first >> 32;
-      if (gone.count(lo) != 0 || gone.count(hi) != 0) {
-        shard->index.erase(it->first);
-        it = shard->lru.erase(it);
-        ++erased;
-      } else {
-        ++it;
-      }
+    while (shard->index.size() * kBytesPerEntry > per_shard) {
+      shard->index.erase(shard->lru.back().key);
+      shard->lru.pop_back();
+      ++evicted;
     }
   }
-  if (erased != 0) {
-    const int64_t freed = erased * static_cast<int64_t>(kBytesPerEntry);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    const int64_t freed = evicted * static_cast<int64_t>(kBytesPerEntry);
     bytes_.fetch_sub(freed, std::memory_order_relaxed);
     MemoryTracker::Global().Add(-freed);
   }
-  return erased;
 }
 
 void ColumnCache::Clear() {

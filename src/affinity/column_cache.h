@@ -23,6 +23,12 @@ struct ColumnCacheOptions {
   /// Independent LRU shards; concurrent PALID map tasks hash to different
   /// shards, so lock contention stays negligible next to a kernel eval.
   int num_shards = 16;
+  /// Size of the per-item generation-tag table (power of two). Items hash
+  /// into these slots; invalidating an item bumps its slot's generation, and
+  /// entries whose recorded generations no longer match are dropped lazily
+  /// on Lookup. Two items sharing a slot over-invalidate each other — a
+  /// recompute, never a stale value — so small tables stay correct.
+  int generation_slots = 1 << 16;
 
   /// The data-aware budget the oracle installs by default: the cache may hold
   /// up to this fraction of the dense matrix footprint (n^2 * sizeof(Scalar)),
@@ -54,29 +60,41 @@ class ColumnCache {
   ColumnCache(const ColumnCache&) = delete;
   ColumnCache& operator=(const ColumnCache&) = delete;
 
-  /// True (and *value filled) iff the symmetric pair (i, j) is cached; a hit
-  /// refreshes the entry's LRU position.
+  /// True (and *value filled) iff the symmetric pair (i, j) is cached under
+  /// both items' current generations; a hit refreshes the entry's LRU
+  /// position. An entry whose recorded generations went stale (EraseItems
+  /// tagged one of its items since it was inserted) is dropped here and the
+  /// call counts as a miss.
   bool Lookup(Index i, Index j, Scalar* value);
 
-  /// Inserts (or refreshes) the pair's value, evicting least-recently-used
-  /// entries of the same shard while over budget.
+  /// Inserts (or refreshes) the pair's value under the items' current
+  /// generations, evicting least-recently-used entries of the same shard
+  /// while over budget.
   void Insert(Index i, Index j, Scalar value);
 
   /// Drops every entry (counters are kept).
   void Clear();
 
   /// Targeted invalidation for the streaming runtime's sliding-window
-  /// expiry: drops every cached entry involving any of `items`. An expired
+  /// expiry: tags every item in `items` so any cached entry involving it is
+  /// dropped lazily on its next Lookup instead of being hunted down with a
+  /// full-shard scan — O(items) regardless of the cache budget. An expired
   /// item's slot may be re-used by a later arrival, and a kernel value
   /// computed against the old occupant must never be served for the new
-  /// one. One pass over the shards; returns the number of entries erased.
-  /// Thread-safe, though the streaming runtime only calls it from its
-  /// serial expiry phase.
+  /// one. Returns the number of items tagged. Must not run concurrently
+  /// with computations whose results are inserted afterwards (the streaming
+  /// runtime calls it from its serial expiry phase, which guarantees this).
   int64_t EraseItems(std::span<const Index> items);
 
-  /// Zeroes hits/misses/evictions (entries stay warm). Pairs with the
-  /// oracle's ResetCounters so `requested = entries_computed + cache_hits`
-  /// always describes one measurement window.
+  /// Re-sizes the budget in place — warm entries survive a growth, and a
+  /// shrink evicts LRU-first down to the new bound. The streaming runtime
+  /// grows the budget as its window fills past the construction-time floor.
+  /// Thread-safe.
+  void Rebudget(size_t max_bytes);
+
+  /// Zeroes hits/misses/evictions/stale drops (entries stay warm). Pairs
+  /// with the oracle's ResetCounters so `requested = entries_computed +
+  /// cache_hits` always describes one measurement window.
   void ResetCounters();
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -84,26 +102,42 @@ class ColumnCache {
   int64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
-  /// Current accounted footprint across shards.
+  /// Entries dropped by Lookup because an EraseItems tag outdated them.
+  int64_t stale_drops() const {
+    return stale_drops_.load(std::memory_order_relaxed);
+  }
+  /// Current accounted footprint across shards. Entries outdated by
+  /// EraseItems still count until a Lookup touches (and drops) them or the
+  /// LRU evicts them — they genuinely occupy memory until then.
   size_t size_bytes() const {
     return static_cast<size_t>(bytes_.load(std::memory_order_relaxed));
   }
   const ColumnCacheOptions& options() const { return options_; }
+  size_t max_bytes() const {
+    return max_bytes_.load(std::memory_order_relaxed);
+  }
 
-  /// Accounted cost of one cached entry (key, value, node + index overhead).
-  static constexpr size_t kBytesPerEntry = 80;
+  /// Accounted cost of one cached entry (key, value, generation tags, node +
+  /// index overhead).
+  static constexpr size_t kBytesPerEntry = 88;
 
  private:
   struct Shard;
 
   Shard& ShardFor(uint64_t key);
+  uint32_t GenerationOf(Index item) const;
 
   ColumnCacheOptions options_;
-  size_t max_bytes_per_shard_;
+  std::atomic<size_t> max_bytes_;
+  std::atomic<size_t> max_bytes_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-slot generation tags (items hash in); bumped by EraseItems, checked
+  // on Lookup. Fixed size, so reads need no growth synchronization.
+  std::unique_ptr<std::atomic<uint32_t>[]> generations_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> stale_drops_{0};
   std::atomic<int64_t> bytes_{0};
 };
 

@@ -61,6 +61,10 @@ int64_t LazyAffinityOracle::InvalidateCachedItems(
   return cache_ != nullptr ? cache_->EraseItems(items) : 0;
 }
 
+void LazyAffinityOracle::RebudgetColumnCache(size_t max_bytes) {
+  if (cache_ != nullptr) cache_->Rebudget(max_bytes);
+}
+
 void LazyAffinityOracle::Charge(int64_t bytes) const {
   MemoryTracker::Global().Add(bytes);
   const int64_t now = current_bytes_.fetch_add(bytes) + bytes;

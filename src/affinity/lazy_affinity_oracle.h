@@ -60,11 +60,17 @@ class LazyAffinityOracle {
   /// Removes the cache, restoring the paper-faithful stateless oracle.
   void DisableColumnCache();
 
-  /// Streaming expiry hook: drops every cached kernel entry involving
+  /// Streaming expiry hook: invalidates every cached kernel entry involving
   /// `items` (whose dataset rows are about to be re-used by new arrivals),
   /// so the cache never serves an affinity computed against an evicted
-  /// point. Returns entries dropped (0 when the cache is disabled).
+  /// point. O(items) — the entries are generation-tagged and dropped lazily
+  /// on their next Lookup. Returns the number of items tagged (0 when the
+  /// cache is disabled).
   int64_t InvalidateCachedItems(std::span<const Index> items);
+
+  /// Streaming growth hook: re-sizes the cache budget in place (warm entries
+  /// survive a growth). No-op when the cache is disabled.
+  void RebudgetColumnCache(size_t max_bytes);
 
   /// The installed cache, or nullptr when disabled.
   const ColumnCache* column_cache() const { return cache_.get(); }
@@ -75,12 +81,17 @@ class LazyAffinityOracle {
   /// Entries dropped by the cache's LRU policy while over budget.
   int64_t cache_evictions() const { return cache_ ? cache_->evictions() : 0; }
 
-  /// Current accounted cache footprint / configured budget (0 when disabled).
+  /// Entries dropped lazily because an invalidation tag outdated them.
+  int64_t cache_stale_drops() const {
+    return cache_ ? cache_->stale_drops() : 0;
+  }
+
+  /// Current accounted cache footprint / live budget (0 when disabled).
   int64_t cache_size_bytes() const {
     return cache_ ? static_cast<int64_t>(cache_->size_bytes()) : 0;
   }
   int64_t cache_budget_bytes() const {
-    return cache_ ? static_cast<int64_t>(cache_->options().max_bytes) : 0;
+    return cache_ ? static_cast<int64_t>(cache_->max_bytes()) : 0;
   }
 
   /// ROI-membership distance evaluations — the CIVS scanning cost the

@@ -1,0 +1,39 @@
+#ifndef ALID_COMMON_EPOCH_STAMP_H_
+#define ALID_COMMON_EPOCH_STAMP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace alid {
+
+/// Reusable O(1)-reset membership scratch: marking a slot stamps it with the
+/// current epoch, and "clearing" the whole set is one epoch bump — repeated
+/// queries touch only the slots they visit. Begin() grows the slot array as
+/// needed and refills it on the (once per 2^32 uses) epoch wraparound, so a
+/// stale stamp can never alias a live one. The canonical holder is a
+/// thread_local in a query hot path (LSH bucket dedup, snapshot candidate
+/// marking): each thread dedups independently and allocates nothing once
+/// warm.
+class EpochStamp {
+ public:
+  /// Starts a fresh (empty) mark set over `slots` slots.
+  void Begin(size_t slots) {
+    if (stamp_.size() < slots) stamp_.resize(slots, 0);
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  void Mark(size_t slot) { stamp_[slot] = epoch_; }
+  bool IsMarked(size_t slot) const { return stamp_[slot] == epoch_; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace alid
+
+#endif  // ALID_COMMON_EPOCH_STAMP_H_

@@ -21,6 +21,7 @@ OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
   ALID_CHECK(options_.refresh_interval >= 1);
   oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
   if (!options_.column_cache) oracle_->DisableColumnCache();
+  stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
   lsh_ = std::make_unique<LshIndex>(data_, options_.lsh);
 }
 
@@ -89,6 +90,7 @@ std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
   if (options_.window > 0) ExpireToWindow();
 
   CompactClusters();
+  MaybeRebudgetCache();
   stats_.alive = alive();
   stats_.clusters_alive = static_cast<int>(clusters_.size());
   if (stats_.batch_seconds.size() >= StreamStats::kMaxLatencySamples) {
@@ -370,6 +372,22 @@ void OnlineAlid::DissolveCluster(int cluster_id) {
   cluster_dead_[cluster_id] = 1;
   ++cluster_version_[cluster_id];
   ++stats_.clusters_dissolved;
+}
+
+void OnlineAlid::MaybeRebudgetCache() {
+  if (oracle_->column_cache() == nullptr) return;
+  // The construction-time budget saw an empty dataset (the 1 MiB floor);
+  // re-derive it from the slot universe the stream actually grew. Growth
+  // only — the universe is monotone under a window (slots are re-used), so
+  // a shrink could only thrash. Depends solely on data_.size(), hence
+  // bit-identical across executors/grains like everything else here.
+  const size_t target =
+      ColumnCacheOptions::ForDataSize(data_.size()).max_bytes;
+  if (static_cast<int64_t>(target) > oracle_->cache_budget_bytes()) {
+    oracle_->RebudgetColumnCache(target);
+    ++stats_.cache_rebudgets;
+  }
+  stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
 }
 
 void OnlineAlid::CompactClusters() {

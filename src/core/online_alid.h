@@ -66,8 +66,15 @@ struct StreamStats {
   int64_t refreshes = 0;     ///< Maintenance passes over the pool.
   int64_t clusters_born = 0;
   int64_t clusters_dissolved = 0;
-  /// Cached kernel entries dropped by the expiry invalidation path.
+  /// Expired items tagged by the expiry invalidation path (their cached
+  /// kernel entries drop lazily on next lookup; see ColumnCache::EraseItems).
   int64_t cache_entries_invalidated = 0;
+  /// In-place cache budget growths as the window filled past the
+  /// construction-time floor (the budget is a function of the slot universe,
+  /// which is empty at construction and bounded by window + batch after).
+  int64_t cache_rebudgets = 0;
+  /// Live cache budget after the most recent batch (0 when cache off).
+  int64_t cache_budget_bytes = 0;
   Index alive = 0;         ///< Live items (inside the window).
   int clusters_alive = 0;  ///< Current dominant clusters.
   /// Wall seconds of the most recent InsertBatch calls, in call order —
@@ -141,6 +148,11 @@ class OnlineAlid {
   /// Forces the periodic maintenance pass now (e.g., at end of stream).
   void Refresh();
 
+  /// The configured options (the serving layer reads the affinity/LSH
+  /// parameters and absorb slack off these to build scoring-compatible
+  /// snapshots).
+  const OnlineAlidOptions& options() const { return options_; }
+
   /// Stream observability — the streaming counterpart of PalidStats.
   const StreamStats& stats() const { return stats_; }
 
@@ -178,6 +190,9 @@ class OnlineAlid {
   void DissolveCluster(int cluster_id);
   // Erases dead clusters and remaps assignments (end of batch / refresh).
   void CompactClusters();
+  // Grows the cache budget when the slot universe outgrew the current one
+  // (ROADMAP: the empty-dataset construction floor must not freeze forever).
+  void MaybeRebudgetCache();
 
   OnlineAlidOptions options_;
   Dataset data_;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/epoch_stamp.h"
 #include "common/random.h"
 
 namespace alid {
@@ -158,25 +159,19 @@ std::vector<Index> LshIndex::QueryByIndex(Index i) const {
 
 void LshIndex::QueryByIndexBatch(std::span<const Index> items,
                                  std::vector<Index>* out) const {
-  // Epoch-stamped scratch: bumping the epoch invalidates every stamp at
-  // once, so repeated calls (every CIVS iteration of every map task) touch
-  // only the entries they visit. Thread-local, hence safe under PALID.
-  thread_local std::vector<uint32_t> stamp;
-  thread_local uint32_t epoch = 0;
+  // Epoch-stamped scratch (EpochStamp): repeated calls — every CIVS
+  // iteration of every map task — touch only the entries they visit.
+  // Thread-local, hence safe under PALID.
+  thread_local EpochStamp stamp;
   thread_local std::vector<uint64_t> keys;
 
   out->clear();
   if (items.empty()) return;
-  const size_t n = static_cast<size_t>(size());
-  if (stamp.size() < n) stamp.resize(n, 0);
-  if (++epoch == 0) {
-    std::fill(stamp.begin(), stamp.end(), 0u);
-    epoch = 1;
-  }
+  stamp.Begin(static_cast<size_t>(size()));
   for (Index i : items) {
     ALID_CHECK(i >= 0 && i < size());
     ALID_CHECK_MSG(removed_[i] == 0, "cannot query a removed item");
-    stamp[i] = epoch;
+    stamp.Mark(i);
   }
   for (const auto& table : tables_) {
     keys.clear();
@@ -187,8 +182,8 @@ void LshIndex::QueryByIndexBatch(std::span<const Index> items,
       auto it = table.buckets.find(key);
       if (it == table.buckets.end()) continue;
       for (Index j : it->second) {
-        if (stamp[j] != epoch) {
-          stamp[j] = epoch;
+        if (!stamp.IsMarked(j)) {
+          stamp.Mark(j);
           out->push_back(j);
         }
       }
@@ -197,13 +192,30 @@ void LshIndex::QueryByIndexBatch(std::span<const Index> items,
 }
 
 std::vector<Index> LshIndex::QueryByPoint(std::span<const Scalar> point) const {
-  std::unordered_set<Index> seen;
+  std::vector<Index> out;
+  QueryByPoint(point, &out);
+  return out;
+}
+
+void LshIndex::QueryByPoint(std::span<const Scalar> point,
+                            std::vector<Index>* out) const {
+  // Same epoch-stamped scratch discipline as QueryByIndexBatch:
+  // thread-local, so concurrent serving threads dedup independently without
+  // allocating.
+  thread_local EpochStamp stamp;
+
+  out->clear();
+  stamp.Begin(static_cast<size_t>(size()));
   for (const auto& table : tables_) {
     auto it = table.buckets.find(HashPoint(table, point));
     if (it == table.buckets.end()) continue;
-    seen.insert(it->second.begin(), it->second.end());
+    for (Index j : it->second) {
+      if (!stamp.IsMarked(j)) {
+        stamp.Mark(j);
+        out->push_back(j);
+      }
+    }
   }
-  return {seen.begin(), seen.end()};
 }
 
 void LshIndex::VisitBuckets(

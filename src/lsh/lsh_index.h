@@ -95,6 +95,18 @@ class LshIndex {
   /// All items colliding with an arbitrary point, deduplicated, unordered.
   std::vector<Index> QueryByPoint(std::span<const Scalar> point) const;
 
+  /// Allocation-light form of QueryByPoint — the serving hot path. Appends
+  /// the deduplicated union of the point's buckets to *out after clearing
+  /// it; dedup runs on a reusable thread-local stamp buffer, so a
+  /// high-QPS query loop allocates nothing per call. The result order is a
+  /// pure function of the point and the index history (tables in order,
+  /// buckets in insertion order), so batched serving stays bit-identical to
+  /// serial serving. Thread-safe against concurrent readers; the index must
+  /// not be mutated concurrently (serving queries a frozen per-snapshot
+  /// index, which guarantees this).
+  void QueryByPoint(std::span<const Scalar> point,
+                    std::vector<Index>* out) const;
+
   /// Invokes visitor(bucket_items) for every bucket of every table with at
   /// least `min_size` items. PALID samples its seeds from these (Sec. 4.6).
   void VisitBuckets(int min_size,

@@ -1,0 +1,97 @@
+#include "serve/cluster_server.h"
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace alid {
+
+ClusterServer::ClusterServer(int dim, ClusterServerOptions options)
+    : dim_(dim), options_(options) {
+  ALID_CHECK(dim_ > 0);
+}
+
+void ClusterServer::Publish(std::shared_ptr<const ClusterSnapshot> snapshot) {
+  if (snapshot != nullptr) ALID_CHECK(snapshot->dim() == dim_);
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot_ptr_.swap(snapshot);
+  }
+  // `snapshot` now holds the retired state; it dies here (or with its last
+  // in-flight reader), outside the swap critical section.
+  stats_.RecordPublish();
+}
+
+std::shared_ptr<const ClusterSnapshot> ClusterServer::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return snapshot_ptr_;
+}
+
+uint64_t ClusterServer::generation() const {
+  const auto snap = snapshot();
+  return snap != nullptr ? snap->generation() : 0;
+}
+
+AssignResult ClusterServer::AssignWith(const ClusterSnapshot& snapshot,
+                                       std::span<const Scalar> point) const {
+  const AssignOutcome outcome = snapshot.Assign(point);
+  return {outcome.cluster, outcome.affinity, outcome.margin,
+          snapshot.generation()};
+}
+
+AssignResult ClusterServer::Assign(std::span<const Scalar> point) const {
+  ALID_CHECK(static_cast<int>(point.size()) == dim_);
+  WallTimer timer;
+  AssignResult result;
+  if (const auto snap = snapshot(); snap != nullptr) {
+    result = AssignWith(*snap, point);
+  }
+  stats_.RecordAssign(1, result.cluster >= 0 ? 1 : 0, timer.Seconds(),
+                      /*batch=*/false);
+  return result;
+}
+
+std::vector<AssignResult> ClusterServer::AssignBatch(
+    std::span<const Scalar> points) const {
+  ALID_CHECK(points.size() % static_cast<size_t>(dim_) == 0);
+  const Index count = static_cast<Index>(points.size() / dim_);
+  std::vector<AssignResult> results(count);
+  if (count == 0) return results;
+  WallTimer timer;
+  // One acquire for the whole batch: every query of the call is answered by
+  // the same snapshot even if Publish swaps mid-batch — the linearization
+  // point of the batch is this load.
+  if (const auto snap = snapshot(); snap != nullptr) {
+    ParallelChunks(options_.pool, 0, count, options_.grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t k = lo; k < hi; ++k) {
+                       results[k] = AssignWith(
+                           *snap, points.subspan(
+                                      static_cast<size_t>(k) * dim_,
+                                      static_cast<size_t>(dim_)));
+                     }
+                   });
+  }
+  int64_t assigned = 0;
+  for (const AssignResult& r : results) assigned += r.cluster >= 0 ? 1 : 0;
+  stats_.RecordAssign(count, assigned, timer.Seconds(), /*batch=*/true);
+  return results;
+}
+
+std::vector<ScoredCluster> ClusterServer::TopKClusters(
+    std::span<const Scalar> point, int k) const {
+  ALID_CHECK(static_cast<int>(point.size()) == dim_);
+  stats_.RecordTopK();
+  const auto snap = snapshot();
+  if (snap == nullptr) return {};
+  return snap->TopKClusters(point, k);
+}
+
+ClusterSnapshotInfo ClusterServer::ClusterInfo(int cluster) const {
+  stats_.RecordInfo();
+  const auto snap = snapshot();
+  if (snap == nullptr) return {};
+  return snap->ClusterInfo(cluster);
+}
+
+}  // namespace alid

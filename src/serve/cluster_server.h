@@ -1,0 +1,122 @@
+#ifndef ALID_SERVE_CLUSTER_SERVER_H_
+#define ALID_SERVE_CLUSTER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "serve/cluster_snapshot.h"
+#include "serve/serve_stats.h"
+
+namespace alid {
+
+class ThreadPool;
+
+/// Options of the query side.
+struct ClusterServerOptions {
+  /// Optional shared executor pool for batched queries (the same pool the
+  /// rest of the runtime runs on). Each query is pure against the batch's
+  /// snapshot, so results are bit-identical for any pool width, scheduling
+  /// discipline, grain, or pool == nullptr — the runtime's standard
+  /// determinism contract.
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of batched queries (see DeterministicGrain); 0 auto.
+  int64_t grain = 0;
+};
+
+/// One answered assignment query. `generation` names the snapshot that
+/// answered — every result of one AssignBatch call carries the same value,
+/// because the batch acquires its snapshot exactly once.
+struct AssignResult {
+  int cluster = -1;
+  Scalar affinity = 0.0;
+  Scalar margin = 0.0;
+  uint64_t generation = 0;
+
+  bool operator==(const AssignResult&) const = default;
+};
+
+/// The read side of the serving subsystem: answers assignment queries
+/// against an immutable ClusterSnapshot published through an RCU-style
+/// atomic shared_ptr swap. Readers never wait on each other and never see
+/// torn state — a query (or a whole batch) acquires one snapshot reference
+/// up front and scores against it even while Publish() installs a
+/// successor; the old snapshot dies when its last in-flight reader
+/// releases it. The write side (an ingest/refresh loop) mutates nothing
+/// the readers touch: it builds a fresh snapshot off-line and publishes it
+/// in one pointer swap.
+///
+/// The publication cell implements std::atomic<std::shared_ptr> semantics
+/// (P0718: linearizable store, acquire loads) over a reader-writer lock
+/// rather than libstdc++'s _Sp_atomic: the latter's hand-rolled spinlock is
+/// opaque to ThreadSanitizer, and this subsystem's swap-linearizability
+/// contract is enforced under TSan in CI. Readers take the lock shared and
+/// hold it only to bump the snapshot's refcount, so a reader is delayed
+/// only by the O(1) swap of a concurrent Publish, never by other readers.
+///
+/// Thread-safety: Publish and every query method may be called from any
+/// number of threads concurrently. Detect-side structures (OnlineAlid, the
+/// detectors) stay externally synchronized as before — only their exported
+/// snapshots enter the server.
+class ClusterServer {
+ public:
+  /// `dim` is the dimensionality served (checked against every published
+  /// snapshot and query).
+  explicit ClusterServer(int dim, ClusterServerOptions options = {});
+
+  /// Atomically installs a new snapshot (a release in the publication
+  /// order: a reader that sees it also sees everything its build wrote).
+  /// Passing nullptr takes the server offline (queries answer unassigned,
+  /// generation 0). The retired snapshot is released outside the swap
+  /// critical section, so an expensive teardown never stalls readers.
+  void Publish(std::shared_ptr<const ClusterSnapshot> snapshot);
+
+  /// The current snapshot, or nullptr before the first Publish. Holding the
+  /// returned pointer pins the snapshot across later swaps.
+  std::shared_ptr<const ClusterSnapshot> snapshot() const;
+
+  /// Generation of the current snapshot (0 when offline).
+  uint64_t generation() const;
+
+  /// Single assignment query against the current snapshot.
+  AssignResult Assign(std::span<const Scalar> point) const;
+
+  /// Batched assignment: `points` holds count * dim scalars, row-major. The
+  /// whole batch is answered by ONE snapshot (acquired once), chunked across
+  /// the shared pool; the results are bit-identical to calling Assign
+  /// count times serially against that snapshot.
+  std::vector<AssignResult> AssignBatch(std::span<const Scalar> points) const;
+
+  /// Top-k candidate clusters of a point by pi(s_c, x), descending.
+  std::vector<ScoredCluster> TopKClusters(std::span<const Scalar> point,
+                                          int k) const;
+
+  /// Copy-out of one cluster's metadata from the current snapshot
+  /// (info.cluster == -1 when offline or out of range).
+  ClusterSnapshotInfo ClusterInfo(int cluster) const;
+
+  int dim() const { return dim_; }
+  const ClusterServerOptions& options() const { return options_; }
+
+  /// A consistent read of the serving counters (QPS, latency profile, …).
+  ServeStatsView stats() const { return stats_.View(); }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  AssignResult AssignWith(const ClusterSnapshot& snapshot,
+                          std::span<const Scalar> point) const;
+
+  int dim_;
+  ClusterServerOptions options_;
+  // The publication cell (see class comment). shared lock: copy the
+  // pointer; unique lock: swap it.
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const ClusterSnapshot> snapshot_ptr_;
+  mutable ServeStats stats_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_SERVE_CLUSTER_SERVER_H_

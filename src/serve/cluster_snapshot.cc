@@ -1,0 +1,193 @@
+#include "serve/cluster_snapshot.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/epoch_stamp.h"
+#include "common/parallel.h"
+#include "core/online_alid.h"
+
+namespace alid {
+
+namespace {
+
+// Per-thread query scratch: the LSH collision list and an epoch-stamped
+// cluster-candidate mark. Thread-local, so any number of readers query one
+// snapshot (or different snapshots) concurrently without allocating.
+struct QueryScratch {
+  std::vector<Index> hits;
+  EpochStamp candidates;  // marked cluster ids of the current query
+};
+
+QueryScratch& Scratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromClusters(
+    const Dataset& data, std::span<const Cluster> clusters,
+    const ClusterSnapshotOptions& options, uint64_t generation) {
+  ALID_CHECK(data.dim() > 0);
+  ALID_CHECK(options.absorb_slack >= 0.0 && options.absorb_slack < 1.0);
+  std::shared_ptr<ClusterSnapshot> snap(new ClusterSnapshot());
+  snap->generation_ = generation;
+  snap->absorb_slack_ = options.absorb_slack;
+  snap->affinity_fn_ = std::make_unique<AffinityFunction>(options.affinity);
+  snap->members_ = Dataset(data.dim());
+  snap->cluster_begin_.push_back(0);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const Cluster& cluster = clusters[c];
+    ALID_CHECK(cluster.members.size() == cluster.weights.size());
+    for (size_t t = 0; t < cluster.members.size(); ++t) {
+      const Index source = cluster.members[t];
+      ALID_CHECK(source >= 0 && source < data.size());
+      snap->members_.Append(data[source]);
+      snap->source_id_.push_back(source);
+      snap->cluster_of_.push_back(static_cast<int>(c));
+      snap->weights_.push_back(cluster.weights[t]);
+    }
+    snap->cluster_begin_.push_back(snap->members_.size());
+    snap->density_.push_back(cluster.density);
+    snap->seed_.push_back(cluster.seed);
+  }
+  // Snapshot-owned substrates over the compacted members. The oracle's
+  // default-on column cache is budgeted for the member set; the LSH index is
+  // rebuilt per snapshot (same params => same projections as the source
+  // index, so point queries land in equivalent buckets).
+  snap->oracle_ =
+      std::make_unique<LazyAffinityOracle>(snap->members_, *snap->affinity_fn_);
+  snap->lsh_ = std::make_unique<LshIndex>(snap->members_, options.lsh);
+  // Verify each cluster's density from the snapshot's own kernel entries:
+  // x^T A x over the exported support, through the per-snapshot column cache
+  // (the symmetric pair (t, u)/(u, t) is one cached slot, so the pass also
+  // warms and exercises the cache). Per-cluster sums run serially in a fixed
+  // order inside deterministic chunks, so the values are bit-identical for
+  // any pool width or grain.
+  const int num_clusters = static_cast<int>(clusters.size());
+  snap->verified_density_.assign(num_clusters, 0.0);
+  ParallelChunks(options.pool, 0, num_clusters, options.grain,
+                 [&snap](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t c = lo; c < hi; ++c) {
+                     const Index begin = snap->cluster_begin_[c];
+                     const Index end = snap->cluster_begin_[c + 1];
+                     Scalar density = 0.0;
+                     for (Index t = begin; t < end; ++t) {
+                       for (Index u = begin; u < end; ++u) {
+                         density += snap->weights_[t] * snap->weights_[u] *
+                                    snap->oracle_->Entry(t, u);
+                       }
+                     }
+                     snap->verified_density_[c] = density;
+                   }
+                 });
+  return snap;
+}
+
+std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromDetection(
+    const Dataset& data, const DetectionResult& result,
+    const ClusterSnapshotOptions& options, uint64_t generation) {
+  return FromClusters(data, result.clusters, options, generation);
+}
+
+std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromStream(
+    const OnlineAlid& stream, ThreadPool* pool) {
+  ClusterSnapshotOptions options;
+  options.affinity = stream.options().affinity;
+  options.lsh = stream.options().lsh;
+  options.absorb_slack = stream.options().absorb_slack;
+  options.pool = pool;
+  options.grain = stream.options().grain;
+  return FromClusters(stream.oracle().data(), stream.clusters(), options,
+                      static_cast<uint64_t>(stream.size()));
+}
+
+Scalar ClusterSnapshot::ClusterAffinity(int c,
+                                        std::span<const Scalar> point) const {
+  const double p = affinity_fn_->params().p;
+  Scalar affinity = 0.0;  // pi(s_c, x), in member order (see header)
+  for (Index t = cluster_begin_[c]; t < cluster_begin_[c + 1]; ++t) {
+    affinity += weights_[t] *
+                affinity_fn_->FromDistance(members_.DistanceTo(t, point, p));
+  }
+  return affinity;
+}
+
+const std::vector<Index>& ClusterSnapshot::CandidateMembers(
+    std::span<const Scalar> point) const {
+  QueryScratch& scratch = Scratch();
+  lsh_->QueryByPoint(point, &scratch.hits);
+  scratch.candidates.Begin(static_cast<size_t>(num_clusters()));
+  for (Index j : scratch.hits) {
+    scratch.candidates.Mark(static_cast<size_t>(cluster_of_[j]));
+  }
+  return scratch.hits;
+}
+
+AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
+  ALID_CHECK(static_cast<int>(point.size()) == dim());
+  AssignOutcome best;
+  if (num_clusters() == 0) return best;
+  CandidateMembers(point);
+  const QueryScratch& scratch = Scratch();
+  Scalar best_margin = -std::numeric_limits<Scalar>::infinity();
+  for (int c = 0; c < num_clusters(); ++c) {
+    if (!scratch.candidates.IsMarked(static_cast<size_t>(c))) continue;
+    // Absorb when (near-)infective — the same slack rule, threshold and
+    // lowest-id tie-break as the stream's ScoreArrival.
+    const Scalar affinity = ClusterAffinity(c, point);
+    const Scalar margin =
+        affinity - density_[c] * (1.0 - absorb_slack_);
+    if (margin > 0.0 && margin > best_margin) {
+      best_margin = margin;
+      best.cluster = c;
+      best.affinity = affinity;
+      best.margin = margin;
+    }
+  }
+  return best;
+}
+
+std::vector<ScoredCluster> ClusterSnapshot::TopKClusters(
+    std::span<const Scalar> point, int k) const {
+  ALID_CHECK(static_cast<int>(point.size()) == dim());
+  std::vector<ScoredCluster> scored;
+  if (k <= 0 || num_clusters() == 0) return scored;
+  CandidateMembers(point);
+  const QueryScratch& scratch = Scratch();
+  for (int c = 0; c < num_clusters(); ++c) {
+    if (!scratch.candidates.IsMarked(static_cast<size_t>(c))) continue;
+    const Scalar affinity = ClusterAffinity(c, point);
+    scored.push_back(
+        {c, affinity,
+         affinity - density_[c] * (1.0 - absorb_slack_) > 0.0});
+  }
+  // Descending affinity, ascending id on exact ties: a stable total order,
+  // so batched and serial TopK answers are identical.
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCluster& a, const ScoredCluster& b) {
+              if (a.affinity != b.affinity) return a.affinity > b.affinity;
+              return a.cluster < b.cluster;
+            });
+  if (static_cast<int>(scored.size()) > k) scored.resize(k);
+  return scored;
+}
+
+ClusterSnapshotInfo ClusterSnapshot::ClusterInfo(int c) const {
+  ClusterSnapshotInfo info;
+  if (c < 0 || c >= num_clusters()) return info;
+  info.cluster = c;
+  const Index begin = cluster_begin_[c];
+  const Index end = cluster_begin_[c + 1];
+  info.size = end - begin;
+  info.density = density_[c];
+  info.verified_density = verified_density_[c];
+  info.seed = seed_[c];
+  info.members.assign(source_id_.begin() + begin, source_id_.begin() + end);
+  info.weights.assign(weights_.begin() + begin, weights_.begin() + end);
+  return info;
+}
+
+}  // namespace alid

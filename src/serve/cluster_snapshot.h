@@ -1,0 +1,167 @@
+#ifndef ALID_SERVE_CLUSTER_SNAPSHOT_H_
+#define ALID_SERVE_CLUSTER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "affinity/affinity_function.h"
+#include "affinity/lazy_affinity_oracle.h"
+#include "common/dataset.h"
+#include "core/cluster.h"
+#include "lsh/lsh_index.h"
+
+namespace alid {
+
+class OnlineAlid;
+class ThreadPool;
+
+/// Parameters of a snapshot build. For scoring parity with a detector, pass
+/// the detector's own affinity/LSH parameters: the LSH seed fixes the
+/// Gaussian projections, so a query point hashes to the same buckets in the
+/// snapshot's per-snapshot index as in the source index — which makes the
+/// snapshot's candidate clusters (and hence Assign) *exactly* the Theorem-1
+/// absorb decision the source detector would take.
+struct ClusterSnapshotOptions {
+  /// Affinity kernel the supports were detected under.
+  AffinityParams affinity;
+  /// LSH parameters of the rebuilt per-snapshot index (seed included).
+  LshParams lsh;
+  /// Absorb slack of the assignment rule (see OnlineAlidOptions).
+  double absorb_slack = 0.05;
+  /// Optional pool for the build's density-verification pass (build-time
+  /// only; queries never touch it).
+  ThreadPool* pool = nullptr;
+  /// Chunk grain of the build's parallel pass; 0 auto.
+  int64_t grain = 0;
+};
+
+/// The outcome of one assignment query against a snapshot.
+struct AssignOutcome {
+  /// Snapshot cluster id, or -1 when no candidate cluster absorbs the point.
+  int cluster = -1;
+  /// pi(s_c, x) of the winning cluster (0 when unassigned).
+  Scalar affinity = 0.0;
+  /// Winning margin over the absorb threshold (0 when unassigned).
+  Scalar margin = 0.0;
+};
+
+/// One scored candidate of a TopKClusters query.
+struct ScoredCluster {
+  int cluster = -1;
+  /// pi(s_c, x) — Theorem 1's infectivity of the point against the support.
+  Scalar affinity = 0.0;
+  /// True iff the affinity clears the absorb threshold
+  /// density * (1 - absorb_slack); the top absorbable candidate is exactly
+  /// Assign's answer.
+  bool absorbable = false;
+};
+
+/// Copy-out of one cluster's metadata (safe to hold across snapshot swaps).
+struct ClusterSnapshotInfo {
+  int cluster = -1;  ///< -1 when the queried id was out of range.
+  Index size = 0;
+  Scalar density = 0.0;
+  /// x^T A x recomputed from the snapshot's own kernel entries at build time
+  /// (through the per-snapshot column cache) — an integrity check that the
+  /// exported supports and the reported density describe the same simplex.
+  Scalar verified_density = 0.0;
+  Index seed = -1;     ///< Source id of the detection seed.
+  IndexList members;   ///< Source ids (dataset rows / stream slots).
+  std::vector<Scalar> weights;
+};
+
+/// An immutable, self-contained view of one detection state, built for
+/// serving: the compacted member rows of every dominant cluster (copied, so
+/// the source dataset/stream may mutate or die), their simplex weights and
+/// densities, a per-snapshot LSH index over the members for candidate
+/// retrieval, and a per-snapshot lazy oracle (column cache included) for the
+/// build's density verification. Every query method is const, touches only
+/// snapshot-owned state plus thread-local scratch, and is therefore safe for
+/// any number of concurrent readers — the read side of the serving
+/// subsystem's RCU design.
+class ClusterSnapshot {
+ public:
+  /// Builds from any detector output shaped as clusters over `data` — the
+  /// common export path of AlidDetector::DetectAll and Palid::Detect
+  /// (apply Filtered() first for the paper's density cut). `generation`
+  /// tags the snapshot for publication ordering.
+  static std::shared_ptr<const ClusterSnapshot> FromClusters(
+      const Dataset& data, std::span<const Cluster> clusters,
+      const ClusterSnapshotOptions& options, uint64_t generation = 0);
+
+  /// Convenience overload for a DetectionResult.
+  static std::shared_ptr<const ClusterSnapshot> FromDetection(
+      const Dataset& data, const DetectionResult& result,
+      const ClusterSnapshotOptions& options, uint64_t generation = 0);
+
+  /// Exports the live state of a stream. Affinity/LSH parameters and absorb
+  /// slack are taken from the stream's own options, so Assign reproduces the
+  /// stream's absorb decision bit for bit; the generation is the stream's
+  /// arrival count. The stream must not be mutated during the export (the
+  /// ingest loop exports between batches); afterwards the snapshot is fully
+  /// decoupled.
+  static std::shared_ptr<const ClusterSnapshot> FromStream(
+      const OnlineAlid& stream, ThreadPool* pool = nullptr);
+
+  int num_clusters() const {
+    return static_cast<int>(cluster_begin_.size()) - 1;
+  }
+  Index num_members() const { return members_.size(); }
+  int dim() const { return members_.dim(); }
+  uint64_t generation() const { return generation_; }
+  double absorb_slack() const { return absorb_slack_; }
+
+  /// The Theorem-1 absorb decision for an arbitrary point: candidates are
+  /// the clusters of the point's LSH collisions, the winner the candidate
+  /// with the largest positive margin pi(s_c, x) - density_c * (1 - slack)
+  /// (lowest id on ties — the same rule as OnlineAlid::ScoreArrival).
+  AssignOutcome Assign(std::span<const Scalar> point) const;
+
+  /// The candidate clusters of `point` scored by pi(s_c, x), descending
+  /// (lowest id on ties), truncated to k.
+  std::vector<ScoredCluster> TopKClusters(std::span<const Scalar> point,
+                                          int k) const;
+
+  /// Copy-out of cluster `c`'s metadata; info.cluster == -1 when out of
+  /// range.
+  ClusterSnapshotInfo ClusterInfo(int c) const;
+
+  Scalar density(int c) const { return density_[c]; }
+
+  /// Per-snapshot substrate observability (cache hits of the build's
+  /// verification pass; LSH footprint).
+  const LazyAffinityOracle& oracle() const { return *oracle_; }
+  const LshIndex& lsh() const { return *lsh_; }
+
+ private:
+  ClusterSnapshot() = default;
+
+  // pi(s_c, x): the weighted kernel sum over cluster c's support, in member
+  // order — the same summation order as OnlineAlid::ClusterAffinity, so the
+  // value is bit-identical to the stream's own scoring.
+  Scalar ClusterAffinity(int c, std::span<const Scalar> point) const;
+  // Marks the clusters of the point's LSH collisions in thread-local
+  // scratch and returns the collision list.
+  const std::vector<Index>& CandidateMembers(
+      std::span<const Scalar> point) const;
+
+  Dataset members_;                  // compacted member rows, cluster-major
+  std::vector<Index> source_id_;     // snapshot-local -> source id
+  std::vector<int> cluster_of_;      // snapshot-local -> cluster id
+  std::vector<Index> cluster_begin_; // cluster -> first member (C + 1 edges)
+  std::vector<Scalar> weights_;      // parallel to members_
+  std::vector<Scalar> density_;      // per cluster
+  std::vector<Scalar> verified_density_;
+  std::vector<Index> seed_;          // per cluster, source ids
+  double absorb_slack_ = 0.05;
+  std::unique_ptr<AffinityFunction> affinity_fn_;
+  std::unique_ptr<LazyAffinityOracle> oracle_;
+  std::unique_ptr<LshIndex> lsh_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace alid
+
+#endif  // ALID_SERVE_CLUSTER_SNAPSHOT_H_

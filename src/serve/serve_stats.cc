@@ -1,0 +1,73 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+
+#include "common/histogram.h"
+
+namespace alid {
+
+std::vector<int> ServeStatsView::LatencyHistogram(int bins) const {
+  return EqualWidthHistogram(query_seconds, bins);
+}
+
+void ServeStats::RecordAssign(int64_t items, int64_t assigned, double seconds,
+                              bool batch) {
+  if (batch) {
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    single_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queries_.fetch_add(items, std::memory_order_relaxed);
+  assigned_.fetch_add(assigned, std::memory_order_relaxed);
+  if (items <= 0) return;
+  const double per_query = seconds / static_cast<double>(items);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (query_seconds_.size() >= kMaxLatencySamples) {
+    // Halve amortizes the shift: the profile keeps the recent window (the
+    // same bounding policy as StreamStats::batch_seconds).
+    query_seconds_.erase(query_seconds_.begin(),
+                         query_seconds_.begin() + kMaxLatencySamples / 2);
+  }
+  query_seconds_.push_back(per_query);
+}
+
+ServeStatsView ServeStats::View() const {
+  ServeStatsView view;
+  view.single_queries = single_queries_.load(std::memory_order_relaxed);
+  view.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  // assigned_ loads before queries_: RecordAssign bumps queries_ first, so
+  // this order (plus the clamp) keeps unassigned >= 0 even mid-call.
+  view.assigned = assigned_.load(std::memory_order_relaxed);
+  view.queries = queries_.load(std::memory_order_relaxed);
+  view.unassigned = std::max<int64_t>(0, view.queries - view.assigned);
+  view.topk_queries = topk_queries_.load(std::memory_order_relaxed);
+  view.info_queries = info_queries_.load(std::memory_order_relaxed);
+  view.snapshots_published =
+      snapshots_published_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The clock is read under mu_ too: Reset() rewrites the (non-atomic)
+    // start point under the same lock.
+    view.elapsed_seconds = since_.Seconds();
+    view.query_seconds = query_seconds_;
+  }
+  view.qps = view.elapsed_seconds > 0.0
+                 ? static_cast<double>(view.queries) / view.elapsed_seconds
+                 : 0.0;
+  return view;
+}
+
+void ServeStats::Reset() {
+  single_queries_.store(0, std::memory_order_relaxed);
+  batch_calls_.store(0, std::memory_order_relaxed);
+  queries_.store(0, std::memory_order_relaxed);
+  assigned_.store(0, std::memory_order_relaxed);
+  topk_queries_.store(0, std::memory_order_relaxed);
+  info_queries_.store(0, std::memory_order_relaxed);
+  snapshots_published_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  query_seconds_.clear();
+  since_.Reset();
+}
+
+}  // namespace alid

@@ -1,0 +1,73 @@
+#ifndef ALID_SERVE_SERVE_STATS_H_
+#define ALID_SERVE_SERVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace alid {
+
+/// One consistent read of a ClusterServer's counters (ServeStats::View()) —
+/// the serving counterpart of PalidStats / StreamStats.
+struct ServeStatsView {
+  int64_t single_queries = 0;  ///< Assign calls.
+  int64_t batch_calls = 0;     ///< AssignBatch calls.
+  int64_t queries = 0;         ///< Items answered (singles + batch items).
+  int64_t assigned = 0;        ///< Queries routed to a cluster.
+  int64_t unassigned = 0;      ///< Queries matching no cluster (noise).
+  int64_t topk_queries = 0;
+  int64_t info_queries = 0;
+  int64_t snapshots_published = 0;
+  double elapsed_seconds = 0.0;  ///< Since server construction / Reset().
+  double qps = 0.0;              ///< queries / elapsed_seconds.
+  /// Mean per-query wall seconds of each recent Assign/AssignBatch call
+  /// (a batch contributes one sample: call seconds / batch size), bounded
+  /// like StreamStats::batch_seconds so a long-lived server stays bounded.
+  std::vector<double> query_seconds;
+
+  /// Histogram of query_seconds over `bins` equal-width buckets spanning
+  /// [0, max] — the per-query latency profile of the server.
+  std::vector<int> LatencyHistogram(int bins = 8) const;
+};
+
+/// Thread-safe counters + bounded latency reservoir behind a ClusterServer.
+/// Counters are relaxed atomics (queries hammer them concurrently); the
+/// latency reservoir takes one short lock per *call*, not per query, so a
+/// 64-wide batch pays it once.
+class ServeStats {
+ public:
+  static constexpr size_t kMaxLatencySamples = 8192;
+
+  void RecordAssign(int64_t items, int64_t assigned, double seconds,
+                    bool batch);
+  void RecordTopK() { topk_queries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordInfo() { info_queries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPublish() {
+    snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A consistent copy of every counter plus derived QPS.
+  ServeStatsView View() const;
+
+  /// Zeroes the counters, drops the latency samples, restarts the QPS clock.
+  void Reset();
+
+ private:
+  std::atomic<int64_t> single_queries_{0};
+  std::atomic<int64_t> batch_calls_{0};
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> assigned_{0};
+  std::atomic<int64_t> topk_queries_{0};
+  std::atomic<int64_t> info_queries_{0};
+  std::atomic<int64_t> snapshots_published_{0};
+  mutable std::mutex mu_;
+  std::vector<double> query_seconds_;
+  WallTimer since_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_SERVE_SERVE_STATS_H_

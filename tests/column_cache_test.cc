@@ -185,6 +185,92 @@ TEST(ColumnCacheTest, OracleEvictionUnderTightBudgetStaysCorrectAndCounted) {
   EXPECT_EQ(oracle.cache_hits() + oracle.entries_computed(), 3 * 40 * 100);
 }
 
+TEST(ColumnCacheTest, EraseItemsInvalidatesLazilyOnLookup) {
+  ColumnCacheOptions opts;
+  opts.num_shards = 2;
+  ColumnCache cache(opts);
+  cache.Insert(1, 10, 0.1);
+  cache.Insert(2, 10, 0.2);
+  cache.Insert(3, 11, 0.3);
+  const size_t before = cache.size_bytes();
+
+  // Tagging is O(items): nothing is scanned, nothing freed yet.
+  EXPECT_EQ(cache.EraseItems(std::vector<Index>{10}), 1);
+  EXPECT_EQ(cache.size_bytes(), before);
+  EXPECT_EQ(cache.stale_drops(), 0);
+
+  // Entries touching item 10 drop on their next lookup (counted as misses);
+  // the unrelated pair still hits.
+  Scalar value = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, 10, &value));
+  EXPECT_FALSE(cache.Lookup(10, 2, &value));  // symmetric order, same slot
+  EXPECT_TRUE(cache.Lookup(3, 11, &value));
+  EXPECT_DOUBLE_EQ(value, 0.3);
+  EXPECT_EQ(cache.stale_drops(), 2);
+  EXPECT_EQ(cache.size_bytes(), before - 2 * ColumnCache::kBytesPerEntry);
+
+  // A re-insert under the current generation serves again — the slot
+  // re-use cycle of the streaming runtime.
+  cache.Insert(1, 10, 0.7);
+  EXPECT_TRUE(cache.Lookup(1, 10, &value));
+  EXPECT_DOUBLE_EQ(value, 0.7);
+}
+
+TEST(ColumnCacheTest, GenerationSlotCollisionsOnlyOverInvalidate) {
+  // A one-slot generation table makes *every* item share the tag: erasing
+  // any item invalidates everything — a recompute, never a stale value.
+  // (Real configurations use 64K slots; this is the worst-case aliasing.)
+  ColumnCacheOptions opts;
+  opts.generation_slots = 1;
+  ColumnCache cache(opts);
+  cache.Insert(1, 2, 0.5);
+  cache.Insert(3, 4, 0.6);
+  EXPECT_EQ(cache.EraseItems(std::vector<Index>{999}), 1);
+  Scalar value = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &value));
+  EXPECT_FALSE(cache.Lookup(3, 4, &value));
+  EXPECT_EQ(cache.stale_drops(), 2);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(ColumnCacheTest, RebudgetGrowsInPlaceAndShrinksWithEviction) {
+  ColumnCacheOptions opts;
+  opts.num_shards = 1;
+  opts.max_bytes = 4 * ColumnCache::kBytesPerEntry;
+  ColumnCache cache(opts);
+  for (Index i = 0; i < 4; ++i) cache.Insert(i, i + 100, 1.0);
+  EXPECT_EQ(cache.size_bytes(), 4 * ColumnCache::kBytesPerEntry);
+
+  // Growth keeps every warm entry and admits more.
+  cache.Rebudget(8 * ColumnCache::kBytesPerEntry);
+  EXPECT_EQ(cache.max_bytes(), 8 * ColumnCache::kBytesPerEntry);
+  for (Index i = 4; i < 8; ++i) cache.Insert(i, i + 100, 1.0);
+  Scalar value = 0.0;
+  for (Index i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.Lookup(i, i + 100, &value)) << i;
+  }
+  EXPECT_EQ(cache.evictions(), 0);
+
+  // A shrink evicts LRU-first down to the new bound.
+  cache.Rebudget(2 * ColumnCache::kBytesPerEntry);
+  EXPECT_LE(cache.size_bytes(), 2 * ColumnCache::kBytesPerEntry);
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(ColumnCacheTest, OracleRebudgetKeepsValuesAndBudgetObservable) {
+  LabeledData data = SmallData();
+  AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
+  LazyAffinityOracle oracle(data.data, affinity);
+  const Scalar before = oracle.Entry(3, 7);
+  const int64_t floor_budget = oracle.cache_budget_bytes();
+  oracle.RebudgetColumnCache(static_cast<size_t>(floor_budget) * 2);
+  EXPECT_EQ(oracle.cache_budget_bytes(), floor_budget * 2);
+  // The warm entry survived the growth and still round-trips.
+  const int64_t computed = oracle.entries_computed();
+  EXPECT_EQ(oracle.Entry(3, 7), before);
+  EXPECT_EQ(oracle.entries_computed(), computed);
+}
+
 TEST(ColumnCacheTest, ConcurrentMixedUseIsConsistent) {
   LabeledData data = SmallData(200);
   AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});

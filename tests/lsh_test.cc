@@ -148,5 +148,107 @@ TEST_P(LshSegmentLengthProperty, CandidateVolumeGrowsWithR) {
 INSTANTIATE_TEST_SUITE_P(SegmentScales, LshSegmentLengthProperty,
                          ::testing::Values(0.25, 0.5, 1.0, 2.0));
 
+TEST(LshIndexTest, PointQueryOutParamMatchesAllocatingForm) {
+  LabeledData data = TightClusters();
+  LshIndex lsh(data.data, DefaultParams(data));
+  std::vector<Index> out;
+  for (Index i = 0; i < 25; ++i) {
+    lsh.QueryByPoint(data.data[i], &out);
+    auto allocated = lsh.QueryByPoint(data.data[i]);
+    auto sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    std::sort(allocated.begin(), allocated.end());
+    EXPECT_EQ(sorted, allocated) << "point " << i;
+    // Repeated calls re-use the scratch and stay self-consistent.
+    std::vector<Index> again;
+    lsh.QueryByPoint(data.data[i], &again);
+    EXPECT_EQ(out, again);
+  }
+}
+
+// Seeded fuzz of the streaming mutations: random interleavings of
+// RemoveItem / re-insertion (with recomputed keys) must leave the index
+// answering every query exactly like a freshly built index from which the
+// currently removed slots were removed once — no ghost bucket entries, no
+// lost items, no drift in live bookkeeping.
+class LshRemoveReinsertFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LshRemoveReinsertFuzz, InterleavedRemovalsMatchFreshIndex) {
+  LabeledData data = TightClusters(240);
+  const LshParams params = DefaultParams(data);
+  LshIndex fuzzed(data.data, params);
+
+  Rng rng(GetParam());
+  const Index n = data.size();
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<Index> removed_list;
+  std::vector<uint64_t> keys(params.num_tables);
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    if (op == 0 || removed_list.empty()) {
+      // Remove a random live item (if any are left).
+      if (static_cast<size_t>(n) == removed_list.size()) continue;
+      Index target = static_cast<Index>(rng.UniformInt(0, n - 1));
+      while (removed[target] != 0) target = (target + 1) % n;
+      fuzzed.RemoveItem(target);
+      removed[target] = 1;
+      removed_list.push_back(target);
+    } else if (op == 1) {
+      // Re-insert a random removed slot (its row is unchanged, so the
+      // recomputed keys are the original ones — the stream's slot re-use
+      // path with an identical occupant).
+      const size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(removed_list.size()) - 1));
+      const Index target = removed_list[pick];
+      fuzzed.ComputeItemKeys(target, keys.data());
+      fuzzed.InsertItemWithKeys(target, keys);
+      removed[target] = 0;
+      removed_list[pick] = removed_list.back();
+      removed_list.pop_back();
+    } else {
+      // Query a random live item mid-interleaving; results must only ever
+      // contain live items.
+      if (static_cast<size_t>(n) == removed_list.size()) continue;
+      Index probe = static_cast<Index>(rng.UniformInt(0, n - 1));
+      while (removed[probe] != 0) probe = (probe + 1) % n;
+      for (Index j : fuzzed.QueryByIndex(probe)) {
+        ASSERT_EQ(removed[j], 0) << "ghost item " << j;
+      }
+    }
+  }
+
+  // Reference: a fresh index over the same data minus the removed set.
+  LshIndex fresh(data.data, params);
+  for (Index i = 0; i < n; ++i) {
+    if (removed[i] != 0) fresh.RemoveItem(i);
+  }
+  ASSERT_EQ(fuzzed.live_count(), fresh.live_count());
+  ASSERT_EQ(fuzzed.size(), fresh.size());
+  for (Index i = 0; i < n; ++i) {
+    ASSERT_EQ(fuzzed.IsItemRemoved(i), fresh.IsItemRemoved(i)) << i;
+    if (removed[i] != 0) continue;
+    auto got = fuzzed.QueryByIndex(i);
+    auto want = fresh.QueryByIndex(i);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "item " << i;
+  }
+  // Batched queries agree too (the CIVS path over the surviving items).
+  IndexList live;
+  for (Index i = 0; i < n && static_cast<int>(live.size()) < 40; ++i) {
+    if (removed[i] == 0) live.push_back(i);
+  }
+  std::vector<Index> got_batch;
+  std::vector<Index> want_batch;
+  fuzzed.QueryByIndexBatch(live, &got_batch);
+  fresh.QueryByIndexBatch(live, &want_batch);
+  std::sort(got_batch.begin(), got_batch.end());
+  std::sort(want_batch.begin(), want_batch.end());
+  EXPECT_EQ(got_batch, want_batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LshRemoveReinsertFuzz,
+                         ::testing::Values(1u, 17u, 404u, 9001u));
+
 }  // namespace
 }  // namespace alid

@@ -23,7 +23,7 @@ import json
 import sys
 
 
-WALL_KEYS = ("wall_seconds", "p95_batch_seconds")
+WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds")
 
 
 def load_records(path):
@@ -48,7 +48,7 @@ def load_records(path):
 def row_label(row):
     """A stable, human-readable identity for one sweep row."""
     parts = []
-    for key in ("method", "regime", "dataset", "window", "batch",
+    for key in ("method", "regime", "dataset", "mode", "window", "batch",
                 "executors"):
         if key in row:
             parts.append(f"{key}={row[key]}")
