@@ -1,19 +1,27 @@
 // Component microbenchmarks (google-benchmark): kernel evaluation, lazy
 // column computation, LSH build/query, one LID invasion, replicator
-// iteration, eigensolvers. Not a paper artifact — used to attribute the
-// figure-level costs to components.
+// iteration, eigensolvers, and sketch-filtered vs full absorb scoring.
+// Mostly not a paper artifact — used to attribute the figure-level costs to
+// components — but the absorb-scoring section also prints a single-line
+// JSON record so the sketch speedup joins the bench trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "affinity/affinity_function.h"
 #include "affinity/lazy_affinity_oracle.h"
 #include "baselines/replicator.h"
 #include "affinity/affinity_matrix.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/lid.h"
 #include "data/synthetic.h"
 #include "linalg/jacobi.h"
 #include "linalg/lanczos.h"
 #include "lsh/lsh_index.h"
+#include "serve/cluster_snapshot.h"
 
 namespace alid {
 namespace {
@@ -144,7 +152,166 @@ void BM_LanczosTop4(benchmark::State& state) {
 }
 BENCHMARK(BM_LanczosTop4)->Arg(256)->Arg(512);
 
+// ---------------------------------------------------------------------------
+// Sketch-filtered vs full Theorem-1 absorb scoring at a* in {64, 256, 1024}.
+//
+// One dense Gaussian cluster of a* members is exported into two snapshots —
+// sketch on and sketch off — and assignment queries from three bands
+// (absorbing jitter, the collide-but-fail near-miss band, far points) score
+// against it. The LSH segment length is set far above the data scale so
+// every query collides and the measurement isolates the scoring itself;
+// answers are bit-identical by the sketch's exactness contract (asserted).
+// ---------------------------------------------------------------------------
+struct AbsorbFixture {
+  static constexpr int dim = 12;
+  static constexpr Index kQueryCount = 512;
+
+  Dataset data;
+  std::shared_ptr<const ClusterSnapshot> with_sketch;
+  std::shared_ptr<const ClusterSnapshot> without_sketch;
+  std::vector<Scalar> queries;  // row-major, kQueryCount x dim
+
+  explicit AbsorbFixture(Index support) : data(dim) {
+    Rng rng(811);
+    std::vector<Scalar> center(dim);
+    for (auto& v : center) v = rng.Uniform(0.0, 100.0);
+    for (Index i = 0; i < support; ++i) {
+      std::vector<Scalar> point(dim);
+      for (int d = 0; d < dim; ++d) point[d] = center[d] + rng.Gaussian();
+      data.Append(point);
+    }
+    Cluster cluster;
+    cluster.seed = 0;
+    for (Index i = 0; i < support; ++i) {
+      cluster.members.push_back(i);
+      cluster.weights.push_back(1.0 / static_cast<Scalar>(support));
+    }
+    ClusterSnapshotOptions options;
+    // Kernel tuned so in-cluster pairs sit near 0.9 => density ~0.8+.
+    options.affinity.k = AffinityFunction::SuggestScalingFactor(
+        data, /*p=*/2.0, /*target_affinity=*/0.9);
+    AffinityFunction fn(options.affinity);
+    LazyAffinityOracle oracle(data, fn);
+    Scalar density = 0.0;
+    for (Index a = 0; a < support; ++a) {
+      for (Index b = 0; b < support; ++b) {
+        density += cluster.weights[a] * cluster.weights[b] *
+                   oracle.Entry(a, b);
+      }
+    }
+    cluster.density = density;
+    // Every query lands in every bucket: the sweep times scoring, not
+    // candidate retrieval.
+    options.lsh.segment_length = 1e9;
+    with_sketch =
+        ClusterSnapshot::FromClusters(data, {&cluster, 1}, options);
+    ClusterSnapshotOptions off = options;
+    off.sketch.prefix_mass = 0.0;
+    without_sketch =
+        ClusterSnapshot::FromClusters(data, {&cluster, 1}, off);
+
+    for (Index q = 0; q < kQueryCount; ++q) {
+      const auto row =
+          data[static_cast<Index>(rng.UniformInt(0, support - 1))];
+      const int band = static_cast<int>(q % 3);
+      const double magnitude = band == 0 ? 0.2 : (band == 1 ? 6.0 : 40.0);
+      for (int d = 0; d < dim; ++d) {
+        queries.push_back(row[d] + rng.Gaussian() * magnitude);
+      }
+    }
+  }
+
+  std::span<const Scalar> Query(Index q) const {
+    return {queries.data() + static_cast<size_t>(q % kQueryCount) * dim,
+            static_cast<size_t>(dim)};
+  }
+};
+
+void BM_AbsorbScoreFull(benchmark::State& state) {
+  AbsorbFixture fixture(state.range(0));
+  Index q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.without_sketch->Assign(fixture.Query(q)));
+    ++q;
+  }
+}
+BENCHMARK(BM_AbsorbScoreFull)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AbsorbScoreSketch(benchmark::State& state) {
+  AbsorbFixture fixture(state.range(0));
+  Index q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.with_sketch->Assign(fixture.Query(q)));
+    ++q;
+  }
+}
+BENCHMARK(BM_AbsorbScoreSketch)->Arg(64)->Arg(256)->Arg(1024);
+
 }  // namespace
+
+// The trajectory record: wall seconds over a fixed query sweep per support
+// size, sketch vs full, plus the prune/exact counters and an equality spot
+// check — a sketch that changed one bit would be a bug, not a speedup, so
+// any mismatch fails the binary (and with it the CI bench step).
+// Returns true iff every sketch answer matched its full-scoring twin.
+bool PrintAbsorbScoreJson() {
+  std::printf("\nJSON {\"bench\":\"micro_sketch\",\"rows\":[");
+  bool first = true;
+  bool all_match = true;
+  for (Index support : {Index{64}, Index{256}, Index{1024}}) {
+    AbsorbFixture fixture(support);
+    constexpr int kSweep = 4096;
+    int64_t prunes = 0;
+    int64_t exact = 0;
+    int mismatches = 0;
+    for (Index q = 0; q < AbsorbFixture::kQueryCount; ++q) {
+      const AssignOutcome a = fixture.with_sketch->Assign(fixture.Query(q));
+      const AssignOutcome b =
+          fixture.without_sketch->Assign(fixture.Query(q));
+      if (a.cluster != b.cluster || a.affinity != b.affinity ||
+          a.margin != b.margin) {
+        ++mismatches;
+        all_match = false;
+      }
+      prunes += a.sketch_prunes;
+      exact += a.sketch_exact;
+    }
+    WallTimer full_timer;
+    for (int q = 0; q < kSweep; ++q) {
+      benchmark::DoNotOptimize(
+          fixture.without_sketch->Assign(fixture.Query(q)));
+    }
+    const double full_seconds = full_timer.Seconds();
+    WallTimer sketch_timer;
+    for (int q = 0; q < kSweep; ++q) {
+      benchmark::DoNotOptimize(fixture.with_sketch->Assign(fixture.Query(q)));
+    }
+    const double sketch_seconds = sketch_timer.Seconds();
+    std::printf(
+        "%s{\"support\":%d,\"queries\":%d,\"full_seconds\":%.6f,"
+        "\"sketch_seconds\":%.6f,\"speedup\":%.4f,\"sketch_prunes\":%lld,"
+        "\"sketch_exact\":%lld,\"mismatches\":%d}",
+        first ? "" : ",", support, kSweep, full_seconds, sketch_seconds,
+        sketch_seconds > 0.0 ? full_seconds / sketch_seconds : 0.0,
+        static_cast<long long>(prunes), static_cast<long long>(exact),
+        mismatches);
+    first = false;
+  }
+  std::printf("]}\n");
+  if (!all_match) {
+    std::fprintf(stderr, "FATAL: sketch-pruned absorb scoring disagreed "
+                         "with full scoring — the exactness contract is "
+                         "broken\n");
+  }
+  return all_match;
+}
+
 }  // namespace alid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return alid::PrintAbsorbScoreJson() ? 0 : 1;
+}

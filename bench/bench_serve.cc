@@ -43,6 +43,8 @@ struct ServeRow {
   double speedup = 0.0;  // vs the 1-executor row of the same (mode, batch)
   int64_t assigned = 0;
   int64_t unassigned = 0;
+  int64_t sketch_prunes = 0;   // candidates the sketch bound rejected
+  int64_t sketch_exact = 0;    // sketch-engaged candidates scored exactly
   int64_t swaps = 0;
 };
 
@@ -55,6 +57,9 @@ ServeRow RunQueries(const ClusterServer& server,
   row.mode = mode;
   row.batch = batch;
   row.executors = executors;
+  // ServeStats counters are monotonic; deltas keep the row self-contained
+  // even if a server ever answers more than one sweep.
+  const ServeStatsView before = server.stats();
   const Index count = static_cast<Index>(queries.size()) / dim;
   std::vector<double> latencies;
   latencies.reserve(static_cast<size_t>(count / batch) + 1);
@@ -87,6 +92,9 @@ ServeRow RunQueries(const ClusterServer& server,
   row.p50_query_seconds = Percentile(latencies, 0.50);
   row.p95_query_seconds = Percentile(latencies, 0.95);
   row.p99_query_seconds = Percentile(latencies, 0.99);
+  const ServeStatsView after = server.stats();
+  row.sketch_prunes = after.sketch_prunes - before.sketch_prunes;
+  row.sketch_exact = after.sketch_exact - before.sketch_exact;
   return row;
 }
 
@@ -100,10 +108,15 @@ void PrintRow(const ServeRow& r) {
 }
 
 void PrintJson(const std::vector<ServeRow>& rows, Index n, Index queries,
-               int clusters, Index members) {
+               int clusters, Index members, double publish_p95_seconds,
+               int64_t rows_reused, int64_t clusters_reused) {
   std::printf("\nJSON {\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
-              "\"clusters\":%d,\"members\":%d,\"rows\":[",
-              n, queries, clusters, members);
+              "\"clusters\":%d,\"members\":%d,"
+              "\"publish_p95_seconds\":%.6f,\"rows_reused\":%lld,"
+              "\"clusters_reused\":%lld,\"rows\":[",
+              n, queries, clusters, members, publish_p95_seconds,
+              static_cast<long long>(rows_reused),
+              static_cast<long long>(clusters_reused));
   for (size_t i = 0; i < rows.size(); ++i) {
     const ServeRow& r = rows[i];
     std::printf(
@@ -111,11 +124,13 @@ void PrintJson(const std::vector<ServeRow>& rows, Index n, Index queries,
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"qps\":%.2f,"
         "\"p50_query_seconds\":%.9f,\"p95_query_seconds\":%.9f,"
         "\"p99_query_seconds\":%.9f,\"assigned\":%lld,\"unassigned\":%lld,"
-        "\"swaps\":%lld}",
+        "\"sketch_prunes\":%lld,\"sketch_exact\":%lld,\"swaps\":%lld}",
         i == 0 ? "" : ",", r.mode, r.batch, r.executors, r.wall_seconds,
         r.speedup, r.qps, r.p50_query_seconds, r.p95_query_seconds,
         r.p99_query_seconds, static_cast<long long>(r.assigned),
         static_cast<long long>(r.unassigned),
+        static_cast<long long>(r.sketch_prunes),
+        static_cast<long long>(r.sketch_exact),
         static_cast<long long>(r.swaps));
   }
   std::printf("]}\n");
@@ -145,6 +160,20 @@ void Main() {
   OnlineAlid online(data.data.dim(), opts);
   const int dim = data.data.dim();
   std::vector<std::shared_ptr<const ClusterSnapshot>> snapshots;
+  std::vector<double> publish_seconds;
+  int64_t rows_reused = 0;
+  int64_t clusters_reused = 0;
+  const auto publish = [&] {
+    WallTimer publish_timer;
+    // Chained incremental export — the production ingest->publish loop:
+    // each generation re-uses the blocks of every cluster the batch left
+    // untouched.
+    snapshots.push_back(ClusterSnapshot::FromStream(
+        online, nullptr, snapshots.empty() ? nullptr : snapshots.back()));
+    publish_seconds.push_back(publish_timer.Seconds());
+    rows_reused += snapshots.back()->build_info().rows_reused;
+    clusters_reused += snapshots.back()->build_info().clusters_reused;
+  };
   std::vector<Scalar> flat;
   for (Index pos = 0; pos < data.size(); ++pos) {
     const auto point = data.data[order[pos]];
@@ -153,17 +182,40 @@ void Main() {
       online.InsertBatch(flat);
       flat.clear();
       online.Refresh();
-      snapshots.push_back(ClusterSnapshot::FromStream(online));
+      publish();
     }
   }
   if (!flat.empty()) online.InsertBatch(flat);
   online.Refresh();
-  snapshots.push_back(ClusterSnapshot::FromStream(online));
+  publish();
+  // Steady-state tail: localized batches (jittered members of one planted
+  // burst) leave most clusters untouched between publishes — the regime
+  // where the incremental export pays O(changed clusters), not O(window).
+  {
+    Rng jitter(99);
+    const IndexList& burst = data.true_clusters.front();
+    for (int round = 0; round < 6; ++round) {
+      flat.clear();
+      for (int q = 0; q < 64; ++q) {
+        const auto row = data.data[burst[static_cast<size_t>(
+            jitter.UniformInt(0, static_cast<int>(burst.size()) - 1))]];
+        for (int d = 0; d < dim; ++d) {
+          flat.push_back(row[d] + jitter.Gaussian() * 0.05);
+        }
+      }
+      online.InsertBatch(flat);
+      publish();
+    }
+  }
   const auto& final_snapshot = snapshots.back();
   std::printf("streamed n=%d -> %d clusters over %d support members, %zu "
-              "snapshots exported\n",
+              "snapshots exported (publish p95 %.6fs, %lld rows / %lld "
+              "clusters re-used)\n",
               data.size(), final_snapshot->num_clusters(),
-              final_snapshot->num_members(), snapshots.size());
+              final_snapshot->num_members(), snapshots.size(),
+              Percentile(publish_seconds, 0.95),
+              static_cast<long long>(rows_reused),
+              static_cast<long long>(clusters_reused));
 
   // Query mix: jittered copies of random rows (assignable) + far uniform
   // noise (unassignable), in one fixed shuffled stream. Sized so each
@@ -173,11 +225,23 @@ void Main() {
   std::vector<Scalar> queries;
   queries.reserve(static_cast<size_t>(num_queries) * dim);
   for (Index q = 0; q < num_queries; ++q) {
-    if (rng.Uniform() < 0.8) {
+    const double mix = rng.Uniform();
+    if (mix < 0.6) {
+      // Assignable: tight jitter around a data row.
       const auto row =
           data.data[static_cast<Index>(rng.UniformInt(0, data.size() - 1))];
       for (int d = 0; d < dim; ++d) {
         queries.push_back(row[d] + rng.Gaussian() * 0.05);
+      }
+    } else if (mix < 0.8) {
+      // Near-miss band: collides with a cluster's buckets but scores far
+      // below its absorb threshold — the queries the support sketch
+      // rejects after a handful of kernel evaluations.
+      const auto row =
+          data.data[static_cast<Index>(rng.UniformInt(0, data.size() - 1))];
+      const double magnitude = 2.0 + rng.Uniform() * 6.0;
+      for (int d = 0; d < dim; ++d) {
+        queries.push_back(row[d] + rng.Gaussian() * magnitude);
       }
     } else {
       for (int d = 0; d < dim; ++d) {
@@ -252,7 +316,8 @@ void Main() {
               "twin closely because readers never block on publication — "
               "retired snapshots die with their last in-flight reader.\n");
   PrintJson(rows, data.size(), num_queries, final_snapshot->num_clusters(),
-            final_snapshot->num_members());
+            final_snapshot->num_members(), Percentile(publish_seconds, 0.95),
+            rows_reused, clusters_reused);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "core/online_alid.h"
 #include "data/synthetic.h"
+#include "serve/cluster_snapshot.h"
 
 namespace alid::bench {
 namespace {
@@ -33,21 +34,60 @@ struct StreamRow {
   double wall_seconds = 0.0;
   double items_per_second = 0.0;
   double p50_batch_seconds = 0.0;
-  double p95_batch_seconds = 0.0;
+  double p95_batch_seconds = 0.0;  // == ingest_p95_seconds (both emitted)
   double speedup = 0.0;  // vs the 1-executor row of the same (batch, window)
   int64_t absorbed = 0;
   int64_t pooled = 0;
   int64_t evicted = 0;
   int64_t refreshes = 0;
   int64_t redetections = 0;
+  int64_t sketch_prunes = 0;
+  int64_t sketch_exact = 0;
+  int64_t refresh_speculations = 0;
+  int64_t refresh_conflicts = 0;
   int64_t cache_hits = 0;
+  double cache_hit_rate = 0.0;
+  int64_t cache_evictions = 0;
+  int64_t cache_stale_drops = 0;
+  int64_t cache_budget_bytes = 0;
   int64_t cache_invalidated = 0;
   int64_t steals = 0;
   int clusters = 0;
+  // Publish phase (measured outside the ingest wall): steady-state
+  // localized batches followed by one incremental snapshot export each.
+  double publish_p95_seconds = 0.0;
+  int64_t rows_reused = 0;
+  int64_t clusters_reused = 0;
 };
 
+// Shuffled dataset rows followed by a band of near-miss probes (jittered
+// copies at magnitudes spanning the collide-but-fail region): the arrivals
+// the support sketch rejects after a handful of kernel evaluations instead
+// of a full-support scan.
+std::vector<Scalar> ArrivalStream(const LabeledData& data,
+                                  const std::vector<Index>& order) {
+  const int dim = data.data.dim();
+  std::vector<Scalar> flat;
+  flat.reserve(static_cast<size_t>(data.size()) * dim * 6 / 5);
+  for (Index i : order) {
+    const auto row = data.data[i];
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  Rng rng(31);
+  const Index probes = data.size() / 5;
+  for (Index q = 0; q < probes; ++q) {
+    const auto row =
+        data.data[static_cast<Index>(rng.UniformInt(0, data.size() - 1))];
+    const double magnitude = 2.0 + 6.0 * static_cast<double>(q % 16) / 15.0;
+    for (int d = 0; d < dim; ++d) {
+      flat.push_back(row[d] + rng.Gaussian() * magnitude);
+    }
+  }
+  return flat;
+}
+
 StreamRow RunStream(const LabeledData& data,
-                    const std::vector<Index>& order, Index batch,
+                    const std::vector<Scalar>& arrivals, Index batch,
                     Index window, int executors) {
   StreamRow row;
   row.batch = batch;
@@ -66,18 +106,15 @@ StreamRow RunStream(const LabeledData& data,
   OnlineAlid online(data.data.dim(), opts);
 
   const int dim = data.data.dim();
+  const Index count = static_cast<Index>(arrivals.size()) / dim;
   std::vector<Scalar> flat;
-  flat.reserve(static_cast<size_t>(batch) * dim);
   WallTimer timer;
-  for (Index pos = 0; pos < data.size(); ++pos) {
-    const auto point = data.data[order[pos]];
-    flat.insert(flat.end(), point.begin(), point.end());
-    if (static_cast<Index>(flat.size()) == batch * dim) {
-      online.InsertBatch(flat);
-      flat.clear();
-    }
+  for (Index begin = 0; begin < count; begin += batch) {
+    const Index size = std::min<Index>(batch, count - begin);
+    online.InsertBatch(std::span<const Scalar>(
+        arrivals.data() + static_cast<size_t>(begin) * dim,
+        static_cast<size_t>(size) * dim));
   }
-  if (!flat.empty()) online.InsertBatch(flat);
   online.Refresh();
   row.wall_seconds = timer.Seconds();
 
@@ -93,10 +130,49 @@ StreamRow RunStream(const LabeledData& data,
   row.evicted = stats.evicted;
   row.refreshes = stats.refreshes;
   row.redetections = stats.redetections;
+  row.sketch_prunes = stats.sketch_prunes;
+  row.sketch_exact = stats.sketch_exact;
+  row.refresh_speculations = stats.refresh_speculations;
+  row.refresh_conflicts = stats.refresh_conflicts;
   row.cache_hits = online.oracle().cache_hits();
+  const int64_t touched =
+      row.cache_hits + online.oracle().entries_computed();
+  row.cache_hit_rate =
+      touched > 0 ? static_cast<double>(row.cache_hits) / touched : 0.0;
+  row.cache_evictions = online.oracle().cache_evictions();
+  row.cache_stale_drops = online.oracle().cache_stale_drops();
+  row.cache_budget_bytes = stats.cache_budget_bytes;
   row.cache_invalidated = stats.cache_entries_invalidated;
   row.steals = pool != nullptr ? pool->steal_count() : 0;
   row.clusters = static_cast<int>(online.clusters().size());
+
+  // Publish phase, measured outside the ingest wall: a steady-state tail of
+  // localized batches (jittered members of ONE planted burst plus the
+  // publish itself) so most clusters stand still between generations — the
+  // regime where the incremental export turns publish cost into O(changed
+  // clusters). Each batch is followed by one chained FromStream export.
+  const IndexList& burst = data.true_clusters.front();
+  Rng jitter(99);
+  std::vector<double> publish_seconds;
+  std::shared_ptr<const ClusterSnapshot> snapshot;
+  const int dim_publish = data.data.dim();
+  for (int round = 0; round < 8; ++round) {
+    flat.clear();
+    for (int q = 0; q < 64; ++q) {
+      const auto row_data = data.data[burst[static_cast<size_t>(
+          jitter.UniformInt(0, static_cast<int>(burst.size()) - 1))]];
+      for (int d = 0; d < dim_publish; ++d) {
+        flat.push_back(row_data[d] + jitter.Gaussian() * 0.2);
+      }
+    }
+    online.InsertBatch(flat);
+    WallTimer publish_timer;
+    snapshot = ClusterSnapshot::FromStream(online, pool.get(), snapshot);
+    publish_seconds.push_back(publish_timer.Seconds());
+    row.rows_reused += snapshot->build_info().rows_reused;
+    row.clusters_reused += snapshot->build_info().clusters_reused;
+  }
+  row.publish_p95_seconds = Percentile(publish_seconds, 0.95);
   return row;
 }
 
@@ -119,16 +195,33 @@ void PrintJson(const std::vector<StreamRow>& rows, Index n) {
         "%s{\"batch\":%d,\"window\":%d,\"executors\":%d,"
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"items_per_second\":%.2f,"
         "\"p50_batch_seconds\":%.6f,\"p95_batch_seconds\":%.6f,"
+        "\"ingest_p95_seconds\":%.6f,\"publish_p95_seconds\":%.6f,"
         "\"absorbed\":%lld,\"pooled\":%lld,\"evicted\":%lld,"
-        "\"refreshes\":%lld,\"redetections\":%lld,\"cache_hits\":%lld,"
+        "\"refreshes\":%lld,\"redetections\":%lld,"
+        "\"sketch_prunes\":%lld,\"sketch_exact\":%lld,"
+        "\"refresh_speculations\":%lld,\"refresh_conflicts\":%lld,"
+        "\"rows_reused\":%lld,\"clusters_reused\":%lld,"
+        "\"cache_hits\":%lld,\"cache_hit_rate\":%.4f,"
+        "\"cache_evictions\":%lld,\"cache_stale_drops\":%lld,"
+        "\"cache_budget_bytes\":%lld,"
         "\"cache_invalidated\":%lld,\"steals\":%lld,\"clusters\":%d}",
         i == 0 ? "" : ",", r.batch, r.window, r.executors, r.wall_seconds,
         r.speedup, r.items_per_second, r.p50_batch_seconds,
-        r.p95_batch_seconds, static_cast<long long>(r.absorbed),
+        r.p95_batch_seconds, r.p95_batch_seconds, r.publish_p95_seconds,
+        static_cast<long long>(r.absorbed),
         static_cast<long long>(r.pooled), static_cast<long long>(r.evicted),
         static_cast<long long>(r.refreshes),
         static_cast<long long>(r.redetections),
-        static_cast<long long>(r.cache_hits),
+        static_cast<long long>(r.sketch_prunes),
+        static_cast<long long>(r.sketch_exact),
+        static_cast<long long>(r.refresh_speculations),
+        static_cast<long long>(r.refresh_conflicts),
+        static_cast<long long>(r.rows_reused),
+        static_cast<long long>(r.clusters_reused),
+        static_cast<long long>(r.cache_hits), r.cache_hit_rate,
+        static_cast<long long>(r.cache_evictions),
+        static_cast<long long>(r.cache_stale_drops),
+        static_cast<long long>(r.cache_budget_bytes),
         static_cast<long long>(r.cache_invalidated),
         static_cast<long long>(r.steals), r.clusters);
   }
@@ -149,7 +242,11 @@ void Main() {
   LabeledData data = MakeSynthetic(cfg);
   Rng rng(17);
   const std::vector<Index> order = rng.Permutation(data.size());
-  std::printf("n=%d arrivals, %zu planted bursts\n", data.size(),
+  const std::vector<Scalar> arrivals = ArrivalStream(data, order);
+  std::printf("n=%d arrivals (+%d near-miss probes), %zu planted bursts\n",
+              data.size(),
+              static_cast<int>(arrivals.size()) / data.data.dim() -
+                  data.size(),
               data.true_clusters.size());
 
   const std::vector<Index> batches{32, 256};
@@ -165,7 +262,7 @@ void Main() {
     for (Index batch : batches) {
       double base_wall = 0.0;
       for (int executors : {1, 2, 4, 8}) {
-        StreamRow row = RunStream(data, order, batch, window, executors);
+        StreamRow row = RunStream(data, arrivals, batch, window, executors);
         if (executors == 1) {
           base_wall = row.wall_seconds;
           row.speedup = 1.0;
@@ -184,7 +281,12 @@ void Main() {
               "the executor column (only wall time moves); larger batches "
               "amortize the parallel hash/score phases, and the window "
               "bounds evictions — and with them the index and cache "
-              "footprint — independent of stream length.\n");
+              "footprint — independent of stream length. sketch_prunes "
+              "counts absorb scorings the support-sketch bound skipped "
+              "(exactly, never approximately), and the publish columns "
+              "time the incremental snapshot export over a steady-state "
+              "tail: rows_reused > 0 is the proof the publish path pays "
+              "O(changed clusters), not O(window).\n");
   PrintJson(rows, data.size());
 }
 

@@ -82,6 +82,7 @@ void PrintJson(const std::vector<SweepRow>& rows, Index n) {
         "\"speedup\":%.4f,\"task_seconds\":%.6f,\"concurrency\":%.4f,"
         "\"steals\":%lld,\"cache_hits\":%lld,\"entries_computed\":%lld,"
         "\"cache_hit_rate\":%.4f,\"cache_evictions\":%lld,"
+        "\"cache_stale_drops\":%lld,"
         "\"cache_bytes\":%lld,\"cache_budget_bytes\":%lld,"
         "\"num_seeds\":%d,\"num_tasks\":%d,\"avg_f\":%.4f}",
         i == 0 ? "" : ",", r.method, r.executors, r.stats.wall_seconds,
@@ -91,6 +92,7 @@ void PrintJson(const std::vector<SweepRow>& rows, Index n) {
         static_cast<long long>(r.stats.entries_computed),
         r.stats.cache_hit_rate,
         static_cast<long long>(r.stats.cache_evictions),
+        static_cast<long long>(r.stats.cache_stale_drops),
         static_cast<long long>(r.stats.cache_bytes),
         static_cast<long long>(r.stats.cache_budget_bytes),
         r.stats.num_seeds, r.stats.num_tasks, r.avg_f);

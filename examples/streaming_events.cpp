@@ -115,6 +115,14 @@ int main() {
               static_cast<long long>(stats.redetections),
               static_cast<long long>(stats.cache_entries_invalidated),
               static_cast<long long>(pool.steal_count()));
+  std::printf("absorb fast path: %lld candidate scorings pruned by the "
+              "support sketch, %lld exact fallbacks; refresh map stage: "
+              "%lld rounds, %lld speculative detections, %lld conflicts\n",
+              static_cast<long long>(stats.sketch_prunes),
+              static_cast<long long>(stats.sketch_exact),
+              static_cast<long long>(stats.refresh_rounds),
+              static_cast<long long>(stats.refresh_speculations),
+              static_cast<long long>(stats.refresh_conflicts));
   const std::vector<int> latency = stats.LatencyHistogram(8);
   std::printf("ingest-latency histogram (%zu batches, 8 bins to max): ",
               stats.batch_seconds.size());

@@ -31,14 +31,24 @@ struct ColumnCacheOptions {
   int generation_slots = 1 << 16;
 
   /// The data-aware budget the oracle installs by default: the cache may hold
-  /// up to this fraction of the dense matrix footprint (n^2 * sizeof(Scalar)),
-  /// clamped to [kMinAutoBudgetBytes, kMaxAutoBudgetBytes]. A fraction of the
-  /// dense footprint keeps the policy honest on both ends: small datasets
-  /// cache everything they could ever touch, large ones stay orders of
-  /// magnitude below the O(n^2) baselines' materialized matrices.
-  static ColumnCacheOptions ForDataSize(Index n,
-                                        double budget_fraction = 1.0 / 16.0);
+  /// up to `budget_fraction` of the dense matrix footprint
+  /// (n^2 * sizeof(Scalar)), clamped to
+  /// [kMinAutoBudgetBytes, kMaxAutoBudgetBytes]. A fraction of the dense
+  /// footprint keeps the policy honest on both ends: small datasets cache
+  /// everything they could ever touch, large ones stay orders of magnitude
+  /// below the O(n^2) baselines' materialized matrices.
+  ///
+  /// `budget_fraction` is the documented tuning knob of the auto budget: the
+  /// default kDefaultAutoBudgetFraction (1/16) is a first guess, and the
+  /// bench trajectory's cache_hit_rate / cache_evictions keys (bench_table2,
+  /// bench_stream) are the telemetry to re-tune it against — raise the
+  /// fraction when eviction counts climb with a poor hit rate, lower it when
+  /// the hit rate saturates well below the budget. Streaming callers pass a
+  /// fraction through OnlineAlidOptions::cache_budget_fraction.
+  static ColumnCacheOptions ForDataSize(
+      Index n, double budget_fraction = kDefaultAutoBudgetFraction);
 
+  static constexpr double kDefaultAutoBudgetFraction = 1.0 / 16.0;
   static constexpr size_t kMinAutoBudgetBytes = size_t{1} << 20;    // 1 MiB
   static constexpr size_t kMaxAutoBudgetBytes = size_t{256} << 20;  // 256 MiB
 };

@@ -26,6 +26,12 @@ void Dataset::AppendAll(const Dataset& other) {
   num_points_ += other.num_points_;
 }
 
+void Dataset::AppendRaw(std::span<const Scalar> rows) {
+  ALID_CHECK(dim_ > 0 && rows.size() % static_cast<size_t>(dim_) == 0);
+  data_.insert(data_.end(), rows.begin(), rows.end());
+  num_points_ += rows.size() / static_cast<size_t>(dim_);
+}
+
 Dataset Dataset::Subset(const IndexList& indices) const {
   Dataset out(dim_);
   out.data_.reserve(indices.size() * static_cast<size_t>(dim_));

@@ -19,6 +19,9 @@ OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
     : options_(options), data_(dim), affinity_fn_(options.affinity) {
   ALID_CHECK(options_.window >= 0);
   ALID_CHECK(options_.refresh_interval >= 1);
+  ALID_CHECK(options_.refresh_frontier >= 1);
+  ALID_CHECK(options_.cache_budget_fraction > 0.0 &&
+             options_.cache_budget_fraction <= 1.0);
   oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
   if (!options_.column_cache) oracle_->DisableColumnCache();
   stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
@@ -80,8 +83,12 @@ std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
 
   // Phase 5 (serial): apply in arrival order. Clusters mutate here, so the
   // snapshot versions tell ApplyArrival which precomputed choices are stale.
+  // The sketch-filter counters of the parallel phase fold in here too, in
+  // arrival order, so the stats are executor-independent like the state.
   const std::vector<uint64_t> versions = cluster_version_;
   for (Index k = 0; k < count; ++k) {
+    stats_.sketch_prunes += choices[k].sketch_prunes;
+    stats_.sketch_exact += choices[k].sketch_exact;
     ApplyArrival(slots[k], choices[k], versions);
   }
 
@@ -90,6 +97,10 @@ std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
   if (options_.window > 0) ExpireToWindow();
 
   CompactClusters();
+  // Sketches of mutated clusters are rebuilt at batch end — the next
+  // batch's parallel scoring phase and any between-batch snapshot export
+  // read only fresh ones.
+  RefreshSketches();
   MaybeRebudgetCache();
   stats_.alive = alive();
   stats_.clusters_alive = static_cast<int>(clusters_.size());
@@ -134,8 +145,29 @@ OnlineAlid::Choice OnlineAlid::ScoreArrival(Index slot) const {
     const Cluster& cl = clusters_[c];
     // Absorb when (near-)infective: same-cluster arrivals sit at the density
     // (Theorem 1 equality on the support), hence the slack.
-    const Scalar margin = ClusterAffinity(cl, slot) -
-                          cl.density * (1.0 - options_.absorb_slack);
+    const Scalar threshold = cl.density * (1.0 - options_.absorb_slack);
+    const SupportSketch& sketch = sketches_[c];
+    if (sketch.engaged() && sketch.built_version == cluster_version_[c]) {
+      // Branch-and-bound filter (SketchBoundRejects — one walk shared with
+      // the serving layer, so both sides take bit-identical prune
+      // decisions): a rejected candidate provably cannot clear the absorb
+      // threshold or beat the incumbent's exact margin, so its
+      // full-support scoring is skipped; anything else — inconclusive walk
+      // or give-up — falls through to the unchanged exact summation below.
+      // Both exits are pure functions of the sketch and the arrival, hence
+      // executor-independent.
+      if (SketchBoundRejects(std::span<const Scalar>(sketch.weights),
+                             std::span<const Scalar>(sketch.rest_weights),
+                             threshold, best_margin, [&](size_t t) {
+                               return oracle_->Entry(
+                                   cl.members[sketch.ordinals[t]], slot);
+                             })) {
+        ++best.sketch_prunes;
+        continue;
+      }
+      ++best.sketch_exact;
+    }
+    const Scalar margin = ClusterAffinity(cl, slot) - threshold;
     if (margin > 0.0 && margin > best_margin) {
       best_margin = margin;
       best.cluster = static_cast<int>(c);
@@ -198,10 +230,29 @@ void OnlineAlid::ApplyArrival(Index slot, const Choice& choice,
 void OnlineAlid::Refresh() {
   DetectFromPool();
   CompactClusters();
+  RefreshSketches();
   since_refresh_ = 0;
   ++stats_.refreshes;
   stats_.alive = alive();
   stats_.clusters_alive = static_cast<int>(clusters_.size());
+}
+
+void OnlineAlid::RefreshSketches() {
+  // Pure per cluster (weights in, sketch out), so the sweep chunks on the
+  // shared pool like every other parallel phase; only clusters whose
+  // version moved rebuild, so the cost is O(changed), not O(clusters).
+  ParallelChunks(options_.pool, 0, static_cast<int64_t>(clusters_.size()),
+                 options_.grain, [&](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t c = lo; c < hi; ++c) {
+                     if (sketches_[c].built_version == cluster_version_[c]) {
+                       continue;
+                     }
+                     sketches_[c] =
+                         BuildSupportSketch(clusters_[c].weights,
+                                            options_.sketch);
+                     sketches_[c].built_version = cluster_version_[c];
+                   }
+                 });
 }
 
 void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
@@ -242,70 +293,138 @@ void OnlineAlid::DetectFromPool() {
   }
   if (pool_count == 0) return;
   AlidDetector detector(*oracle_, *lsh_, options_.alid);
-  for (Index seed = 0; seed < data_.size(); ++seed) {
-    if (exclude[seed]) continue;
-    Cluster c = detector.DetectOne(seed, &exclude);
-    for (Index i : c.members) exclude[i] = true;  // peel
-    if (c.density < options_.alid.density_threshold ||
-        static_cast<int>(c.members.size()) < options_.alid.min_cluster_size) {
-      continue;
+
+  // PALID's map stage over the unassigned pool: each round maps a frontier
+  // chunk of speculative DetectOne runs — pure against the round-start
+  // exclusions — across the shared pool, then validates and applies them
+  // serially in seed order. A speculative detection whose support stayed
+  // disjoint from everything claimed earlier in the round is exactly what a
+  // serial run *from the round-start state* would have produced and is
+  // applied as-is; one that overlaps an earlier claim is re-detected
+  // against the live exclusions (the strictly-serial step). The frontier
+  // width ramps geometrically while rounds stay conflict-free and resets to
+  // 1 on any waste, so a pool full of one big cluster degrades to the old
+  // serial peel instead of detecting it `frontier` times. Every input of
+  // the schedule — the frontier sequence, the seed order, each DetectOne —
+  // is a pure function of the stream history, so the refresh outcome is
+  // bit-identical for every executor count, scheduling discipline and
+  // grain.
+  const int max_frontier = std::max(1, options_.refresh_frontier);
+  int frontier = 1;
+  Index cursor = 0;  // seeds are consumed in ascending order, exactly once
+  std::vector<Index> seeds;
+  std::vector<Cluster> raw;
+  while (cursor < data_.size()) {
+    seeds.clear();
+    Index next_cursor = cursor;
+    for (Index s = cursor;
+         s < data_.size() && static_cast<int>(seeds.size()) < frontier; ++s) {
+      if (!exclude[s]) seeds.push_back(s);
+      next_cursor = s + 1;
     }
-    // A pool cluster might be the missing half of an existing one (its
-    // members arrived after that cluster was detected). If the cross
-    // density matches dominant-cluster coherence, merge by re-detection
-    // over the union. The pair sum runs chunk-deterministic on the shared
-    // pool with a *fixed* auto grain — this is the one reduction whose FP
-    // grouping a grain could move, and pinning it keeps the streamed state
-    // bit-identical across grains as well as executor counts.
-    int merge_with = -1;
-    for (size_t e = 0; e < clusters_.size(); ++e) {
-      if (cluster_dead_[e] != 0) continue;
-      const Cluster& cl = clusters_[e];
-      const Scalar cross = ParallelSum(
-          options_.pool, 0, static_cast<int64_t>(c.members.size()),
-          /*grain=*/0, [&](int64_t lo, int64_t hi) {
-            Scalar partial = 0.0;  // pi(x_new, x_e) over this chunk
-            for (int64_t a = lo; a < hi; ++a) {
-              for (size_t b = 0; b < cl.members.size(); ++b) {
-                partial += c.weights[a] * cl.weights[b] *
-                           oracle_->Entry(c.members[a], cl.members[b]);
-              }
-            }
-            return partial;
-          });
-      if (cross >= options_.alid.density_threshold) {
-        merge_with = static_cast<int>(e);
-        break;
-      }
-    }
-    if (merge_with >= 0) {
-      // Release the sibling and re-detect over the union of both halves.
-      for (Index i : clusters_[merge_with].members) assignment_[i] = -1;
-      std::vector<bool> other_owned(data_.size(), false);
-      for (Index i = 0; i < data_.size(); ++i) {
-        other_owned[i] = alive_[i] == 0 || assignment_[i] >= 0;
-      }
-      Cluster merged = detector.DetectOne(c.seed, &other_owned);
-      ++cluster_version_[merge_with];
-      if (merged.density >= options_.alid.density_threshold &&
-          static_cast<int>(merged.members.size()) >=
-              options_.alid.min_cluster_size) {
-        clusters_[merge_with] = std::move(merged);
-        Assign(merge_with);
-        for (Index i : clusters_[merge_with].members) exclude[i] = true;
+    cursor = next_cursor;
+    if (seeds.empty()) continue;
+    raw.assign(seeds.size(), Cluster{});
+    ParallelChunks(options_.pool, 0, static_cast<int64_t>(seeds.size()),
+                   /*grain=*/1, [&](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t k = lo; k < hi; ++k) {
+                       raw[k] = detector.DetectOne(seeds[k], &exclude);
+                     }
+                   });
+    bool waste = false;
+    for (size_t k = 0; k < seeds.size(); ++k) {
+      if (exclude[seeds[k]]) {
+        // Claimed by an earlier detection of this round — the serial peel
+        // would never have seeded here.
+        waste = true;
         continue;
       }
-      // Merge failed: restore the sibling's membership (its members are
-      // disjoint from the pool cluster, so this is exact) and fall through
-      // to install the pool cluster as-is.
-      Assign(merge_with);
+      Cluster c = std::move(raw[k]);
+      bool conflict = false;
+      for (Index m : c.members) {
+        if (exclude[m]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        c = detector.DetectOne(seeds[k], &exclude);
+        ++stats_.refresh_conflicts;
+        waste = true;
+      } else if (k > 0) {
+        ++stats_.refresh_speculations;
+      }
+      InstallPoolCluster(std::move(c), detector, exclude);
     }
-    clusters_.push_back(std::move(c));
-    cluster_version_.push_back(0);
-    cluster_dead_.push_back(0);
-    Assign(static_cast<int>(clusters_.size()) - 1);
-    ++stats_.clusters_born;
+    ++stats_.refresh_rounds;
+    frontier = waste ? 1 : std::min(frontier * 2, max_frontier);
   }
+}
+
+void OnlineAlid::InstallPoolCluster(Cluster c, const AlidDetector& detector,
+                                    std::vector<bool>& exclude) {
+  for (Index i : c.members) exclude[i] = true;  // peel
+  if (c.density < options_.alid.density_threshold ||
+      static_cast<int>(c.members.size()) < options_.alid.min_cluster_size) {
+    return;
+  }
+  // A pool cluster might be the missing half of an existing one (its
+  // members arrived after that cluster was detected). If the cross
+  // density matches dominant-cluster coherence, merge by re-detection
+  // over the union. The pair sum runs chunk-deterministic on the shared
+  // pool with a *fixed* auto grain — this is the one reduction whose FP
+  // grouping a grain could move, and pinning it keeps the streamed state
+  // bit-identical across grains as well as executor counts.
+  int merge_with = -1;
+  for (size_t e = 0; e < clusters_.size(); ++e) {
+    if (cluster_dead_[e] != 0) continue;
+    const Cluster& cl = clusters_[e];
+    const Scalar cross = ParallelSum(
+        options_.pool, 0, static_cast<int64_t>(c.members.size()),
+        /*grain=*/0, [&](int64_t lo, int64_t hi) {
+          Scalar partial = 0.0;  // pi(x_new, x_e) over this chunk
+          for (int64_t a = lo; a < hi; ++a) {
+            for (size_t b = 0; b < cl.members.size(); ++b) {
+              partial += c.weights[a] * cl.weights[b] *
+                         oracle_->Entry(c.members[a], cl.members[b]);
+            }
+          }
+          return partial;
+        });
+    if (cross >= options_.alid.density_threshold) {
+      merge_with = static_cast<int>(e);
+      break;
+    }
+  }
+  if (merge_with >= 0) {
+    // Release the sibling and re-detect over the union of both halves.
+    for (Index i : clusters_[merge_with].members) assignment_[i] = -1;
+    std::vector<bool> other_owned(data_.size(), false);
+    for (Index i = 0; i < data_.size(); ++i) {
+      other_owned[i] = alive_[i] == 0 || assignment_[i] >= 0;
+    }
+    Cluster merged = detector.DetectOne(c.seed, &other_owned);
+    ++cluster_version_[merge_with];
+    if (merged.density >= options_.alid.density_threshold &&
+        static_cast<int>(merged.members.size()) >=
+            options_.alid.min_cluster_size) {
+      clusters_[merge_with] = std::move(merged);
+      Assign(merge_with);
+      for (Index i : clusters_[merge_with].members) exclude[i] = true;
+      return;
+    }
+    // Merge failed: restore the sibling's membership (its members are
+    // disjoint from the pool cluster, so this is exact) and fall through
+    // to install the pool cluster as-is.
+    Assign(merge_with);
+  }
+  clusters_.push_back(std::move(c));
+  cluster_version_.push_back(0);
+  cluster_dead_.push_back(0);
+  cluster_uid_.push_back(next_cluster_uid_++);
+  sketches_.emplace_back();
+  Assign(static_cast<int>(clusters_.size()) - 1);
+  ++stats_.clusters_born;
 }
 
 void OnlineAlid::Assign(int cluster_id) {
@@ -382,7 +501,9 @@ void OnlineAlid::MaybeRebudgetCache() {
   // a shrink could only thrash. Depends solely on data_.size(), hence
   // bit-identical across executors/grains like everything else here.
   const size_t target =
-      ColumnCacheOptions::ForDataSize(data_.size()).max_bytes;
+      ColumnCacheOptions::ForDataSize(data_.size(),
+                                      options_.cache_budget_fraction)
+          .max_bytes;
   if (static_cast<int64_t>(target) > oracle_->cache_budget_bytes()) {
     oracle_->RebudgetColumnCache(target);
     ++stats_.cache_rebudgets;
@@ -398,15 +519,21 @@ void OnlineAlid::CompactClusters() {
   std::vector<int> remap(clusters_.size(), -1);
   std::vector<Cluster> kept;
   std::vector<uint64_t> kept_versions;
+  std::vector<uint64_t> kept_uids;
+  std::vector<SupportSketch> kept_sketches;
   kept.reserve(clusters_.size());
   for (size_t c = 0; c < clusters_.size(); ++c) {
     if (cluster_dead_[c] != 0) continue;
     remap[c] = static_cast<int>(kept.size());
     kept.push_back(std::move(clusters_[c]));
     kept_versions.push_back(cluster_version_[c]);
+    kept_uids.push_back(cluster_uid_[c]);
+    kept_sketches.push_back(std::move(sketches_[c]));
   }
   clusters_ = std::move(kept);
   cluster_version_ = std::move(kept_versions);
+  cluster_uid_ = std::move(kept_uids);
+  sketches_ = std::move(kept_sketches);
   cluster_dead_.assign(clusters_.size(), 0);
   for (int& a : assignment_) {
     if (a >= 0) a = remap[a];  // dead clusters hold no assignments

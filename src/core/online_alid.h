@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/alid.h"
+#include "core/support_sketch.h"
 
 namespace alid {
 
@@ -52,6 +53,28 @@ struct OnlineAlidOptions {
   /// state never depends on this flag; false keeps the stateless oracle
   /// (the cache-on ≡ cache-off harness flips it).
   bool column_cache = true;
+  /// Fraction of the dense-matrix footprint the auto-budgeted column cache
+  /// may hold (see ColumnCacheOptions::ForDataSize) — the ROADMAP's 1/16
+  /// first guess surfaced as a stream knob so the bench trajectory's
+  /// hit-rate/eviction telemetry can drive a re-tune without a code change.
+  double cache_budget_fraction = ColumnCacheOptions::kDefaultAutoBudgetFraction;
+  /// Per-cluster support-sketch sizing. The sketch is a branch-and-bound
+  /// filter in front of exact absorb scoring: with a bounded kernel, any
+  /// scored prefix of the top-weight members plus the remaining weight
+  /// upper-bounds pi(s_j, x), so most candidate clusters are rejected
+  /// after a few kernel evaluations instead of a full-support scan — and
+  /// since an inconclusive bound falls back to the unchanged exact
+  /// summation, the streamed state is bit-identical with the sketch on or
+  /// off (prefix_mass <= 0 disables it).
+  SupportSketchParams sketch;
+  /// Maximum number of pool seeds the refresh pass detects speculatively
+  /// per map round (PALID's seed-chunk map stage over the unassigned pool).
+  /// The frontier ramps 1 -> 2 -> ... -> this cap while rounds stay
+  /// conflict-free and resets to 1 on any conflict, so serial re-detections
+  /// stay rare; 1 pins the original strictly-serial peeling. The refresh
+  /// outcome depends only on this option and the stream history — never on
+  /// the executor count.
+  int refresh_frontier = 16;
 };
 
 /// Counters and per-batch ingest latencies of one OnlineAlid stream — the
@@ -75,6 +98,21 @@ struct StreamStats {
   int64_t cache_rebudgets = 0;
   /// Live cache budget after the most recent batch (0 when cache off).
   int64_t cache_budget_bytes = 0;
+  /// Candidate clusters rejected by the support-sketch upper bound during
+  /// absorb scoring — exact work the branch-and-bound filter skipped.
+  int64_t sketch_prunes = 0;
+  /// Sketch-engaged candidates whose bound was inconclusive and fell back
+  /// to the exact full-support scoring (the bits of which the sketch never
+  /// changes).
+  int64_t sketch_exact = 0;
+  /// Map rounds of the refresh pass's frontier scheme.
+  int64_t refresh_rounds = 0;
+  /// Speculative pool detections accepted as-is (their support stayed
+  /// disjoint from everything claimed earlier in the round).
+  int64_t refresh_speculations = 0;
+  /// Speculative pool detections that overlapped an earlier claim and were
+  /// re-detected serially against the up-to-date exclusions.
+  int64_t refresh_conflicts = 0;
   Index alive = 0;         ///< Live items (inside the window).
   int clusters_alive = 0;  ///< Current dominant clusters.
   /// Wall seconds of the most recent InsertBatch calls, in call order —
@@ -97,16 +135,23 @@ struct StreamStats {
 /// slots are re-used smallest-first) and hashed into the growing LSH index —
 /// the hashing and the Theorem-1 absorb scoring run chunked on the shared
 /// pool, both pure against the batch-start state, so the streamed state is
-/// bit-identical for every executor count. Absorptions then apply serially
-/// in arrival order: an arrival whose chosen cluster was mutated earlier in
-/// the same batch is re-scored against the cluster's current state before a
-/// *local* re-detection absorbs it. Arrivals matching nothing join the
-/// unassigned pool; every `refresh_interval` arrivals one peeling pass over
-/// the pool detects newly formed clusters. Under a sliding window, batch
-/// ingest ends by expiring the oldest items: they leave the LSH buckets,
-/// their cached affinities are invalidated (their slots will be re-used),
-/// and every cluster that lost members is locally re-detected or dissolved.
-/// Costs stay local: no global recomputation ever happens.
+/// bit-identical for every executor count. Absorb scoring consults each
+/// candidate cluster's support sketch first: the top-weight prefix plus the
+/// tail-weight bound rejects most candidates without touching the full
+/// support, and an inconclusive bound falls back to the unchanged exact
+/// summation — an exact optimization, never an approximation. Absorptions
+/// then apply serially in arrival order: an arrival whose chosen cluster
+/// was mutated earlier in the same batch is re-scored against the cluster's
+/// current state before a *local* re-detection absorbs it. Arrivals
+/// matching nothing join the unassigned pool; every `refresh_interval`
+/// arrivals a refresh pass peels newly formed clusters out of the pool —
+/// frontier chunks of speculative Algorithm-2 runs mapped over the shared
+/// pool (the PALID map idiom), validated and applied serially in seed order
+/// so the outcome never depends on the executors. Under a sliding window,
+/// batch ingest ends by expiring the oldest items: they leave the LSH
+/// buckets, their cached affinities are invalidated (their slots will be
+/// re-used), and every cluster that lost members is locally re-detected or
+/// dissolved. Costs stay local: no global recomputation ever happens.
 class OnlineAlid {
  public:
   explicit OnlineAlid(int dim, OnlineAlidOptions options);
@@ -153,6 +198,29 @@ class OnlineAlid {
   /// snapshots).
   const OnlineAlidOptions& options() const { return options_; }
 
+  /// Stable identity of cluster `c` (monotonic birth counter, >= 1;
+  /// preserved across re-detections and id compactions). Together with
+  /// cluster_version() this is what lets an incremental snapshot export
+  /// recognize a cluster it already holds: equal (uid, version) across two
+  /// exports means identical members, weights, density and member rows.
+  uint64_t cluster_uid(int c) const {
+    return cluster_uid_[static_cast<size_t>(c)];
+  }
+
+  /// Mutation counter of cluster `c` (bumped by every membership, weight or
+  /// density change — absorb re-detections, expiry peels, merges,
+  /// dissolutions).
+  uint64_t cluster_version(int c) const {
+    return cluster_version_[static_cast<size_t>(c)];
+  }
+
+  /// The support sketch of cluster `c`. Fresh (built_version ==
+  /// cluster_version) for every cluster between batches, so snapshot
+  /// exports lift it instead of rebuilding.
+  const SupportSketch& cluster_sketch(int c) const {
+    return sketches_[static_cast<size_t>(c)];
+  }
+
   /// Stream observability — the streaming counterpart of PalidStats.
   const StreamStats& stats() const { return stats_; }
 
@@ -160,11 +228,15 @@ class OnlineAlid {
   const LazyAffinityOracle& oracle() const { return *oracle_; }
 
  private:
-  // Absorb decision of one arrival: the target cluster (-1 = pool). The
-  // deciding margin is recomputed on the apply path whenever the target
-  // mutated, so only the choice itself is carried across the phases.
+  // Absorb decision of one arrival: the target cluster (-1 = pool) plus the
+  // sketch-filter activity of the scoring (accumulated serially into
+  // StreamStats after the parallel phase). The deciding margin is
+  // recomputed on the apply path whenever the target mutated, so only the
+  // choice itself is carried across the phases.
   struct Choice {
     int cluster = -1;
+    int32_t sketch_prunes = 0;
+    int32_t sketch_exact = 0;
   };
 
   // Writes the point into a re-used or appended slot (serial phase).
@@ -179,8 +251,18 @@ class OnlineAlid {
                     const std::vector<uint64_t>& versions);
   // Re-runs Algorithm 2 from a seed and installs/updates a cluster.
   void RedetectCluster(int cluster_id, Index seed);
-  // Peels new clusters out of the unassigned pool.
+  // Peels new clusters out of the unassigned pool: a deterministic frontier
+  // map stage (chunks of speculative DetectOne runs on the shared pool, the
+  // PALID map idiom) validated and applied serially in seed order.
   void DetectFromPool();
+  // The serial tail of one pool detection: peel the support, filter by
+  // density/size, merge with an existing cluster when the cross density
+  // says so, otherwise install as a new cluster.
+  void InstallPoolCluster(Cluster cluster, const AlidDetector& detector,
+                          std::vector<bool>& exclude);
+  // Rebuilds the sketch of every cluster whose version moved (end of every
+  // batch / refresh, so scoring and exports always see fresh sketches).
+  void RefreshSketches();
   void Assign(int cluster_id);
   // Expires the oldest items down to the window, invalidates their cached
   // affinities and repairs the clusters they were peeled out of.
@@ -202,8 +284,17 @@ class OnlineAlid {
 
   std::vector<Cluster> clusters_;
   // Mutation counter per cluster id; the batch apply phase re-scores an
-  // arrival whose precomputed target moved since the batch started.
+  // arrival whose precomputed target moved since the batch started, and the
+  // incremental snapshot export re-uses clusters whose counter stood still.
   std::vector<uint64_t> cluster_version_;
+  // Stable per-cluster identity (birth order, starting at 1) surviving the
+  // id compaction — what snapshot generations match clusters by.
+  std::vector<uint64_t> cluster_uid_;
+  uint64_t next_cluster_uid_ = 1;
+  // Support sketches parallel to clusters_, rebuilt for mutated clusters at
+  // the end of every batch (so the parallel scoring phase and FromStream
+  // exports only ever read fresh ones).
+  std::vector<SupportSketch> sketches_;
   // Dissolved-in-this-batch markers; compacted away at batch end so public
   // cluster ids stay dense.
   std::vector<uint8_t> cluster_dead_;

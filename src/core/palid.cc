@@ -55,6 +55,7 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   const int64_t hits_before = oracle_->cache_hits();
   const int64_t entries_before = oracle_->entries_computed();
   const int64_t evictions_before = oracle_->cache_evictions();
+  const int64_t stale_before = oracle_->cache_stale_drops();
 
   WallTimer wall;
   const int num_seeds = static_cast<int>(seeds.size());
@@ -147,6 +148,7 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
     stats->cache_hit_rate =
         touched > 0 ? static_cast<double>(stats->cache_hits) / touched : 0.0;
     stats->cache_evictions = oracle_->cache_evictions() - evictions_before;
+    stats->cache_stale_drops = oracle_->cache_stale_drops() - stale_before;
     stats->cache_bytes = oracle_->cache_size_bytes();
     stats->cache_budget_bytes = oracle_->cache_budget_bytes();
     stats->task_seconds = std::move(task_seconds);

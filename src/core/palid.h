@@ -66,6 +66,10 @@ struct PalidStats {
   /// footprint and configured budget at the end of it (all 0 when the oracle
   /// has no cache) — the observability knobs of the default-on flip.
   int64_t cache_evictions = 0;
+  /// Entries dropped lazily because an invalidation tag outdated them (only
+  /// nonzero when the oracle is shared with a stream whose expiry tags
+  /// items) — completes the cache telemetry the bench JSON surfaces.
+  int64_t cache_stale_drops = 0;
   int64_t cache_bytes = 0;
   int64_t cache_budget_bytes = 0;
   /// Busy seconds of each map task, in task order.

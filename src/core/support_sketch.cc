@@ -1,0 +1,56 @@
+#include "core/support_sketch.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace alid {
+
+SupportSketch BuildSupportSketch(std::span<const Scalar> weights,
+                                 const SupportSketchParams& params) {
+  SupportSketch sketch;
+  const Index n = static_cast<Index>(weights.size());
+  if (params.prefix_mass <= 0.0 || n < params.min_support) return sketch;
+
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  // Total order (weight desc, position asc): a strict weak ordering with no
+  // ties, so the sorted sequence — and with it every bound the sketch will
+  // ever produce — is a pure function of the weights.
+  std::sort(order.begin(), order.end(), [&weights](Index a, Index b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+
+  // Suffix sums over the sorted weights, in one fixed order: suffix[t] is
+  // the weight mass strictly after sorted position t - 1 (suffix[0] is the
+  // total). Summed back to front so every rest_weight below reproduces bit
+  // for bit across rebuilds.
+  std::vector<Scalar> suffix(static_cast<size_t>(n) + 1, 0.0);
+  for (Index t = n - 1; t >= 0; --t) {
+    suffix[t] = suffix[t + 1] + weights[order[t]];
+  }
+  const Scalar target = params.prefix_mass * suffix[0];
+
+  // Prefix length: the smallest count whose cumulative mass reaches the
+  // target (equivalently, whose remainder drops to (1 - prefix_mass) of the
+  // total). suffix[n] == 0 <= target's complement, so `prefix` always lands
+  // in [1, n].
+  Index prefix = n;
+  for (Index t = 1; t <= n; ++t) {
+    if (suffix[0] - suffix[t] >= target) {
+      prefix = t;
+      break;
+    }
+  }
+
+  sketch.ordinals.assign(order.begin(), order.begin() + prefix);
+  sketch.weights.resize(static_cast<size_t>(prefix));
+  sketch.rest_weights.resize(static_cast<size_t>(prefix));
+  for (Index t = 0; t < prefix; ++t) {
+    sketch.weights[t] = weights[sketch.ordinals[t]];
+    sketch.rest_weights[t] = suffix[t + 1];
+  }
+  return sketch;
+}
+
+}  // namespace alid

@@ -28,21 +28,26 @@ uint64_t HashFloors(const int32_t* vals, int count) {
 
 }  // namespace
 
-LshIndex::LshIndex(const Dataset& data, LshParams params)
-    : data_(&data), params_(params) {
+void LshIndex::InitTables() {
   ALID_CHECK(params_.num_tables > 0);
   ALID_CHECK(params_.num_projections > 0);
   ALID_CHECK(params_.segment_length > 0.0);
-  const int d = data.dim();
-  const Index n = data.size();
+  const int d = data_->dim();
   Rng rng(params_.seed);
-
   tables_.resize(params_.num_tables);
   for (auto& table : tables_) {
     table.projections.resize(static_cast<size_t>(params_.num_projections) * d);
     for (auto& v : table.projections) v = rng.Gaussian();
     table.offsets.resize(params_.num_projections);
     for (auto& b : table.offsets) b = rng.Uniform(0.0, params_.segment_length);
+  }
+}
+
+LshIndex::LshIndex(const Dataset& data, LshParams params)
+    : data_(&data), params_(params) {
+  InitTables();
+  const Index n = data.size();
+  for (auto& table : tables_) {
     table.item_key.resize(n);
     for (Index i = 0; i < n; ++i) {
       const uint64_t key = HashPoint(table, data[i]);
@@ -61,6 +66,17 @@ LshIndex::LshIndex(const Dataset& data, LshParams params)
     for (const auto& [key, items] : table.buckets) {
       memory_bytes_ += sizeof(key) + items.size() * sizeof(Index);
     }
+  }
+  charge_ =
+      std::make_unique<ScopedMemoryCharge>(static_cast<int64_t>(memory_bytes_));
+}
+
+LshIndex::LshIndex(const Dataset& data, LshParams params, DeferIndexing)
+    : data_(&data), params_(params) {
+  InitTables();
+  for (const auto& table : tables_) {
+    memory_bytes_ += table.projections.size() * sizeof(Scalar);
+    memory_bytes_ += table.offsets.size() * sizeof(Scalar);
   }
   charge_ =
       std::make_unique<ScopedMemoryCharge>(static_cast<int64_t>(memory_bytes_));

@@ -36,7 +36,20 @@ struct LshParams {
 /// queries by item index need no re-hashing.
 class LshIndex {
  public:
+  /// Tag selecting the deferred-indexing constructor below.
+  enum class DeferIndexing { kDeferred };
+
   LshIndex(const Dataset& data, LshParams params);
+
+  /// Builds the tables (projections and offsets seeded from params) WITHOUT
+  /// hashing any of `data`'s current rows: the caller inserts every item
+  /// itself through InsertItemWithKeys, with keys either computed via
+  /// ComputeItemKeys or carried over from an earlier index built with the
+  /// same params (the incremental snapshot export re-uses an unchanged
+  /// cluster's keys this way). Inserting items 0..n-1 in order with their
+  /// own keys yields an index identical to the hashing constructor.
+  LshIndex(const Dataset& data, LshParams params, DeferIndexing);
+
   ~LshIndex();
 
   LshIndex(const LshIndex&) = delete;
@@ -132,6 +145,12 @@ class LshIndex {
   };
 
   uint64_t HashPoint(const Table& table, std::span<const Scalar> point) const;
+
+  // Seeds the projection/offset streams of every table from params_. Both
+  // constructors share this, so a deferred index hashes every point exactly
+  // like an eager one built from the same params — the property that lets
+  // precomputed keys move between snapshot generations.
+  void InitTables();
 
   const Dataset* data_;
   LshParams params_;

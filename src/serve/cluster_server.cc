@@ -13,13 +13,30 @@ ClusterServer::ClusterServer(int dim, ClusterServerOptions options)
 
 void ClusterServer::Publish(std::shared_ptr<const ClusterSnapshot> snapshot) {
   if (snapshot != nullptr) ALID_CHECK(snapshot->dim() == dim_);
+  const ClusterSnapshot* incoming = snapshot.get();
+  double build_seconds = 0.0;
+  int64_t rows_reused = 0;
+  int64_t clusters_reused = 0;
+  if (incoming != nullptr) {
+    const SnapshotBuildInfo& info = incoming->build_info();
+    build_seconds = info.build_seconds;
+    rows_reused = info.rows_reused;
+    clusters_reused = info.clusters_reused;
+  }
   {
     std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
     snapshot_ptr_.swap(snapshot);
   }
   // `snapshot` now holds the retired state; it dies here (or with its last
-  // in-flight reader), outside the swap critical section.
-  stats_.RecordPublish();
+  // in-flight reader), outside the swap critical section. Re-publishing the
+  // snapshot that was already current (e.g. a rollback) still counts as a
+  // publication, but its build cost and re-use totals were recorded when it
+  // was first published — folding them again would claim work that never
+  // happened.
+  const bool republish = snapshot.get() == incoming;
+  stats_.RecordPublish(incoming != nullptr && !republish, build_seconds,
+                       republish ? 0 : rows_reused,
+                       republish ? 0 : clusters_reused);
 }
 
 std::shared_ptr<const ClusterSnapshot> ClusterServer::snapshot() const {
@@ -35,6 +52,8 @@ uint64_t ClusterServer::generation() const {
 AssignResult ClusterServer::AssignWith(const ClusterSnapshot& snapshot,
                                        std::span<const Scalar> point) const {
   const AssignOutcome outcome = snapshot.Assign(point);
+  // Relaxed atomics, so batched chunks record straight from pool workers.
+  stats_.RecordSketch(outcome.sketch_prunes, outcome.sketch_exact);
   return {outcome.cluster, outcome.affinity, outcome.margin,
           snapshot.generation()};
 }

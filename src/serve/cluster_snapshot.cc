@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/epoch_stamp.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "core/online_alid.h"
 
 namespace alid {
@@ -27,50 +29,176 @@ QueryScratch& Scratch() {
 
 }  // namespace
 
+bool ClusterSnapshot::CompatibleWith(const ClusterSnapshotOptions& options,
+                                     int dim) const {
+  const AffinityParams& a = affinity_fn_->params();
+  const LshParams& l = lsh_->params();
+  return this->dim() == dim && absorb_slack_ == options.absorb_slack &&
+         a.k == options.affinity.k && a.p == options.affinity.p &&
+         l.num_tables == options.lsh.num_tables &&
+         l.num_projections == options.lsh.num_projections &&
+         l.segment_length == options.lsh.segment_length &&
+         l.seed == options.lsh.seed && sketch_params_ == options.sketch;
+}
+
 std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromClusters(
     const Dataset& data, std::span<const Cluster> clusters,
     const ClusterSnapshotOptions& options, uint64_t generation) {
+  return Build(data, clusters, options, generation, nullptr);
+}
+
+std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
+    const Dataset& data, std::span<const Cluster> clusters,
+    const ClusterSnapshotOptions& options, uint64_t generation,
+    const StreamIdentity* identity) {
   ALID_CHECK(data.dim() > 0);
   ALID_CHECK(options.absorb_slack >= 0.0 && options.absorb_slack < 1.0);
+  WallTimer build_timer;
   std::shared_ptr<ClusterSnapshot> snap(new ClusterSnapshot());
   snap->generation_ = generation;
   snap->absorb_slack_ = options.absorb_slack;
+  snap->sketch_params_ = options.sketch;
   snap->affinity_fn_ = std::make_unique<AffinityFunction>(options.affinity);
   snap->members_ = Dataset(data.dim());
+
+  const int num_clusters = static_cast<int>(clusters.size());
+  const int tables = options.lsh.num_tables;
+  const OnlineAlid* stream =
+      identity != nullptr ? identity->stream : nullptr;
+  const ClusterSnapshot* prev =
+      identity != nullptr ? identity->previous : nullptr;
+
+  // Incremental re-use plan: a cluster whose stream (uid, version) pair
+  // matches a cluster of the previous snapshot is provably unchanged (every
+  // membership/weight/density mutation — and every member-row overwrite,
+  // which expiry precedes — bumps the stream's version counter), so its
+  // exported blocks move over verbatim. Everything the re-use skips is a
+  // pure function of the cluster's members and weights, hence the copied
+  // blocks are bit-identical to what a from-scratch build would recompute.
+  std::vector<int> reuse_from(static_cast<size_t>(num_clusters), -1);
+  if (stream != nullptr) {
+    snap->src_uid_.resize(static_cast<size_t>(num_clusters));
+    snap->src_version_.resize(static_cast<size_t>(num_clusters));
+    for (int c = 0; c < num_clusters; ++c) {
+      snap->src_uid_[c] = stream->cluster_uid(c);
+      snap->src_version_[c] = stream->cluster_version(c);
+    }
+    if (prev != nullptr && prev->CompatibleWith(options, data.dim())) {
+      std::unordered_map<uint64_t, int> prev_by_uid;
+      prev_by_uid.reserve(prev->src_uid_.size());
+      for (size_t p = 0; p < prev->src_uid_.size(); ++p) {
+        if (prev->src_uid_[p] != 0) {
+          prev_by_uid.emplace(prev->src_uid_[p], static_cast<int>(p));
+        }
+      }
+      for (int c = 0; c < num_clusters; ++c) {
+        if (snap->src_uid_[c] == 0) continue;
+        const auto it = prev_by_uid.find(snap->src_uid_[c]);
+        if (it != prev_by_uid.end() &&
+            prev->src_version_[it->second] == snap->src_version_[c]) {
+          reuse_from[c] = it->second;
+        }
+      }
+    }
+  } else {
+    snap->src_uid_.assign(static_cast<size_t>(num_clusters), 0);
+    snap->src_version_.assign(static_cast<size_t>(num_clusters), 0);
+  }
+
+  // Serial fill, cluster-major: rows/weights/ids move as block copies from
+  // the previous snapshot when re-used, otherwise gather from the source.
   snap->cluster_begin_.push_back(0);
-  for (size_t c = 0; c < clusters.size(); ++c) {
+  for (int c = 0; c < num_clusters; ++c) {
     const Cluster& cluster = clusters[c];
     ALID_CHECK(cluster.members.size() == cluster.weights.size());
+    const int p = reuse_from[c];
+    if (p >= 0) {
+      const Index pb = prev->cluster_begin_[p];
+      const Index pe = prev->cluster_begin_[p + 1];
+      ALID_CHECK(static_cast<size_t>(pe - pb) == cluster.members.size());
+      snap->members_.AppendRaw(prev->members_.RawRows(pb, pe));
+      snap->source_id_.insert(snap->source_id_.end(),
+                              prev->source_id_.begin() + pb,
+                              prev->source_id_.begin() + pe);
+      snap->weights_.insert(snap->weights_.end(), prev->weights_.begin() + pb,
+                            prev->weights_.begin() + pe);
+      snap->member_keys_.insert(
+          snap->member_keys_.end(),
+          prev->member_keys_.begin() + static_cast<size_t>(pb) * tables,
+          prev->member_keys_.begin() + static_cast<size_t>(pe) * tables);
+      snap->verified_density_.push_back(prev->verified_density_[p]);
+      snap->build_info_.rows_reused += pe - pb;
+      ++snap->build_info_.clusters_reused;
+    } else {
+      for (size_t t = 0; t < cluster.members.size(); ++t) {
+        const Index source = cluster.members[t];
+        ALID_CHECK(source >= 0 && source < data.size());
+        snap->members_.Append(data[source]);
+        snap->source_id_.push_back(source);
+        snap->weights_.push_back(cluster.weights[t]);
+      }
+      snap->member_keys_.resize(snap->member_keys_.size() +
+                                cluster.members.size() *
+                                    static_cast<size_t>(tables));
+      snap->verified_density_.push_back(0.0);  // computed below
+      snap->build_info_.rows_rebuilt +=
+          static_cast<Index>(cluster.members.size());
+    }
     for (size_t t = 0; t < cluster.members.size(); ++t) {
-      const Index source = cluster.members[t];
-      ALID_CHECK(source >= 0 && source < data.size());
-      snap->members_.Append(data[source]);
-      snap->source_id_.push_back(source);
-      snap->cluster_of_.push_back(static_cast<int>(c));
-      snap->weights_.push_back(cluster.weights[t]);
+      snap->cluster_of_.push_back(c);
     }
     snap->cluster_begin_.push_back(snap->members_.size());
     snap->density_.push_back(cluster.density);
     snap->seed_.push_back(cluster.seed);
   }
+  snap->build_info_.clusters_total = num_clusters;
+
   // Snapshot-owned substrates over the compacted members. The oracle's
-  // default-on column cache is budgeted for the member set; the LSH index is
-  // rebuilt per snapshot (same params => same projections as the source
-  // index, so point queries land in equivalent buckets).
+  // default-on column cache is budgeted for the member set; the LSH index
+  // is built deferred: re-used clusters insert their inherited keys,
+  // rebuilt clusters hash their members in a deterministic parallel pass,
+  // and the serial 0..M-1 insertion then reproduces exactly the buckets the
+  // hashing constructor would have built (same params => same projections
+  // as the source index, so point queries land in equivalent buckets).
   snap->oracle_ =
       std::make_unique<LazyAffinityOracle>(snap->members_, *snap->affinity_fn_);
-  snap->lsh_ = std::make_unique<LshIndex>(snap->members_, options.lsh);
-  // Verify each cluster's density from the snapshot's own kernel entries:
-  // x^T A x over the exported support, through the per-snapshot column cache
-  // (the symmetric pair (t, u)/(u, t) is one cached slot, so the pass also
-  // warms and exercises the cache). Per-cluster sums run serially in a fixed
-  // order inside deterministic chunks, so the values are bit-identical for
-  // any pool width or grain.
-  const int num_clusters = static_cast<int>(clusters.size());
-  snap->verified_density_.assign(num_clusters, 0.0);
+  snap->lsh_ = std::make_unique<LshIndex>(snap->members_, options.lsh,
+                                          LshIndex::DeferIndexing::kDeferred);
   ParallelChunks(options.pool, 0, num_clusters, options.grain,
-                 [&snap](int64_t, int64_t lo, int64_t hi) {
+                 [&snap, &reuse_from](int64_t, int64_t lo, int64_t hi) {
                    for (int64_t c = lo; c < hi; ++c) {
+                     if (reuse_from[c] >= 0) continue;  // keys inherited
+                     const Index begin = snap->cluster_begin_[c];
+                     const Index end = snap->cluster_begin_[c + 1];
+                     const size_t tables =
+                         static_cast<size_t>(snap->lsh_->num_tables());
+                     for (Index m = begin; m < end; ++m) {
+                       snap->lsh_->ComputeItemKeys(
+                           m,
+                           &snap->member_keys_[static_cast<size_t>(m) *
+                                               tables]);
+                     }
+                   }
+                 });
+  for (Index m = 0; m < snap->members_.size(); ++m) {
+    snap->lsh_->InsertItemWithKeys(
+        m, std::span<const uint64_t>(
+               snap->member_keys_.data() + static_cast<size_t>(m) * tables,
+               static_cast<size_t>(tables)));
+  }
+
+  // Verify each rebuilt cluster's density from the snapshot's own kernel
+  // entries: x^T A x over the exported support, through the per-snapshot
+  // column cache (the symmetric pair (t, u)/(u, t) is one cached slot, so
+  // the pass also warms and exercises the cache). Per-cluster sums run
+  // serially in a fixed order inside deterministic chunks, so the values
+  // are bit-identical for any pool width or grain — and for a re-used
+  // cluster, bit-identical to the predecessor's value it inherited, which
+  // is why this pass may skip it.
+  ParallelChunks(options.pool, 0, num_clusters, options.grain,
+                 [&snap, &reuse_from](int64_t, int64_t lo, int64_t hi) {
+                   for (int64_t c = lo; c < hi; ++c) {
+                     if (reuse_from[c] >= 0) continue;
                      const Index begin = snap->cluster_begin_[c];
                      const Index end = snap->cluster_begin_[c + 1];
                      Scalar density = 0.0;
@@ -83,6 +211,50 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromClusters(
                      snap->verified_density_[c] = density;
                    }
                  });
+
+  // Support sketches, flattened snapshot-local: re-used clusters shift the
+  // predecessor's positions by their block offset; rebuilt clusters lift
+  // the stream's fresh sketch when one exists (the "export, don't rebuild"
+  // path) and otherwise build from the weights — all three produce the same
+  // bits because the sketch is a pure function of the weights.
+  snap->sketch_begin_.push_back(0);
+  for (int c = 0; c < num_clusters; ++c) {
+    const Index begin = snap->cluster_begin_[c];
+    const int p = reuse_from[c];
+    if (p >= 0) {
+      const Index delta = begin - prev->cluster_begin_[p];
+      for (Index s = prev->sketch_begin_[p]; s < prev->sketch_begin_[p + 1];
+           ++s) {
+        snap->sketch_member_.push_back(prev->sketch_member_[s] + delta);
+        snap->sketch_weight_.push_back(prev->sketch_weight_[s]);
+        snap->sketch_rest_.push_back(prev->sketch_rest_[s]);
+      }
+    } else {
+      const SupportSketch* fresh = nullptr;
+      SupportSketch built;
+      if (stream != nullptr &&
+          stream->cluster_sketch(c).built_version ==
+              stream->cluster_version(c)) {
+        fresh = &stream->cluster_sketch(c);
+      } else {
+        built = BuildSupportSketch(
+            std::span<const Scalar>(snap->weights_.data() + begin,
+                                    static_cast<size_t>(
+                                        snap->cluster_begin_[c + 1] - begin)),
+            options.sketch);
+        fresh = &built;
+      }
+      for (size_t t = 0; t < fresh->ordinals.size(); ++t) {
+        snap->sketch_member_.push_back(begin + fresh->ordinals[t]);
+        snap->sketch_weight_.push_back(fresh->weights[t]);
+        snap->sketch_rest_.push_back(fresh->rest_weights[t]);
+      }
+    }
+    snap->sketch_begin_.push_back(
+        static_cast<Index>(snap->sketch_member_.size()));
+  }
+
+  snap->build_info_.build_seconds = build_timer.Seconds();
   return snap;
 }
 
@@ -93,15 +265,20 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromDetection(
 }
 
 std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromStream(
-    const OnlineAlid& stream, ThreadPool* pool) {
+    const OnlineAlid& stream, ThreadPool* pool,
+    std::shared_ptr<const ClusterSnapshot> previous) {
   ClusterSnapshotOptions options;
   options.affinity = stream.options().affinity;
   options.lsh = stream.options().lsh;
   options.absorb_slack = stream.options().absorb_slack;
+  options.sketch = stream.options().sketch;
   options.pool = pool;
   options.grain = stream.options().grain;
-  return FromClusters(stream.oracle().data(), stream.clusters(), options,
-                      static_cast<uint64_t>(stream.size()));
+  StreamIdentity identity;
+  identity.stream = &stream;
+  identity.previous = previous.get();
+  return Build(stream.oracle().data(), stream.clusters(), options,
+               static_cast<uint64_t>(stream.size()), &identity);
 }
 
 Scalar ClusterSnapshot::ClusterAffinity(int c,
@@ -115,6 +292,20 @@ Scalar ClusterSnapshot::ClusterAffinity(int c,
   return affinity;
 }
 
+ClusterSnapshot::SketchView ClusterSnapshot::sketch(int c) const {
+  SketchView view;
+  if (c < 0 || c >= num_clusters()) return view;
+  const Index begin = sketch_begin_[c];
+  const Index end = sketch_begin_[c + 1];
+  view.members = std::span<const Index>(sketch_member_.data() + begin,
+                                        static_cast<size_t>(end - begin));
+  view.weights = std::span<const Scalar>(sketch_weight_.data() + begin,
+                                         static_cast<size_t>(end - begin));
+  view.rest_weights = std::span<const Scalar>(
+      sketch_rest_.data() + begin, static_cast<size_t>(end - begin));
+  return view;
+}
+
 const std::vector<Index>& ClusterSnapshot::CandidateMembers(
     std::span<const Scalar> point) const {
   QueryScratch& scratch = Scratch();
@@ -124,6 +315,25 @@ const std::vector<Index>& ClusterSnapshot::CandidateMembers(
     scratch.candidates.Mark(static_cast<size_t>(cluster_of_[j]));
   }
   return scratch.hits;
+}
+
+bool ClusterSnapshot::SketchRejects(int c, std::span<const Scalar> point,
+                                    Scalar threshold,
+                                    Scalar incumbent) const {
+  const double p = affinity_fn_->params().p;
+  const Index begin = sketch_begin_[c];
+  const size_t prefix = static_cast<size_t>(sketch_begin_[c + 1] - begin);
+  // One walk, shared with the stream's absorb phase (SketchBoundRejects in
+  // support_sketch.h): checkpoint cadence, guard, reject test and give-up
+  // rule live there exactly once, so a tweak cannot desynchronize the two
+  // layers' prune decisions.
+  return SketchBoundRejects(
+      std::span<const Scalar>(sketch_weight_.data() + begin, prefix),
+      std::span<const Scalar>(sketch_rest_.data() + begin, prefix),
+      threshold, incumbent, [&](size_t t) {
+        return affinity_fn_->FromDistance(members_.DistanceTo(
+            sketch_member_[begin + static_cast<Index>(t)], point, p));
+      });
 }
 
 AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
@@ -137,9 +347,22 @@ AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
     if (!scratch.candidates.IsMarked(static_cast<size_t>(c))) continue;
     // Absorb when (near-)infective — the same slack rule, threshold and
     // lowest-id tie-break as the stream's ScoreArrival.
+    const Scalar threshold = density_[c] * (1.0 - absorb_slack_);
+    if (sketch_begin_[c + 1] > sketch_begin_[c]) {
+      // Branch-and-bound: any scored prefix of the sketch plus its rest
+      // weight (plus the FP guard) certifies an upper bound on pi(s_c, x);
+      // a checkpoint bound that cannot clear the threshold or beat the
+      // incumbent margin rejects the cluster without touching its full
+      // support. The fallback below is the unchanged exact summation, so
+      // answers are bit-identical with the sketch on or off.
+      if (SketchRejects(c, point, threshold, best_margin)) {
+        ++best.sketch_prunes;
+        continue;
+      }
+      ++best.sketch_exact;
+    }
     const Scalar affinity = ClusterAffinity(c, point);
-    const Scalar margin =
-        affinity - density_[c] * (1.0 - absorb_slack_);
+    const Scalar margin = affinity - threshold;
     if (margin > 0.0 && margin > best_margin) {
       best_margin = margin;
       best.cluster = c;
@@ -157,12 +380,32 @@ std::vector<ScoredCluster> ClusterSnapshot::TopKClusters(
   if (k <= 0 || num_clusters() == 0) return scored;
   CandidateMembers(point);
   const QueryScratch& scratch = Scratch();
+  // Running k-th best affinity (min of the current top-k). Candidates
+  // iterate in ascending id and exact ties break toward the lower id, so
+  // once k candidates are scored, a later candidate whose sketch bound is
+  // <= the k-th affinity can never enter the top k — skipping its exact
+  // scoring leaves the truncated result identical.
+  std::vector<Scalar> topk;  // min-heap of the k best affinities so far
   for (int c = 0; c < num_clusters(); ++c) {
     if (!scratch.candidates.IsMarked(static_cast<size_t>(c))) continue;
+    if (static_cast<int>(topk.size()) == k &&
+        sketch_begin_[c + 1] > sketch_begin_[c] &&
+        SketchRejects(c, point, /*threshold=*/0.0,
+                      /*incumbent=*/topk.front())) {
+      continue;
+    }
     const Scalar affinity = ClusterAffinity(c, point);
     scored.push_back(
         {c, affinity,
          affinity - density_[c] * (1.0 - absorb_slack_) > 0.0});
+    if (static_cast<int>(topk.size()) < k) {
+      topk.push_back(affinity);
+      std::push_heap(topk.begin(), topk.end(), std::greater<Scalar>());
+    } else if (affinity > topk.front()) {
+      std::pop_heap(topk.begin(), topk.end(), std::greater<Scalar>());
+      topk.back() = affinity;
+      std::push_heap(topk.begin(), topk.end(), std::greater<Scalar>());
+    }
   }
   // Descending affinity, ascending id on exact ties: a stable total order,
   // so batched and serial TopK answers are identical.

@@ -10,6 +10,7 @@
 #include "affinity/lazy_affinity_oracle.h"
 #include "common/dataset.h"
 #include "core/cluster.h"
+#include "core/support_sketch.h"
 #include "lsh/lsh_index.h"
 
 namespace alid {
@@ -30,11 +31,30 @@ struct ClusterSnapshotOptions {
   LshParams lsh;
   /// Absorb slack of the assignment rule (see OnlineAlidOptions).
   double absorb_slack = 0.05;
-  /// Optional pool for the build's density-verification pass (build-time
-  /// only; queries never touch it).
+  /// Per-cluster support-sketch sizing for the serving hot path (the same
+  /// branch-and-bound filter the stream's absorb scoring uses; prefix = 0
+  /// disables it and every candidate scores exactly). Answers are
+  /// bit-identical either way — the sketch only skips provably hopeless
+  /// exact scorings.
+  SupportSketchParams sketch;
+  /// Optional pool for the build's parallel passes (LSH key computation and
+  /// the density verification; build-time only — queries never touch it).
   ThreadPool* pool = nullptr;
-  /// Chunk grain of the build's parallel pass; 0 auto.
+  /// Chunk grain of the build's parallel passes; 0 auto.
   int64_t grain = 0;
+};
+
+/// Cost accounting of one snapshot build — what the incremental export
+/// (FromStream with a previous snapshot) actually saved.
+struct SnapshotBuildInfo {
+  int clusters_total = 0;
+  /// Clusters inherited wholesale from the previous snapshot: member rows,
+  /// weights, LSH keys, verified density and sketch all moved as blocks
+  /// because the stream's (uid, version) pair proved them unchanged.
+  int clusters_reused = 0;
+  Index rows_reused = 0;    ///< Member rows bulk-copied from the predecessor.
+  Index rows_rebuilt = 0;   ///< Member rows gathered + re-hashed from source.
+  double build_seconds = 0.0;
 };
 
 /// The outcome of one assignment query against a snapshot.
@@ -45,6 +65,12 @@ struct AssignOutcome {
   Scalar affinity = 0.0;
   /// Winning margin over the absorb threshold (0 when unassigned).
   Scalar margin = 0.0;
+  /// Candidate clusters the support-sketch bound rejected for this query —
+  /// full-support scorings skipped without changing the answer.
+  int32_t sketch_prunes = 0;
+  /// Sketch-engaged candidates whose bound was inconclusive and scored
+  /// exactly.
+  int32_t sketch_exact = 0;
 };
 
 /// One scored candidate of a TopKClusters query.
@@ -96,14 +122,27 @@ class ClusterSnapshot {
       const Dataset& data, const DetectionResult& result,
       const ClusterSnapshotOptions& options, uint64_t generation = 0);
 
-  /// Exports the live state of a stream. Affinity/LSH parameters and absorb
-  /// slack are taken from the stream's own options, so Assign reproduces the
-  /// stream's absorb decision bit for bit; the generation is the stream's
+  /// Exports the live state of a stream. Affinity/LSH parameters, absorb
+  /// slack and the sketch sizing are taken from the stream's own options, so
+  /// Assign reproduces the stream's absorb decision bit for bit (and the
+  /// stream's freshly maintained support sketches are lifted into the
+  /// snapshot instead of being rebuilt); the generation is the stream's
   /// arrival count. The stream must not be mutated during the export (the
   /// ingest loop exports between batches); afterwards the snapshot is fully
   /// decoupled.
+  ///
+  /// `previous` enables the incremental export: any cluster whose stream
+  /// (uid, version) pair matches a cluster of the previous snapshot — which
+  /// proves its members, weights, density and member rows did not change —
+  /// re-uses that snapshot's member rows, weights, per-member LSH keys,
+  /// verified density and sketch as block copies instead of gathering,
+  /// re-hashing and re-verifying them, turning publish cost from O(window)
+  /// into O(changed clusters). The result is deep-equal to a from-scratch
+  /// build (the property tests pin this every generation); pass nullptr for
+  /// the from-scratch behavior.
   static std::shared_ptr<const ClusterSnapshot> FromStream(
-      const OnlineAlid& stream, ThreadPool* pool = nullptr);
+      const OnlineAlid& stream, ThreadPool* pool = nullptr,
+      std::shared_ptr<const ClusterSnapshot> previous = nullptr);
 
   int num_clusters() const {
     return static_cast<int>(cluster_begin_.size()) - 1;
@@ -130,6 +169,22 @@ class ClusterSnapshot {
 
   Scalar density(int c) const { return density_[c]; }
 
+  /// What this build cost and what the incremental path saved.
+  const SnapshotBuildInfo& build_info() const { return build_info_; }
+
+  /// Read-only view of cluster `c`'s support sketch (empty spans when the
+  /// sketch is disengaged for that cluster) — the deep-equality tests
+  /// compare these across incremental and from-scratch builds.
+  struct SketchView {
+    /// Snapshot-local member positions, descending weight.
+    std::span<const Index> members;
+    std::span<const Scalar> weights;
+    /// Weight mass left after each prefix position (see SupportSketch).
+    std::span<const Scalar> rest_weights;
+    bool engaged() const { return !members.empty(); }
+  };
+  SketchView sketch(int c) const;
+
   /// Per-snapshot substrate observability (cache hits of the build's
   /// verification pass; LSH footprint).
   const LazyAffinityOracle& oracle() const { return *oracle_; }
@@ -138,10 +193,35 @@ class ClusterSnapshot {
  private:
   ClusterSnapshot() = default;
 
+  // Stream-side identity of the exported clusters (what FromStream knows
+  // beyond the bare cluster list); drives the incremental re-use decision.
+  struct StreamIdentity {
+    const OnlineAlid* stream = nullptr;
+    const ClusterSnapshot* previous = nullptr;
+  };
+
+  static std::shared_ptr<const ClusterSnapshot> Build(
+      const Dataset& data, std::span<const Cluster> clusters,
+      const ClusterSnapshotOptions& options, uint64_t generation,
+      const StreamIdentity* identity);
+
+  // True iff `previous` was built under the same scoring/indexing
+  // parameters, so its per-cluster blocks are re-usable verbatim.
+  bool CompatibleWith(const ClusterSnapshotOptions& options, int dim) const;
+
   // pi(s_c, x): the weighted kernel sum over cluster c's support, in member
   // order — the same summation order as OnlineAlid::ClusterAffinity, so the
   // value is bit-identical to the stream's own scoring.
   Scalar ClusterAffinity(int c, std::span<const Scalar> point) const;
+  // Branch-and-bound walk over cluster c's sketch prefix: true when some
+  // checkpoint margin bound — (partial + rest_weight + guard) - threshold,
+  // a certified upper bound on the exact margin — drops to 0 or to
+  // `incumbent` or below, i.e. the cluster provably cannot win and exact
+  // scoring may be skipped. TopK calls it with threshold = 0 so the bound
+  // compares directly against the k-th best affinity. Only call for
+  // clusters with an engaged sketch.
+  bool SketchRejects(int c, std::span<const Scalar> point, Scalar threshold,
+                     Scalar incumbent) const;
   // Marks the clusters of the point's LSH collisions in thread-local
   // scratch and returns the collision list.
   const std::vector<Index>& CandidateMembers(
@@ -155,11 +235,28 @@ class ClusterSnapshot {
   std::vector<Scalar> density_;      // per cluster
   std::vector<Scalar> verified_density_;
   std::vector<Index> seed_;          // per cluster, source ids
+  // Stream identity of each cluster ((0, 0) when the source carries none):
+  // the key the *next* incremental export matches against.
+  std::vector<uint64_t> src_uid_;
+  std::vector<uint64_t> src_version_;
+  // Per-member LSH bucket keys, members x num_tables row-major — kept so an
+  // unchanged cluster's keys move to the successor snapshot as one block
+  // copy instead of num_projections * dim multiplies per member per table.
+  std::vector<uint64_t> member_keys_;
+  // Flattened per-cluster support sketches (C + 1 edges; member positions
+  // are snapshot-local, descending weight) with the per-position rest
+  // weights that make the walk's tightening bounds.
+  std::vector<Index> sketch_begin_;
+  std::vector<Index> sketch_member_;
+  std::vector<Scalar> sketch_weight_;
+  std::vector<Scalar> sketch_rest_;
+  SupportSketchParams sketch_params_;
   double absorb_slack_ = 0.05;
   std::unique_ptr<AffinityFunction> affinity_fn_;
   std::unique_ptr<LazyAffinityOracle> oracle_;
   std::unique_ptr<LshIndex> lsh_;
   uint64_t generation_ = 0;
+  SnapshotBuildInfo build_info_;
 };
 
 }  // namespace alid

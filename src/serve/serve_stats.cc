@@ -31,6 +31,24 @@ void ServeStats::RecordAssign(int64_t items, int64_t assigned, double seconds,
   query_seconds_.push_back(per_query);
 }
 
+void ServeStats::RecordPublish(bool has_build, double build_seconds,
+                               int64_t rows_reused, int64_t clusters_reused) {
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  if (rows_reused > 0) {
+    rows_reused_.fetch_add(rows_reused, std::memory_order_relaxed);
+  }
+  if (clusters_reused > 0) {
+    clusters_reused_.fetch_add(clusters_reused, std::memory_order_relaxed);
+  }
+  if (!has_build) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (publish_seconds_.size() >= kMaxLatencySamples) {
+    publish_seconds_.erase(publish_seconds_.begin(),
+                           publish_seconds_.begin() + kMaxLatencySamples / 2);
+  }
+  publish_seconds_.push_back(build_seconds);
+}
+
 ServeStatsView ServeStats::View() const {
   ServeStatsView view;
   view.single_queries = single_queries_.load(std::memory_order_relaxed);
@@ -44,12 +62,17 @@ ServeStatsView ServeStats::View() const {
   view.info_queries = info_queries_.load(std::memory_order_relaxed);
   view.snapshots_published =
       snapshots_published_.load(std::memory_order_relaxed);
+  view.sketch_prunes = sketch_prunes_.load(std::memory_order_relaxed);
+  view.sketch_exact = sketch_exact_.load(std::memory_order_relaxed);
+  view.rows_reused = rows_reused_.load(std::memory_order_relaxed);
+  view.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The clock is read under mu_ too: Reset() rewrites the (non-atomic)
     // start point under the same lock.
     view.elapsed_seconds = since_.Seconds();
     view.query_seconds = query_seconds_;
+    view.publish_seconds = publish_seconds_;
   }
   view.qps = view.elapsed_seconds > 0.0
                  ? static_cast<double>(view.queries) / view.elapsed_seconds
@@ -65,8 +88,13 @@ void ServeStats::Reset() {
   topk_queries_.store(0, std::memory_order_relaxed);
   info_queries_.store(0, std::memory_order_relaxed);
   snapshots_published_.store(0, std::memory_order_relaxed);
+  sketch_prunes_.store(0, std::memory_order_relaxed);
+  sketch_exact_.store(0, std::memory_order_relaxed);
+  rows_reused_.store(0, std::memory_order_relaxed);
+  clusters_reused_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   query_seconds_.clear();
+  publish_seconds_.clear();
   since_.Reset();
 }
 

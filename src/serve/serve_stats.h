@@ -21,12 +21,27 @@ struct ServeStatsView {
   int64_t topk_queries = 0;
   int64_t info_queries = 0;
   int64_t snapshots_published = 0;
+  /// Candidate clusters the snapshot's support-sketch bound rejected during
+  /// Assign/AssignBatch — full-support scorings the branch-and-bound filter
+  /// skipped without changing a bit of any answer.
+  int64_t sketch_prunes = 0;
+  /// Sketch-engaged candidates whose bound was inconclusive and scored
+  /// exactly (the fallback that keeps the filter exact).
+  int64_t sketch_exact = 0;
+  /// Member rows / clusters the published snapshots inherited from their
+  /// predecessors via the incremental export (0 under from-scratch builds).
+  int64_t rows_reused = 0;
+  int64_t clusters_reused = 0;
   double elapsed_seconds = 0.0;  ///< Since server construction / Reset().
   double qps = 0.0;              ///< queries / elapsed_seconds.
   /// Mean per-query wall seconds of each recent Assign/AssignBatch call
   /// (a batch contributes one sample: call seconds / batch size), bounded
   /// like StreamStats::batch_seconds so a long-lived server stays bounded.
   std::vector<double> query_seconds;
+  /// Build seconds of each recently published snapshot (the publish-latency
+  /// profile of the ingest->publish->serve loop), bounded like
+  /// query_seconds.
+  std::vector<double> publish_seconds;
 
   /// Histogram of query_seconds over `bins` equal-width buckets spanning
   /// [0, max] — the per-query latency profile of the server.
@@ -45,8 +60,17 @@ class ServeStats {
                     bool batch);
   void RecordTopK() { topk_queries_.fetch_add(1, std::memory_order_relaxed); }
   void RecordInfo() { info_queries_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordPublish() {
-    snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  /// One publication: the snapshot's build latency joins the bounded
+  /// publish-latency reservoir (skipped when has_build is false — the
+  /// offline nullptr publish) and its incremental-export reuse counters
+  /// accumulate.
+  void RecordPublish(bool has_build, double build_seconds, int64_t rows_reused,
+                     int64_t clusters_reused);
+  /// Sketch-filter activity of one answered query (relaxed atomics: batched
+  /// queries record from pool workers).
+  void RecordSketch(int64_t prunes, int64_t exact) {
+    if (prunes > 0) sketch_prunes_.fetch_add(prunes, std::memory_order_relaxed);
+    if (exact > 0) sketch_exact_.fetch_add(exact, std::memory_order_relaxed);
   }
 
   /// A consistent copy of every counter plus derived QPS.
@@ -63,8 +87,13 @@ class ServeStats {
   std::atomic<int64_t> topk_queries_{0};
   std::atomic<int64_t> info_queries_{0};
   std::atomic<int64_t> snapshots_published_{0};
+  std::atomic<int64_t> sketch_prunes_{0};
+  std::atomic<int64_t> sketch_exact_{0};
+  std::atomic<int64_t> rows_reused_{0};
+  std::atomic<int64_t> clusters_reused_{0};
   mutable std::mutex mu_;
   std::vector<double> query_seconds_;
+  std::vector<double> publish_seconds_;
   WallTimer since_;
 };
 

@@ -77,6 +77,13 @@ void ExpectIdenticalStreams(const OnlineAlid& a, const OnlineAlid& b) {
   EXPECT_EQ(sa.refreshes, sb.refreshes);
   EXPECT_EQ(sa.clusters_born, sb.clusters_born);
   EXPECT_EQ(sa.clusters_dissolved, sb.clusters_dissolved);
+  // The sketch filter and the refresh frontier schedule are deterministic
+  // too: their counters are part of the bit-identity contract.
+  EXPECT_EQ(sa.sketch_prunes, sb.sketch_prunes);
+  EXPECT_EQ(sa.sketch_exact, sb.sketch_exact);
+  EXPECT_EQ(sa.refresh_rounds, sb.refresh_rounds);
+  EXPECT_EQ(sa.refresh_speculations, sb.refresh_speculations);
+  EXPECT_EQ(sa.refresh_conflicts, sb.refresh_conflicts);
 }
 
 // Per-slot equality needs the slot universe; compare over the high-water

@@ -16,6 +16,15 @@ Timings below --min-seconds in *both* records are skipped: micro-timings on
 shared CI runners are noise, and a 3 ms -> 5 ms move is not a regression.
 Metrics present on only one side (new or retired benches) are reported but
 never fail the gate.
+
+Beyond wall times, the script reports (never gates) the support-sketch and
+incremental-publish counters — sketch_prunes / sketch_exact / rows_reused /
+clusters_reused — including the per-record sketch hit-rate delta, and
+``--require-positive key1,key2`` asserts that the named counters sum to a
+positive value across the *current* record: CI uses it to prove the sketch
+fast path and the incremental export cannot silently disable themselves.
+Passing ``-`` as the previous record skips the ratio gate (counter assertion
+only).
 """
 
 import argparse
@@ -23,7 +32,13 @@ import json
 import sys
 
 
-WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds")
+WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds",
+             "ingest_p95_seconds", "publish_p95_seconds")
+
+# Exactness/telemetry counters: reported (and assertable via
+# --require-positive), never ratio-gated — counts move with workloads.
+COUNTER_KEYS = ("sketch_prunes", "sketch_exact", "rows_reused",
+                "clusters_reused")
 
 
 def load_records(path):
@@ -55,6 +70,46 @@ def row_label(row):
     return "/".join(parts) if parts else "row"
 
 
+def sum_counters(records):
+    """{counter-key: summed value} across every record, rows included."""
+    totals = {key: 0 for key in COUNTER_KEYS}
+    for record in records.values():
+        for key in COUNTER_KEYS:
+            if isinstance(record.get(key), (int, float)):
+                totals[key] += record[key]
+        for row in record.get("rows", []):
+            if not isinstance(row, dict):
+                continue
+            for key in COUNTER_KEYS:
+                if isinstance(row.get(key), (int, float)):
+                    totals[key] += row[key]
+    return totals
+
+
+def sketch_hit_rate(totals):
+    """Fraction of sketch-engaged scorings the bound pruned."""
+    touched = totals["sketch_prunes"] + totals["sketch_exact"]
+    return totals["sketch_prunes"] / touched if touched > 0 else None
+
+
+def report_counters(prev_records, curr_records):
+    prev = sum_counters(prev_records) if prev_records else None
+    curr = sum_counters(curr_records)
+    for key in COUNTER_KEYS:
+        if prev is not None and prev[key] != curr[key]:
+            print(f"info {key}: {prev[key]} -> {curr[key]}")
+        else:
+            print(f"info {key}: {curr[key]}")
+    rate = sketch_hit_rate(curr)
+    if rate is not None:
+        line = f"info sketch hit rate: {rate:.1%}"
+        prev_rate = sketch_hit_rate(prev) if prev is not None else None
+        if prev_rate is not None:
+            line += f" (was {prev_rate:.1%}, delta {rate - prev_rate:+.1%})"
+        print(line)
+    return curr
+
+
 def flatten(record):
     """{metric-path: seconds} for every wall-time leaf of one record."""
     out = {}
@@ -82,15 +137,33 @@ def main():
                         help="warn when current/previous exceeds this")
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore metrics below this in both records")
+    parser.add_argument("--require-positive", default="",
+                        help="comma-separated counter keys whose sum across "
+                             "the current record must be > 0")
     args = parser.parse_args()
 
+    prev_records = load_records(args.previous) if args.previous != "-" else {}
+    curr_records = load_records(args.current)
     previous = {}
-    for record in load_records(args.previous).values():
+    for record in prev_records.values():
         previous.update(flatten(record))
     current = {}
-    for record in load_records(args.current).values():
+    for record in curr_records.values():
         current.update(flatten(record))
 
+    totals = report_counters(prev_records, curr_records)
+    required = [k for k in args.require_positive.split(",") if k]
+    missing = [k for k in required if totals.get(k, 0) <= 0]
+    if missing:
+        print(f"counter assertion FAILED: expected > 0 for {missing} "
+              f"(an optimization silently disabled itself?)")
+        return 1
+    if required:
+        print(f"counter assertion ok: {required} all positive")
+
+    if args.previous == "-":
+        print("no previous record requested — ratio gate skipped")
+        return 0
     if not previous:
         print("no previous wall-time metrics found — nothing to gate")
         return 0
