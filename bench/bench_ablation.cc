@@ -5,8 +5,10 @@
 //   4. CIVS budget delta sweep: quality/time trade-off.
 //   5. Peeling density threshold tau sweep: precision/recall trade-off.
 //   6. Streaming ingest substrate: serial vs the shared executor pool
-//      (bit-identical state, only wall time moves).
+//      (bit-identical state, only wall time moves — a mismatch fails the
+//      benchmark, not just a printout).
 #include "bench_util.h"
+#include "registry.h"
 
 #include <memory>
 
@@ -30,9 +32,11 @@ LabeledData Workload(Index n) {
   return MakeSynthetic(cfg);
 }
 
-void Main() {
-  std::printf("Ablations of ALID's design choices (scale %.2f)\n", Scale());
-  LabeledData data = Workload(Scaled(3000));
+void Run(BenchContext& ctx) {
+  std::printf("Ablations of ALID's design choices (scale %.2f)\n",
+              ctx.scale());
+  LabeledData data = Workload(ctx.Scaled(3000));
+  std::string json = "{\"bench\":\"ablation\",\"rows\":[";
 
   PrintHeader("1. ROI growth schedule (Eq. 16)");
   {
@@ -46,13 +50,21 @@ void Main() {
       oracle.ResetCounters();
       WallTimer timer;
       DetectionResult result = detector.DetectAll();
+      const double seconds = timer.Seconds();
+      const double avg_f =
+          AverageF1(data.true_clusters, result.Filtered(0.75));
       std::printf("  %-22s AVG-F %.3f  time %.3fs  kernel entries %lld  "
                   "ROI distance scans %lld\n",
                   logistic ? "logistic theta(c)" : "jump to outer ball",
-                  AverageF1(data.true_clusters, result.Filtered(0.75)),
-                  timer.Seconds(),
+                  avg_f, seconds,
                   static_cast<long long>(oracle.entries_computed()),
                   static_cast<long long>(oracle.distances_computed()));
+      AppendF(json,
+              "%s{\"ablation\":\"roi_schedule\",\"mode\":\"%s\","
+              "\"wall_seconds\":%.6f,\"avg_f\":%.4f,\"entries\":%lld}",
+              json.back() == '[' ? "" : ",",
+              logistic ? "logistic" : "outer_ball", seconds, avg_f,
+              static_cast<long long>(oracle.entries_computed()));
     }
     std::printf("  finding: AVG-F identical; with LSH-backed CIVS the\n"
                 "  candidate list comes from the LSH buckets (not from the\n"
@@ -93,7 +105,13 @@ void Main() {
     opts.civs.delta = delta;
     char config[32];
     std::snprintf(config, sizeof(config), "delta=%d", delta);
-    PrintStatsRow(config, RunAlid(data, 1.0, opts));
+    const RunStats stats = RunAlid(data, 1.0, opts);
+    PrintStatsRow(config, stats);
+    AppendF(json,
+            "%s{\"ablation\":\"civs_delta\",\"delta\":%d,"
+            "\"wall_seconds\":%.6f,\"avg_f\":%.4f}",
+            json.back() == '[' ? "" : ",", delta, stats.seconds,
+            stats.avg_f);
   }
   std::printf("  expectation: tiny delta starves the range update; past the "
               "cluster size, bigger delta only costs time.\n");
@@ -104,7 +122,7 @@ void Main() {
     // SIFT-like data puts weak clutter groups just below the paper's
     // threshold, so the sweep shows both failure directions.
     SiftLikeConfig sift;
-    sift.n = Scaled(2000);
+    sift.n = ctx.Scaled(2000);
     sift.num_visual_words = 10;
     sift.word_fraction = 0.35;
     sift.seed = 802;
@@ -132,7 +150,7 @@ void Main() {
     // work-stealing pool: the batch hash/score phases are the only
     // parallel parts, so the streamed state is bit-identical and the
     // wall-time delta isolates the substrate.
-    LabeledData stream = Workload(Scaled(1200));
+    LabeledData stream = Workload(ctx.Scaled(1200));
     Rng rng(31);
     const auto order = rng.Permutation(stream.size());
     const int dim = stream.data.dim();
@@ -140,7 +158,7 @@ void Main() {
       OnlineAlidOptions opts;
       opts.affinity = {.k = stream.suggested_k, .p = 2.0};
       opts.lsh.segment_length = stream.suggested_lsh_r;
-      opts.window = Scaled(700);
+      opts.window = ctx.Scaled(700);
       opts.pool = pool;
       auto online = std::make_unique<OnlineAlid>(dim, opts);
       std::vector<Scalar> batch;
@@ -155,32 +173,42 @@ void Main() {
       }
       if (!batch.empty()) online->InsertBatch(batch);
       online->Refresh();
+      const double seconds = timer.Seconds();
       std::printf("  %-22s wall %.3fs  clusters %zu  absorbed %lld  "
                   "evicted %lld  steals %lld\n",
                   pool == nullptr ? "serial ingest" : "shared pool (4)",
-                  timer.Seconds(), online->clusters().size(),
+                  seconds, online->clusters().size(),
                   static_cast<long long>(online->stats().absorbed),
                   static_cast<long long>(online->stats().evicted),
                   static_cast<long long>(
                       pool != nullptr ? pool->steal_count() : 0));
+      AppendF(json,
+              "%s{\"ablation\":\"stream_substrate\",\"mode\":\"%s\","
+              "\"wall_seconds\":%.6f,\"clusters\":%zu}",
+              json.back() == '[' ? "" : ",",
+              pool == nullptr ? "serial" : "pooled", seconds,
+              online->clusters().size());
       return online;
     };
     auto serial = run(nullptr);
     ThreadPool pool(4);
     auto pooled = run(&pool);
+    const bool identical =
+        serial->clusters().size() == pooled->clusters().size() &&
+        serial->stats().absorbed == pooled->stats().absorbed &&
+        serial->stats().evicted == pooled->stats().evicted;
     std::printf("  state identical: %s\n",
-                serial->clusters().size() == pooled->clusters().size() &&
-                        serial->stats().absorbed == pooled->stats().absorbed &&
-                        serial->stats().evicted == pooled->stats().evicted
-                    ? "yes"
-                    : "NO — determinism bug");
+                identical ? "yes" : "NO — determinism bug");
+    if (!identical) {
+      ctx.Fail("streaming ingest state diverged between the serial and "
+               "pooled substrates — the determinism contract is broken");
+    }
   }
+  json += "]}";
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("ablation", "paper,ablation", "ablation", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

@@ -7,6 +7,7 @@
 // kept (green), how many clutter descriptors leaked in, and the resulting
 // precision/recall of the kept set — the quantitative content of the figure.
 #include "bench_util.h"
+#include "registry.h"
 
 #include "core/palid.h"
 #include "data/sift_like.h"
@@ -47,7 +48,7 @@ KeptStats Score(const LabeledData& data, const DetectionResult& dense) {
   return s;
 }
 
-void Report(const char* method, const LabeledData& data,
+void Report(std::string& json, const char* method, const LabeledData& data,
             const DetectionResult& result, double seconds,
             double keep_threshold = 0.75) {
   DetectionResult dense = result.Filtered(keep_threshold);
@@ -56,13 +57,18 @@ void Report(const char* method, const LabeledData& data,
               "precision %.3f  recall %.3f  clusters %zu  time %.2fs\n",
               method, s.kept_true, s.kept_noise, s.precision, s.recall,
               dense.clusters.size(), seconds);
+  AppendF(json,
+          "%s{\"method\":\"%s\",\"kept_true\":%d,\"kept_noise\":%d,"
+          "\"precision\":%.4f,\"recall\":%.4f,\"wall_seconds\":%.6f}",
+          json.back() == '[' ? "" : ",", method, s.kept_true, s.kept_noise,
+          s.precision, s.recall, seconds);
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Figure 10: qualitative visual-word detection "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   SiftLikeConfig cfg;
-  cfg.n = Scaled(1600);
+  cfg.n = ctx.Scaled(1600);
   cfg.num_visual_words = 12;
   cfg.word_fraction = 0.35;
   cfg.seed = 401;
@@ -76,30 +82,31 @@ void Main() {
   LazyAffinityOracle oracle(data.data, affinity);
   LshIndex lsh(data.data, MakeLshParams(data));
 
+  std::string json = "{\"bench\":\"fig10_qualitative\",\"rows\":[";
   {
     WallTimer t;
     Palid palid(oracle, lsh, {});
     DetectionResult r = palid.Detect();
-    Report("PALID", data, r, t.Seconds());
+    Report(json, "PALID", data, r, t.Seconds());
   }
   {
     WallTimer t;
     AlidDetector alid_detector(oracle, lsh, {});
-    Report("ALID", data, alid_detector.DetectAll(), t.Seconds());
+    Report(json, "ALID", data, alid_detector.DetectAll(), t.Seconds());
   }
   {
     WallTimer t;
     AffinityFunction f({.k = data.suggested_k, .p = 2.0});
     AffinityMatrix matrix(data.data, f);
     IidDetector iid{AffinityView(&matrix.matrix())};
-    Report("IID", data, iid.DetectAll(), t.Seconds());
+    Report(json, "IID", data, iid.DetectAll(), t.Seconds());
   }
   {
     WallTimer t;
     AffinityFunction f({.k = data.suggested_k, .p = 2.0});
     SparseMatrix sparse = Sparsifier::FromLshCollisions(data.data, f, lsh);
     SeaDetector sea{AffinityView(&sparse)};
-    Report("SEA", data, sea.DetectAll(), t.Seconds());
+    Report(json, "SEA", data, sea.DetectAll(), t.Seconds());
   }
   {
     WallTimer t;
@@ -108,18 +115,19 @@ void Main() {
     ApDetector ap{AffinityView(&matrix.matrix())};
     // AP partitions everything (no peeling threshold of its own); its word
     // clusters absorb some clutter, so the density cut sits lower (0.6).
-    Report("AP", data, ap.Detect(), t.Seconds(), /*keep_threshold=*/0.6);
+    Report(json, "AP", data, ap.Detect(), t.Seconds(),
+           /*keep_threshold=*/0.6);
   }
 
   std::printf("\nExpected shape: every affinity-based method keeps most "
               "visual-word SIFTs and filters out nearly all clutter "
               "(high precision at high recall), matching Fig. 10(b)-(f).\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("fig10_qualitative", "paper,quality", "fig10_qualitative",
+               Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

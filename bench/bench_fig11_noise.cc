@@ -11,6 +11,7 @@
 // shift is competitive on NART-like text but falls behind on the image-like
 // features.
 #include "bench_util.h"
+#include "registry.h"
 
 #include "baselines/kmeans.h"
 #include "baselines/mean_shift.h"
@@ -26,9 +27,10 @@ double ScoreLabels(const LabeledData& data, const std::vector<int>& labels) {
   return AverageF1(data.true_clusters, LabelsToClusters(labels));
 }
 
-void SweepNoise(const char* name,
+void SweepNoise(const char* name, const char* dataset,
                 const std::function<LabeledData(double)>& make,
-                const std::vector<double>& degrees, ThreadPool* pool) {
+                const std::vector<double>& degrees, ThreadPool* pool,
+                std::string& json) {
   PrintHeader(name);
   std::printf("%-8s %6s %6s %6s %6s %6s %6s %6s %6s\n", "noise", "AP", "IID",
               "SEA", "ALID", "KM", "SC-FL", "SC-NYS", "MS");
@@ -37,6 +39,7 @@ void SweepNoise(const char* name,
     const int k_true = static_cast<int>(data.true_clusters.size());
     AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
 
+    WallTimer wall;
     const double f_ap =
         RunAp(data, /*r_scale=*/-1.0, /*max_iterations=*/200, pool).avg_f;
     const double f_iid = RunIid(data, /*r_scale=*/-1.0).avg_f;
@@ -69,20 +72,29 @@ void SweepNoise(const char* name,
     std::printf("%-8.1f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n",
                 data.NoiseDegree(), f_ap, f_iid, f_sea, f_alid, f_km, f_scfl,
                 f_scnys, f_ms);
+    AppendF(json,
+            "%s{\"dataset\":\"%s\",\"noise_degree\":%.1f,"
+            "\"wall_seconds\":%.6f,\"avg_f_ap\":%.4f,\"avg_f_iid\":%.4f,"
+            "\"avg_f_sea\":%.4f,\"avg_f_alid\":%.4f,\"avg_f_km\":%.4f,"
+            "\"avg_f_scfl\":%.4f,\"avg_f_scnys\":%.4f,\"avg_f_ms\":%.4f}",
+            json.back() == '[' ? "" : ",", dataset, data.NoiseDegree(),
+            wall.Seconds(), f_ap, f_iid, f_sea, f_alid, f_km, f_scfl,
+            f_scnys, f_ms);
   }
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Figure 11: noise resistance — AVG-F vs noise degree "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   // One shared work-stealing pool under every parallelized baseline: the
   // sweep measures noise resistance, and every method's output is
   // bit-identical to its serial run, so only wall-clock moves.
   ThreadPool pool(4);
   const std::vector<double> degrees{0.0, 1.0, 2.0, 4.0, 6.0};
+  std::string json = "{\"bench\":\"fig11_noise\",\"rows\":[";
 
-  const Index nart_truth = Scaled(200);
-  SweepNoise("(a) NART-like",
+  const Index nart_truth = ctx.Scaled(200);
+  SweepNoise("(a) NART-like", "nart",
              [&](double degree) {
                NartLikeConfig cfg;
                cfg.num_events = 13;
@@ -92,10 +104,10 @@ void Main() {
                cfg.seed = 501;
                return MakeNartLike(cfg);
              },
-             degrees, &pool);
+             degrees, &pool, json);
 
-  const Index ndi_truth = Scaled(200);
-  SweepNoise("(b) Sub-NDI-like",
+  const Index ndi_truth = ctx.Scaled(200);
+  SweepNoise("(b) Sub-NDI-like", "subndi",
              [&](double degree) {
                NdiLikeConfig cfg = NdiLikeConfig::SubNdi();
                cfg.num_duplicates = ndi_truth;
@@ -103,17 +115,16 @@ void Main() {
                cfg.seed = 502;
                return MakeNdiLike(cfg);
              },
-             degrees, &pool);
+             degrees, &pool, json);
 
   std::printf("\nExpected shape: partitioning methods (KM, SC-FL, SC-NYS) "
               "fall fastest with noise; affinity-based methods stay high; "
               "MS holds up on text-like but degrades on image-like data.\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("fig11_noise", "paper,quality,noise", "fig11_noise", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

@@ -11,6 +11,7 @@
 // sparse degrees and stays the fastest at large r, while AP's runtime blows
 // up first (message-passing over the densifying edge set).
 #include "bench_util.h"
+#include "registry.h"
 
 #include "affinity/sparsifier.h"
 #include "data/nart_like.h"
@@ -19,8 +20,17 @@
 namespace alid::bench {
 namespace {
 
-void SweepDataset(const char* name, const LabeledData& data,
-                  const std::vector<double>& r_scales) {
+struct SparsityRow {
+  const char* dataset;
+  double r_scale;
+  double sparse_degree;
+  RunStats stats;
+};
+
+void SweepDataset(const char* name, const char* dataset,
+                  const LabeledData& data,
+                  const std::vector<double>& r_scales,
+                  std::vector<SparsityRow>& rows) {
   PrintHeader(name);
   AffinityFunction affinity({.k = data.suggested_k, .p = 2.0});
   for (double r_scale : r_scales) {
@@ -31,40 +41,55 @@ void SweepDataset(const char* name, const LabeledData& data,
     char config[64];
     std::snprintf(config, sizeof(config), "r=%.2f (SD=%.4f)",
                   r_scale * data.suggested_lsh_r, sparse.SparseDegree());
-    PrintStatsRow(config, RunAp(data, r_scale));
-    PrintStatsRow(config, RunSea(data, r_scale));
-    PrintStatsRow(config, RunIid(data, r_scale));
-    PrintStatsRow(config, RunAlid(data, r_scale));
+    for (const RunStats& stats :
+         {RunAp(data, r_scale), RunSea(data, r_scale), RunIid(data, r_scale),
+          RunAlid(data, r_scale)}) {
+      PrintStatsRow(config, stats);
+      rows.push_back({dataset, r_scale, sparse.SparseDegree(), stats});
+    }
   }
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Figure 6: sparsity influence on detection quality and "
-              "runtime (scale %.2f)\n", Scale());
+              "runtime (scale %.2f)\n", ctx.scale());
 
+  std::vector<SparsityRow> rows;
   NartLikeConfig nart;
-  nart.num_event_articles = Scaled(300);
-  nart.num_noise_articles = Scaled(1800);
+  nart.num_event_articles = ctx.Scaled(300);
+  nart.num_noise_articles = ctx.Scaled(1800);
   LabeledData nart_data = MakeNartLike(nart);
-  SweepDataset("NART-like: AVG-F / runtime vs segment length r", nart_data,
-               {0.25, 0.5, 1.0, 2.0, 4.0});
+  SweepDataset("NART-like: AVG-F / runtime vs segment length r", "nart",
+               nart_data, {0.25, 0.5, 1.0, 2.0, 4.0}, rows);
 
   NdiLikeConfig sub_ndi = NdiLikeConfig::SubNdi();
-  sub_ndi.num_duplicates = Scaled(560);
-  sub_ndi.num_noise = Scaled(3400);
+  sub_ndi.num_duplicates = ctx.Scaled(560);
+  sub_ndi.num_noise = ctx.Scaled(3400);
   LabeledData ndi_data = MakeNdiLike(sub_ndi);
-  SweepDataset("Sub-NDI-like: AVG-F / runtime vs segment length r", ndi_data,
-               {0.25, 0.5, 1.0, 2.0, 4.0});
+  SweepDataset("Sub-NDI-like: AVG-F / runtime vs segment length r", "subndi",
+               ndi_data, {0.25, 0.5, 1.0, 2.0, 4.0}, rows);
 
   std::printf("\nExpected shape: AVG-F plateaus as r grows (sparse degree "
               "drops); ALID plateaus earliest and stays fastest; AP slows "
               "most at large r.\n");
+
+  std::string json = "{\"bench\":\"fig6_sparsity\",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SparsityRow& r = rows[i];
+    AppendF(json,
+            "%s{\"dataset\":\"%s\",\"method\":\"%s\",\"r_scale\":%.2f,"
+            "\"sparse_degree\":%.6f,\"avg_f\":%.4f,\"wall_seconds\":%.6f,"
+            "\"entries\":%lld,\"clusters\":%d}",
+            i == 0 ? "" : ",", r.dataset, r.stats.method.c_str(), r.r_scale,
+            r.sparse_degree, r.stats.avg_f, r.stats.seconds,
+            static_cast<long long>(r.stats.entries),
+            r.stats.num_dense_clusters);
+  }
+  json += "]}";
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("fig6_sparsity", "paper,sparsity", "fig6_sparsity", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

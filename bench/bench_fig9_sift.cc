@@ -6,24 +6,26 @@
 // going (the paper: baselines die at 0.04M SIFTs; ALID processes 1.29M on
 // 10 GB).
 #include "bench_util.h"
+#include "registry.h"
 
 #include "data/sift_like.h"
 
 namespace alid::bench {
 namespace {
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Figure 9: memory and runtime on SIFT-like subsets "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   PrintHeader("SIFT-like subsets: the O(n^2) methods hit their wall first");
   const std::vector<double> sizes{1000, 2000, 4000, 8000, 16000, 32000};
   constexpr double kApCap = 1400.0;
   constexpr double kDenseCap = 2200.0;
 
+  std::string json = "{\"bench\":\"fig9_sift\",\"rows\":[";
   std::vector<double> xs, alid_time, alid_mem;
   for (double base : sizes) {
     SiftLikeConfig cfg;
-    cfg.n = Scaled(base);
+    cfg.n = ctx.Scaled(base);
     // Visual words are size-bounded in real collections (a patch repeats in
     // a bounded number of images): the paper's a* <= P regime, which is what
     // lets ALID scale past the O(n^2) wall on SIFT-50M.
@@ -40,22 +42,28 @@ void Main() {
     }
     RunStats alid = RunAlid(data);
     PrintStatsRow(config, alid);
+    AppendF(json,
+            "%s{\"method\":\"ALID\",\"n\":%d,\"wall_seconds\":%.6f,"
+            "\"peak_bytes\":%lld,\"avg_f\":%.4f}",
+            xs.empty() ? "" : ",", data.size(), alid.seconds,
+            static_cast<long long>(alid.peak_bytes), alid.avg_f);
     xs.push_back(data.size());
     alid_time.push_back(alid.seconds);
     alid_mem.push_back(static_cast<double>(alid.peak_bytes));
   }
+  const double time_slope = LogLogSlope(xs, alid_time);
+  const double mem_slope = LogLogSlope(xs, alid_mem);
   std::printf("  ALID empirical orders of growth: runtime slope %.2f, "
-              "memory slope %.2f\n",
-              LogLogSlope(xs, alid_time), LogLogSlope(xs, alid_mem));
+              "memory slope %.2f\n", time_slope, mem_slope);
   std::printf("\nExpected shape: baselines' runtime/memory slopes ~2 and "
               "they stop early; ALID's slopes are far lower and it scales "
               "beyond every baseline's wall.\n");
+  AppendF(json, "],\"time_slope\":%.4f,\"mem_slope\":%.4f}", time_slope,
+          mem_slope);
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("fig9_sift", "paper,scalability", "fig9_sift", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

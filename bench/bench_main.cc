@@ -1,0 +1,11 @@
+// The one benchmark driver: every bench/bench_*.cc registers itself with
+// the registry (bench/registry.h) and this main runs any subset of them —
+// `--list` to see what exists, `--filter`/`--labels` to pick a shard. CI
+// runs the shards with distinct filters and greps the `JSON ` lines of each
+// into one merged bench_trajectory.jsonl; nothing here needs editing when a
+// benchmark is added.
+#include "registry.h"
+
+int main(int argc, char** argv) {
+  return alid::bench::BenchRegistry::Instance().RunMain(argc, argv);
+}

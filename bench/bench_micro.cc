@@ -1,29 +1,28 @@
-// Component microbenchmarks (google-benchmark): kernel evaluation, lazy
-// column computation, LSH build/query, one LID invasion, replicator
-// iteration, eigensolvers, and sketch-filtered vs full absorb scoring.
+// Component microbenchmarks: kernel evaluation, lazy column computation,
+// LSH build/query, one LID invasion, replicator iteration, eigensolvers, and
+// sketch-filtered vs full absorb scoring.
+//
 // Mostly not a paper artifact — used to attribute the figure-level costs to
-// components — but the absorb-scoring section also prints a single-line
-// JSON record so the sketch speedup joins the bench trajectory.
-#include <benchmark/benchmark.h>
+// components. Two registrations: "micro_components" reports seconds-per-call
+// for each component kernel (adaptive timed loops, KeepAlive sinks — the
+// google-benchmark idiom without the dependency), and "micro_sketch" keeps
+// the sketch-vs-full absorb sweep with its exactness contract — a sketch
+// that changed one answer bit would be a bug, not a speedup, so a mismatch
+// fails the benchmark (and with it the CI bench step).
+#include "bench_util.h"
+#include "registry.h"
 
-#include <cstdio>
 #include <memory>
-#include <vector>
 
-#include "affinity/affinity_function.h"
-#include "affinity/lazy_affinity_oracle.h"
 #include "baselines/replicator.h"
-#include "affinity/affinity_matrix.h"
 #include "common/random.h"
-#include "common/timer.h"
 #include "core/lid.h"
 #include "data/synthetic.h"
 #include "linalg/jacobi.h"
 #include "linalg/lanczos.h"
-#include "lsh/lsh_index.h"
 #include "serve/cluster_snapshot.h"
 
-namespace alid {
+namespace alid::bench {
 namespace {
 
 LabeledData MakeData(Index n, int dim) {
@@ -36,121 +35,141 @@ LabeledData MakeData(Index n, int dim) {
   return MakeSynthetic(cfg);
 }
 
-void BM_KernelEvaluation(benchmark::State& state) {
-  LabeledData data = MakeData(1000, static_cast<int>(state.range(0)));
-  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
-  Index i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f(data.data, i % 1000, (i * 7 + 1) % 1000));
-    ++i;
+DenseMatrix RandomSymmetric(Index n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const Scalar v = rng.Gaussian();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
   }
+  return m;
 }
-BENCHMARK(BM_KernelEvaluation)->Arg(16)->Arg(128)->Arg(512);
 
-void BM_LazyColumn(benchmark::State& state) {
-  LabeledData data = MakeData(4000, 100);
-  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
-  LazyAffinityOracle oracle(data.data, f);
-  IndexList rows(state.range(0));
-  for (size_t t = 0; t < rows.size(); ++t) rows[t] = static_cast<Index>(t * 3);
-  Index col = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(oracle.Column(rows, col % 4000));
-    ++col;
+struct ComponentRow {
+  std::string component;
+  int arg;
+  double seconds_per_call;
+};
+
+void RunComponents(BenchContext& ctx) {
+  std::printf("Component micro-costs (adaptive timed loops)\n");
+  std::vector<ComponentRow> rows;
+  auto time_component = [&](const char* component, int arg,
+                            const std::function<void()>& fn) {
+    const double per_call = TimePerCall(fn);
+    std::printf("  %-22s arg=%-5d %.3e s/call\n", component, arg, per_call);
+    rows.push_back({component, arg, per_call});
+  };
+
+  for (int dim : {16, 128, 512}) {
+    LabeledData data = MakeData(1000, dim);
+    AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+    Index i = 0;
+    time_component("kernel_evaluation", dim, [&] {
+      KeepAlive(f(data.data, i % 1000, (i * 7 + 1) % 1000));
+      ++i;
+    });
   }
-}
-BENCHMARK(BM_LazyColumn)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_LshBuild(benchmark::State& state) {
-  LabeledData data = MakeData(state.range(0), 100);
-  for (auto _ : state) {
+  {
+    LabeledData data = MakeData(4000, 100);
+    AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+    for (int rows_per_col : {64, 256, 1024}) {
+      LazyAffinityOracle oracle(data.data, f);
+      IndexList col_rows(rows_per_col);
+      for (size_t t = 0; t < col_rows.size(); ++t) {
+        col_rows[t] = static_cast<Index>(t * 3);
+      }
+      Index col = 0;
+      time_component("lazy_column", rows_per_col, [&] {
+        KeepAlive(oracle.Column(col_rows, col % 4000));
+        ++col;
+      });
+    }
+  }
+
+  for (int n : {1000, 4000}) {
+    LabeledData data = MakeData(n, 100);
+    time_component("lsh_build", n, [&] {
+      LshParams lp;
+      lp.num_tables = 8;
+      lp.num_projections = 6;
+      lp.segment_length = data.suggested_lsh_r;
+      LshIndex lsh(data.data, lp);
+      KeepAlive(lsh.size());
+    });
+  }
+
+  {
+    LabeledData data = MakeData(8000, 100);
     LshParams lp;
     lp.num_tables = 8;
     lp.num_projections = 6;
     lp.segment_length = data.suggested_lsh_r;
     LshIndex lsh(data.data, lp);
-    benchmark::DoNotOptimize(lsh.size());
+    Index i = 0;
+    time_component("lsh_query", 8000, [&] {
+      KeepAlive(lsh.QueryByIndex(i % 8000));
+      ++i;
+    });
   }
-}
-BENCHMARK(BM_LshBuild)->Arg(1000)->Arg(4000);
 
-void BM_LshQuery(benchmark::State& state) {
-  LabeledData data = MakeData(8000, 100);
-  LshParams lp;
-  lp.num_tables = 8;
-  lp.num_projections = 6;
-  lp.segment_length = data.suggested_lsh_r;
-  LshIndex lsh(data.data, lp);
-  Index i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lsh.QueryByIndex(i % 8000));
-    ++i;
+  for (int n : {1000, 4000}) {
+    LabeledData data = MakeData(n, 100);
+    AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+    LazyAffinityOracle oracle(data.data, f);
+    time_component("lid_detection", n, [&] {
+      Lid lid(oracle, 0, {});
+      IndexList cluster0 = data.true_clusters[0];
+      cluster0.erase(cluster0.begin());  // the seed itself
+      lid.UpdateRange(cluster0);
+      KeepAlive(lid.Run());
+    });
   }
-}
-BENCHMARK(BM_LshQuery);
 
-void BM_LidDetection(benchmark::State& state) {
-  LabeledData data = MakeData(state.range(0), 100);
-  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
-  LazyAffinityOracle oracle(data.data, f);
-  for (auto _ : state) {
-    Lid lid(oracle, 0, {});
-    IndexList cluster0 = data.true_clusters[0];
-    cluster0.erase(cluster0.begin());  // the seed itself
-    lid.UpdateRange(cluster0);
-    benchmark::DoNotOptimize(lid.Run());
+  for (int n : {500, 1000}) {
+    LabeledData data = MakeData(n, 50);
+    AffinityFunction f({.k = data.suggested_k, .p = 2.0});
+    AffinityMatrix matrix(data.data, f);
+    AffinityView view(&matrix.matrix());
+    std::vector<Scalar> x(data.size(),
+                          1.0 / static_cast<Scalar>(data.size()));
+    ReplicatorOptions opts;
+    opts.max_iterations = 1;
+    time_component("replicator_iteration", n, [&] {
+      KeepAlive(RunReplicatorDynamics(view, x, opts));
+    });
   }
-}
-BENCHMARK(BM_LidDetection)->Arg(1000)->Arg(4000);
 
-void BM_ReplicatorIteration(benchmark::State& state) {
-  LabeledData data = MakeData(state.range(0), 50);
-  AffinityFunction f({.k = data.suggested_k, .p = 2.0});
-  AffinityMatrix matrix(data.data, f);
-  AffinityView view(&matrix.matrix());
-  std::vector<Scalar> x(data.size(), 1.0 / data.size());
-  ReplicatorOptions opts;
-  opts.max_iterations = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RunReplicatorDynamics(view, x, opts));
+  for (int n : {32, 64, 128}) {
+    DenseMatrix m = RandomSymmetric(n, 5);
+    time_component("jacobi_eigen", n, [&] { KeepAlive(JacobiEigenSolver(m)); });
   }
-}
-BENCHMARK(BM_ReplicatorIteration)->Arg(500)->Arg(1000);
 
-void BM_JacobiEigen(benchmark::State& state) {
-  const Index n = state.range(0);
-  Rng rng(5);
-  DenseMatrix m(n, n, 0.0);
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = i; j < n; ++j) {
-      const Scalar v = rng.Gaussian();
-      m(i, j) = v;
-      m(j, i) = v;
-    }
+  for (int n : {256, 512}) {
+    DenseMatrix m = RandomSymmetric(n, 7);
+    auto matvec = [&](std::span<const Scalar> x) { return m.MatVec(x); };
+    time_component("lanczos_top4", n,
+                   [&] { KeepAlive(LanczosTopK(n, 4, matvec)); });
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(JacobiEigenSolver(m));
-  }
-}
-BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_LanczosTop4(benchmark::State& state) {
-  const Index n = state.range(0);
-  Rng rng(7);
-  DenseMatrix m(n, n, 0.0);
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = i; j < n; ++j) {
-      const Scalar v = rng.Gaussian();
-      m(i, j) = v;
-      m(j, i) = v;
-    }
+  std::string json = "{\"bench\":\"micro_components\",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AppendF(json,
+            "%s{\"component\":\"%s\",\"arg\":%d,"
+            "\"seconds_per_call\":%.9f}",
+            i == 0 ? "" : ",", rows[i].component.c_str(), rows[i].arg,
+            rows[i].seconds_per_call);
   }
-  auto matvec = [&](std::span<const Scalar> x) { return m.MatVec(x); };
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(LanczosTopK(n, 4, matvec));
-  }
+  json += "]}";
+  ctx.EmitJson(json);
 }
-BENCHMARK(BM_LanczosTop4)->Arg(256)->Arg(512);
+
+ALID_BENCHMARK("micro_components", "micro", "micro_components",
+               RunComponents);
 
 // ---------------------------------------------------------------------------
 // Sketch-filtered vs full Theorem-1 absorb scoring at a* in {64, 256, 1024}.
@@ -227,35 +246,12 @@ struct AbsorbFixture {
   }
 };
 
-void BM_AbsorbScoreFull(benchmark::State& state) {
-  AbsorbFixture fixture(state.range(0));
-  Index q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fixture.without_sketch->Assign(fixture.Query(q)));
-    ++q;
-  }
-}
-BENCHMARK(BM_AbsorbScoreFull)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_AbsorbScoreSketch(benchmark::State& state) {
-  AbsorbFixture fixture(state.range(0));
-  Index q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fixture.with_sketch->Assign(fixture.Query(q)));
-    ++q;
-  }
-}
-BENCHMARK(BM_AbsorbScoreSketch)->Arg(64)->Arg(256)->Arg(1024);
-
-}  // namespace
-
 // The trajectory record: wall seconds over a fixed query sweep per support
 // size, sketch vs full, plus the prune/exact counters and an equality spot
-// check — a sketch that changed one bit would be a bug, not a speedup, so
-// any mismatch fails the binary (and with it the CI bench step).
-// Returns true iff every sketch answer matched its full-scoring twin.
-bool PrintAbsorbScoreJson() {
-  std::printf("\nJSON {\"bench\":\"micro_sketch\",\"rows\":[");
+// check.
+void RunSketch(BenchContext& ctx) {
+  std::printf("Sketch-filtered vs full absorb scoring\n");
+  std::string json = "{\"bench\":\"micro_sketch\",\"rows\":[";
   bool first = true;
   bool all_match = true;
   for (Index support : {Index{64}, Index{256}, Index{1024}}) {
@@ -278,40 +274,40 @@ bool PrintAbsorbScoreJson() {
     }
     WallTimer full_timer;
     for (int q = 0; q < kSweep; ++q) {
-      benchmark::DoNotOptimize(
-          fixture.without_sketch->Assign(fixture.Query(q)));
+      KeepAlive(fixture.without_sketch->Assign(fixture.Query(q)));
     }
     const double full_seconds = full_timer.Seconds();
     WallTimer sketch_timer;
     for (int q = 0; q < kSweep; ++q) {
-      benchmark::DoNotOptimize(fixture.with_sketch->Assign(fixture.Query(q)));
+      KeepAlive(fixture.with_sketch->Assign(fixture.Query(q)));
     }
     const double sketch_seconds = sketch_timer.Seconds();
-    std::printf(
-        "%s{\"support\":%d,\"queries\":%d,\"full_seconds\":%.6f,"
-        "\"sketch_seconds\":%.6f,\"speedup\":%.4f,\"sketch_prunes\":%lld,"
-        "\"sketch_exact\":%lld,\"mismatches\":%d}",
-        first ? "" : ",", support, kSweep, full_seconds, sketch_seconds,
-        sketch_seconds > 0.0 ? full_seconds / sketch_seconds : 0.0,
-        static_cast<long long>(prunes), static_cast<long long>(exact),
-        mismatches);
+    std::printf("  support=%-5d full %.4fs  sketch %.4fs  speedup %.2fx  "
+                "prunes %lld  exact %lld  mismatches %d\n",
+                support, full_seconds, sketch_seconds,
+                sketch_seconds > 0.0 ? full_seconds / sketch_seconds : 0.0,
+                static_cast<long long>(prunes),
+                static_cast<long long>(exact), mismatches);
+    AppendF(json,
+            "%s{\"support\":%d,\"queries\":%d,\"full_seconds\":%.6f,"
+            "\"sketch_seconds\":%.6f,\"speedup\":%.4f,"
+            "\"sketch_prunes\":%lld,"
+            "\"sketch_exact\":%lld,\"mismatches\":%d}",
+            first ? "" : ",", support, kSweep, full_seconds, sketch_seconds,
+            sketch_seconds > 0.0 ? full_seconds / sketch_seconds : 0.0,
+            static_cast<long long>(prunes), static_cast<long long>(exact),
+            mismatches);
     first = false;
   }
-  std::printf("]}\n");
+  json += "]}";
+  ctx.EmitJson(json);
   if (!all_match) {
-    std::fprintf(stderr, "FATAL: sketch-pruned absorb scoring disagreed "
-                         "with full scoring — the exactness contract is "
-                         "broken\n");
+    ctx.Fail("sketch-pruned absorb scoring disagreed with full scoring — "
+             "the exactness contract is broken");
   }
-  return all_match;
 }
 
-}  // namespace alid
+ALID_BENCHMARK("micro_sketch", "micro", "micro_sketch", RunSketch);
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return alid::PrintAbsorbScoreJson() ? 0 : 1;
-}
+}  // namespace
+}  // namespace alid::bench

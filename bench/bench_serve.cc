@@ -17,6 +17,7 @@
 // The last line is a single-line JSON record of the sweep for the bench
 // trajectory (machine-readable, stable key names).
 #include "bench_util.h"
+#include "registry.h"
 
 #include <atomic>
 #include <memory>
@@ -107,19 +108,23 @@ void PrintRow(const ServeRow& r) {
               static_cast<long long>(r.swaps));
 }
 
-void PrintJson(const std::vector<ServeRow>& rows, Index n, Index queries,
-               int clusters, Index members, double publish_p95_seconds,
-               int64_t rows_reused, int64_t clusters_reused) {
-  std::printf("\nJSON {\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
-              "\"clusters\":%d,\"members\":%d,"
-              "\"publish_p95_seconds\":%.6f,\"rows_reused\":%lld,"
-              "\"clusters_reused\":%lld,\"rows\":[",
-              n, queries, clusters, members, publish_p95_seconds,
-              static_cast<long long>(rows_reused),
-              static_cast<long long>(clusters_reused));
+void EmitServeJson(BenchContext& ctx, const std::vector<ServeRow>& rows,
+                   Index n, Index queries, int clusters, Index members,
+                   double publish_p95_seconds, int64_t rows_reused,
+                   int64_t clusters_reused) {
+  std::string json;
+  AppendF(json,
+          "{\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
+          "\"clusters\":%d,\"members\":%d,"
+          "\"publish_p95_seconds\":%.6f,\"rows_reused\":%lld,"
+          "\"clusters_reused\":%lld,\"rows\":[",
+          n, queries, clusters, members, publish_p95_seconds,
+          static_cast<long long>(rows_reused),
+          static_cast<long long>(clusters_reused));
   for (size_t i = 0; i < rows.size(); ++i) {
     const ServeRow& r = rows[i];
-    std::printf(
+    AppendF(
+        json,
         "%s{\"mode\":\"%s\",\"batch\":%d,\"executors\":%d,"
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"qps\":%.2f,"
         "\"p50_query_seconds\":%.9f,\"p95_query_seconds\":%.9f,"
@@ -133,14 +138,15 @@ void PrintJson(const std::vector<ServeRow>& rows, Index n, Index queries,
         static_cast<long long>(r.sketch_exact),
         static_cast<long long>(r.swaps));
   }
-  std::printf("]}\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Cluster serving: QPS / latency x batch x executors "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   SyntheticConfig cfg;
-  cfg.n = Scaled(1600);
+  cfg.n = ctx.Scaled(1600);
   cfg.dim = 16;
   cfg.num_clusters = 4;
   cfg.omega = 0.6;
@@ -221,7 +227,7 @@ void Main() {
   // noise (unassignable), in one fixed shuffled stream. Sized so each
   // row's wall time clears bench_compare's noise floor and the QPS
   // trajectory is actually gated.
-  const Index num_queries = Scaled(100000);
+  const Index num_queries = ctx.Scaled(100000);
   std::vector<Scalar> queries;
   queries.reserve(static_cast<size_t>(num_queries) * dim);
   for (Index q = 0; q < num_queries; ++q) {
@@ -315,15 +321,13 @@ void Main() {
               "ONE snapshot either way); the swap row tracks its steady "
               "twin closely because readers never block on publication — "
               "retired snapshots die with their last in-flight reader.\n");
-  PrintJson(rows, data.size(), num_queries, final_snapshot->num_clusters(),
-            final_snapshot->num_members(), Percentile(publish_seconds, 0.95),
-            rows_reused, clusters_reused);
+  EmitServeJson(ctx, rows, data.size(), num_queries,
+                final_snapshot->num_clusters(), final_snapshot->num_members(),
+                Percentile(publish_seconds, 0.95), rows_reused,
+                clusters_reused);
 }
+
+ALID_BENCHMARK("serve", "runtime,serve,speedup", "serve", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

@@ -15,6 +15,7 @@
 // The last line is a single-line JSON record of the sweep for the bench
 // trajectory (machine-readable, stable key names).
 #include "bench_util.h"
+#include "registry.h"
 
 #include <memory>
 
@@ -187,11 +188,14 @@ void PrintRow(const StreamRow& r) {
               static_cast<long long>(r.steals));
 }
 
-void PrintJson(const std::vector<StreamRow>& rows, Index n) {
-  std::printf("\nJSON {\"bench\":\"stream\",\"n\":%d,\"rows\":[", n);
+void EmitStreamJson(BenchContext& ctx, const std::vector<StreamRow>& rows,
+                    Index n) {
+  std::string json;
+  AppendF(json, "{\"bench\":\"stream\",\"n\":%d,\"rows\":[", n);
   for (size_t i = 0; i < rows.size(); ++i) {
     const StreamRow& r = rows[i];
-    std::printf(
+    AppendF(
+        json,
         "%s{\"batch\":%d,\"window\":%d,\"executors\":%d,"
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"items_per_second\":%.2f,"
         "\"p50_batch_seconds\":%.6f,\"p95_batch_seconds\":%.6f,"
@@ -225,14 +229,15 @@ void PrintJson(const std::vector<StreamRow>& rows, Index n) {
         static_cast<long long>(r.cache_invalidated),
         static_cast<long long>(r.steals), r.clusters);
   }
-  std::printf("]}\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Streaming ingest: batch x window x executors sweep "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   SyntheticConfig cfg;
-  cfg.n = Scaled(1600);
+  cfg.n = ctx.Scaled(1600);
   cfg.dim = 16;
   cfg.num_clusters = 4;
   cfg.omega = 0.6;
@@ -250,7 +255,7 @@ void Main() {
               data.true_clusters.size());
 
   const std::vector<Index> batches{32, 256};
-  const std::vector<Index> windows{0, Scaled(800)};
+  const std::vector<Index> windows{0, ctx.Scaled(800)};
   std::vector<StreamRow> rows;
   for (Index window : windows) {
     PrintHeader(window == 0 ? "unbounded stream (window = 0)"
@@ -287,13 +292,10 @@ void Main() {
               "time the incremental snapshot export over a steady-state "
               "tail: rows_reused > 0 is the proof the publish path pays "
               "O(changed clusters), not O(window).\n");
-  PrintJson(rows, data.size());
+  EmitStreamJson(ctx, rows, data.size());
 }
+
+ALID_BENCHMARK("stream", "runtime,stream,speedup", "stream", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

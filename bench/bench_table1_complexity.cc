@@ -14,6 +14,7 @@
 // after cache reuse — the honest work actually done). Both slopes print, and
 // the per-regime cache activity lands in the JSON trajectory record.
 #include "bench_util.h"
+#include "registry.h"
 
 #include "data/synthetic.h"
 
@@ -37,9 +38,9 @@ struct RegimeResult {
   int64_t cache_budget = 0;     // at the largest n
 };
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Table 1: affinity-work complexity of ALID per a* regime "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   const std::vector<double> sizes{800, 1600, 3200, 6400};
   const RegimeSpec specs[] = {
       {"a*=omega*n (omega=1)", SyntheticRegime::kProportional, 2.0, 2.0},
@@ -57,7 +58,7 @@ void Main() {
     std::vector<double> xs, requested, computed, bytes;
     for (double base : sizes) {
       SyntheticConfig cfg;
-      cfg.n = Scaled(base);
+      cfg.n = ctx.Scaled(base);
       cfg.dim = 100;
       cfg.num_clusters = 20;
       cfg.regime = spec.regime;
@@ -96,25 +97,24 @@ void Main() {
               "constant in n, so its measured slope should hover near 0; "
               "the sublinear regime's theoretical slopes are 1+eta and "
               "2*eta.\n");
-  std::printf("\nJSON {\"bench\":\"table1_complexity\",\"rows\":[");
+  std::string json = "{\"bench\":\"table1_complexity\",\"rows\":[";
   for (size_t i = 0; i < results.size(); ++i) {
     const RegimeResult& r = results[i];
-    std::printf(
-        "%s{\"regime\":\"%s\",\"requested_slope\":%.4f,"
-        "\"computed_slope\":%.4f,\"space_slope\":%.4f,\"cache_hits\":%lld,"
-        "\"cache_evictions\":%lld,\"cache_budget_bytes\":%lld}",
-        i == 0 ? "" : ",", r.name, r.requested_slope, r.computed_slope,
-        r.space_slope, static_cast<long long>(r.cache_hits),
-        static_cast<long long>(r.cache_evictions),
-        static_cast<long long>(r.cache_budget));
+    AppendF(json,
+            "%s{\"regime\":\"%s\",\"requested_slope\":%.4f,"
+            "\"computed_slope\":%.4f,\"space_slope\":%.4f,\"cache_hits\":%lld,"
+            "\"cache_evictions\":%lld,\"cache_budget_bytes\":%lld}",
+            i == 0 ? "" : ",", r.name, r.requested_slope, r.computed_slope,
+            r.space_slope, static_cast<long long>(r.cache_hits),
+            static_cast<long long>(r.cache_evictions),
+            static_cast<long long>(r.cache_budget));
   }
-  std::printf("]}\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
+
+ALID_BENCHMARK("table1_complexity", "paper,complexity", "table1_complexity",
+               Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

@@ -12,6 +12,7 @@
 // The last line is a single-line JSON record of the sweep for the bench
 // trajectory (machine-readable, stable key names).
 #include "bench_util.h"
+#include "registry.h"
 
 #include <string_view>
 
@@ -72,21 +73,26 @@ void PrintHistogram(const SweepRow& row) {
   std::printf("\n");
 }
 
-void PrintJson(const std::vector<SweepRow>& rows, Index n) {
-  std::printf("\nJSON ");
-  std::printf("{\"bench\":\"table2_palid\",\"n\":%d,\"rows\":[", n);
+void EmitSweepJson(BenchContext& ctx, const std::vector<SweepRow>& rows,
+                   Index n) {
+  std::string json;
+  AppendF(json, "{\"bench\":\"table2_palid\",\"n\":%d,\"rows\":[", n);
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
-    std::printf(
+    AppendF(
+        json,
         "%s{\"method\":\"%s\",\"executors\":%d,\"wall_seconds\":%.6f,"
-        "\"speedup\":%.4f,\"task_seconds\":%.6f,\"concurrency\":%.4f,"
+        "\"speedup\":%.4f,\"gate_speedup\":%s,\"task_seconds\":%.6f,"
+        "\"concurrency\":%.4f,"
         "\"steals\":%lld,\"cache_hits\":%lld,\"entries_computed\":%lld,"
         "\"cache_hit_rate\":%.4f,\"cache_evictions\":%lld,"
         "\"cache_stale_drops\":%lld,"
         "\"cache_bytes\":%lld,\"cache_budget_bytes\":%lld,"
         "\"num_seeds\":%d,\"num_tasks\":%d,\"avg_f\":%.4f}",
         i == 0 ? "" : ",", r.method, r.executors, r.stats.wall_seconds,
-        r.speedup, r.stats.total_task_seconds, r.concurrency,
+        r.speedup,
+        std::string_view(r.method) == "PALID" ? "true" : "false",
+        r.stats.total_task_seconds, r.concurrency,
         static_cast<long long>(r.stats.steals),
         static_cast<long long>(r.stats.cache_hits),
         static_cast<long long>(r.stats.entries_computed),
@@ -97,14 +103,15 @@ void PrintJson(const std::vector<SweepRow>& rows, Index n) {
         static_cast<long long>(r.stats.cache_budget_bytes),
         r.stats.num_seeds, r.stats.num_tasks, r.avg_f);
   }
-  std::printf("]}\n");
+  json += "]}";
+  ctx.EmitJson(json);
 }
 
-void Main() {
+void Run(BenchContext& ctx) {
   std::printf("Table 2: PALID executors sweep on SIFT-like data "
-              "(scale %.2f)\n", Scale());
+              "(scale %.2f)\n", ctx.scale());
   SiftLikeConfig cfg;
-  cfg.n = Scaled(8000);
+  cfg.n = ctx.Scaled(8000);
   cfg.num_visual_words = 40;
   cfg.word_fraction = 0.3;
   cfg.seed = 701;
@@ -148,13 +155,10 @@ void Main() {
               "executors on 8 cores). On a 1-core host wall-clock speedup "
               "stays ~1; the concurrency column shows the pool still "
               "distributes the map tasks.\n");
-  PrintJson(rows, data.size());
+  EmitSweepJson(ctx, rows, data.size());
 }
+
+ALID_BENCHMARK("table2_palid", "runtime,speedup", "table2_palid", Run);
 
 }  // namespace
 }  // namespace alid::bench
-
-int main() {
-  alid::bench::Main();
-  return 0;
-}

@@ -1,0 +1,157 @@
+// Contracts of the adversarial stream scenario generators
+// (bench/scenarios.h): seed-determinism, batch-order stability (a batch is
+// a pure function of (config, batch_index) — no generator state threads
+// across batches), the shapes each scenario promises (linear drift walk,
+// storm-phased burst lifetimes, Zipf head mass), and the end-to-end burst
+// property the bench reports on: streaming the burst scenario through a
+// windowed OnlineAlid provably churns clusters (births AND dissolutions).
+#include "scenarios.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online_alid.h"
+
+namespace alid::bench {
+namespace {
+
+TEST(ScenarioTest, DriftIsSeedDeterministic) {
+  DriftScenarioConfig config;
+  for (int t : {0, 3, 17}) {
+    const ScenarioBatch a = DriftBatch(config, t);
+    const ScenarioBatch b = DriftBatch(config, t);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.noise_rows, b.noise_rows);
+    EXPECT_EQ(a.points, b.points) << "batch " << t;
+  }
+  DriftScenarioConfig other = config;
+  other.seed += 1;
+  EXPECT_NE(DriftBatch(config, 5).points, DriftBatch(other, 5).points);
+}
+
+TEST(ScenarioTest, BurstIsSeedDeterministic) {
+  BurstScenarioConfig config;
+  for (int t : {0, 7, 30}) {
+    EXPECT_EQ(BurstBatch(config, t).points, BurstBatch(config, t).points);
+  }
+}
+
+TEST(ScenarioTest, HeavyTailIsSeedDeterministic) {
+  HeavyTailScenarioConfig config;
+  for (int t : {0, 9, 25}) {
+    EXPECT_EQ(HeavyTailBatch(config, t).points,
+              HeavyTailBatch(config, t).points);
+  }
+}
+
+// Batch k computed cold must equal batch k computed after a sequential
+// sweep: nothing about a batch may depend on which batches were generated
+// before it (the registry may run --filter subsets, shards, or warmup
+// passes in any order).
+TEST(ScenarioTest, BatchesAreOrderStable) {
+  DriftScenarioConfig drift;
+  BurstScenarioConfig burst;
+  HeavyTailScenarioConfig tail;
+  const ScenarioBatch drift_cold = DriftBatch(drift, 12);
+  const ScenarioBatch burst_cold = BurstBatch(burst, 12);
+  const ScenarioBatch tail_cold = HeavyTailBatch(tail, 12);
+  for (int t = 0; t <= 12; ++t) {
+    DriftBatch(drift, t);
+    BurstBatch(burst, t);
+    HeavyTailBatch(tail, t);
+  }
+  EXPECT_EQ(DriftBatch(drift, 12).points, drift_cold.points);
+  EXPECT_EQ(BurstBatch(burst, 12).points, burst_cold.points);
+  EXPECT_EQ(HeavyTailBatch(tail, 12).points, tail_cold.points);
+}
+
+TEST(ScenarioTest, DriftCentersWalkLinearly) {
+  DriftScenarioConfig config;
+  for (int c = 0; c < config.num_clusters; ++c) {
+    const std::vector<Scalar> at0 = DriftCenterAt(config, c, 0);
+    const std::vector<Scalar> at1 = DriftCenterAt(config, c, 1);
+    const std::vector<Scalar> at9 = DriftCenterAt(config, c, 9);
+    double step = 0.0;
+    double nine = 0.0;
+    for (int d = 0; d < config.dim; ++d) {
+      step += (at1[d] - at0[d]) * (at1[d] - at0[d]);
+      nine += (at9[d] - at0[d]) * (at9[d] - at0[d]);
+    }
+    EXPECT_NEAR(std::sqrt(step), config.drift_per_batch, 1e-6);
+    EXPECT_NEAR(std::sqrt(nine), 9.0 * config.drift_per_batch, 1e-6);
+  }
+}
+
+TEST(ScenarioTest, BurstSlotsLiveForLifetimeBatchesPerPeriod) {
+  BurstScenarioConfig config;
+  for (int s = 0; s < config.num_slots; ++s) {
+    int first_live = -1;
+    for (int t = 0; t < config.period && first_live < 0; ++t) {
+      if (BurstSlotLiveAt(config, s, t)) first_live = t;
+    }
+    ASSERT_GE(first_live, 0) << "slot " << s;
+    // Phase-aligned window of two full periods: exactly two generations.
+    int live = 0;
+    for (int t = first_live; t < first_live + 2 * config.period; ++t) {
+      if (BurstSlotLiveAt(config, s, t)) ++live;
+    }
+    EXPECT_EQ(live, 2 * config.lifetime) << "slot " << s;
+    // The generation index advances once per period.
+    int generation = -1;
+    ASSERT_TRUE(
+        BurstSlotLiveAt(config, s, first_live + config.period, &generation));
+    EXPECT_EQ(generation, 1);
+  }
+}
+
+TEST(ScenarioTest, HeavyTailHeadDominates) {
+  HeavyTailScenarioConfig config;
+  double total = 0.0;
+  for (int c = 0; c < config.num_clusters; ++c) {
+    total += HeavyTailClusterProbability(config, c);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(HeavyTailClusterProbability(config, 0),
+            10.0 * HeavyTailClusterProbability(config, config.num_clusters - 1));
+
+  // The realized batch composition tracks the head mass.
+  const ScenarioBatch batch = HeavyTailBatch(config, 0);
+  EXPECT_EQ(batch.rows,
+            config.points_per_batch +
+                static_cast<Index>(config.noise_fraction *
+                                   static_cast<double>(
+                                       config.points_per_batch)));
+  EXPECT_GT(batch.active_sources, 1);
+  EXPECT_LT(batch.active_sources, config.num_clusters);
+}
+
+// The property the burst bench reports on: streamed through a windowed
+// OnlineAlid, the generation storms force real cluster churn — clusters are
+// born AND dissolved, not merely accumulated.
+TEST(ScenarioTest, BurstStreamChurnsClusters) {
+  BurstScenarioConfig config;
+  config.points_per_slot = 16;
+  const int num_batches = 30;
+
+  const double intra =
+      std::sqrt(2.0 * static_cast<double>(config.dim)) * config.spread;
+  OnlineAlidOptions opts;
+  opts.affinity = {.k = -std::log(0.9) / intra, .p = 2.0};
+  opts.lsh.segment_length = 3.0 * intra;
+  opts.window = static_cast<Index>(config.num_slots * config.points_per_slot *
+                                   config.lifetime * 3 / 2);
+  OnlineAlid online(config.dim, opts);
+  for (int t = 0; t < num_batches; ++t) {
+    const ScenarioBatch batch = BurstBatch(config, t);
+    if (batch.rows > 0) online.InsertBatch(batch.points);
+  }
+  online.Refresh();
+  EXPECT_GT(online.stats().clusters_born, 0);
+  EXPECT_GT(online.stats().clusters_dissolved, 0);
+  EXPECT_GT(online.stats().evicted, 0);
+}
+
+}  // namespace
+}  // namespace alid::bench

@@ -25,10 +25,27 @@ positive value across the *current* record: CI uses it to prove the sketch
 fast path and the incremental export cannot silently disable themselves.
 Passing ``-`` as the previous record skips the ratio gate (counter assertion
 only).
+
+When the previous trajectory is missing or empty (first run on a branch, an
+expired CI artifact), ``--baseline-fallback`` names a committed baseline
+(bench/baselines/BENCH_seed.json) to gate against instead, at the wider
+``--fallback-fail-ratio`` — the seed was recorded on different hardware, so
+only order-of-magnitude regressions are actionable. The substitution is
+announced with a ``::notice`` line.
+
+``--schema-check`` validates the *current* trajectory against the registry
+contract before anything is compared: every line must parse, no JSON object
+may carry a duplicate key (a hand-built record that stuttered a field), no
+two records may share a "bench" name, a record with a "rows" key must have a
+non-empty list of objects, and — with ``--expect-records FILE`` (one name
+per line; the output of ``alid_bench --list-records``) — every registered
+record must actually be present: a registered benchmark that emitted no JSON
+row fails here.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -39,6 +56,61 @@ WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds",
 # --require-positive), never ratio-gated — counts move with workloads.
 COUNTER_KEYS = ("sketch_prunes", "sketch_exact", "rows_reused",
                 "clusters_reused")
+
+
+def reject_duplicate_keys(pairs):
+    """object_pairs_hook that fails on a duplicated key in one JSON object."""
+    seen = {}
+    for key, value in pairs:
+        if key in seen:
+            raise ValueError(f"duplicate key {key!r} in one object")
+        seen[key] = value
+    return seen
+
+
+def schema_check(path, expect_path):
+    """Registry-contract errors in one trajectory file (empty list = ok)."""
+    errors = []
+    names = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line,
+                                    object_pairs_hook=reject_duplicate_keys)
+            except ValueError as error:
+                errors.append(f"{path}:{lineno}: {error}")
+                continue
+            name = record.get("bench")
+            if not name:
+                errors.append(f"{path}:{lineno}: record has no 'bench' key")
+                continue
+            if name in names:
+                errors.append(f"{path}:{lineno}: duplicate record "
+                              f"'{name}' — one benchmark emitted twice or "
+                              f"two shards overlapped")
+            names.append(name)
+            if "rows" in record:
+                rows = record["rows"]
+                if not isinstance(rows, list) or not rows:
+                    errors.append(f"{path}:{lineno}: record '{name}' has an "
+                                  f"empty or non-list 'rows' — the sweep "
+                                  f"silently produced nothing")
+                elif not all(isinstance(r, dict) for r in rows):
+                    errors.append(f"{path}:{lineno}: record '{name}' has "
+                                  f"non-object rows")
+    if expect_path:
+        with open(expect_path, "r", encoding="utf-8") as handle:
+            expected = [l.strip() for l in handle if l.strip()]
+        for name in expected:
+            if name not in names:
+                errors.append(f"registered record '{name}' is missing from "
+                              f"{path} — its benchmark emitted no JSON row")
+    if not names:
+        errors.append(f"{path}: no records at all")
+    return errors
 
 
 def load_records(path):
@@ -140,9 +212,47 @@ def main():
     parser.add_argument("--require-positive", default="",
                         help="comma-separated counter keys whose sum across "
                              "the current record must be > 0")
+    parser.add_argument("--baseline-fallback", default="",
+                        help="committed baseline JSONL to gate against when "
+                             "the previous trajectory is missing or empty")
+    parser.add_argument("--fallback-fail-ratio", type=float, default=3.0,
+                        help="fail ratio while gating against the committed "
+                             "baseline (different hardware)")
+    parser.add_argument("--schema-check", action="store_true",
+                        help="validate the current trajectory against the "
+                             "registry contract (parse, duplicate keys, "
+                             "duplicate/empty records) before comparing")
+    parser.add_argument("--expect-records", default="",
+                        help="with --schema-check: file of record names "
+                             "(alid_bench --list-records) that must all be "
+                             "present")
     args = parser.parse_args()
 
-    prev_records = load_records(args.previous) if args.previous != "-" else {}
+    if args.schema_check:
+        errors = schema_check(args.current, args.expect_records)
+        for error in errors:
+            print(f"SCHEMA {error}")
+        if errors:
+            print(f"schema check FAILED: {len(errors)} contract violations")
+            return 1
+        print("schema check ok")
+
+    prev_records = {}
+    if args.previous != "-":
+        if os.path.exists(args.previous):
+            prev_records = load_records(args.previous)
+        if not prev_records and args.baseline_fallback:
+            if os.path.exists(args.baseline_fallback):
+                prev_records = load_records(args.baseline_fallback)
+                args.fail_ratio = args.fallback_fail_ratio
+                print(f"::notice::no previous bench trajectory at "
+                      f"'{args.previous}' — gating against the committed "
+                      f"baseline {args.baseline_fallback} at the wider "
+                      f"x{args.fail_ratio:.1f} ratio (it was recorded on "
+                      f"different hardware)")
+            else:
+                print(f"warning: baseline fallback "
+                      f"{args.baseline_fallback} does not exist either")
     curr_records = load_records(args.current)
     previous = {}
     for record in prev_records.values():

@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""CI gate for the ROADMAP's parallel-speedup claim.
+"""CI gate for the ROADMAP's parallel-speedup claim — label-driven.
 
-Parses the uploaded bench trajectory (bench_trajectory.jsonl) for PALID's
-executor sweeps — the ``fig7_parallel_baselines`` record and, as a fallback,
-``table2_palid`` — and fails when the 8-executor wall time exceeds half the
-1-executor wall time (i.e. when the measured speedup at 8 executors is below
-2x). The ROADMAP claims >=3x on real 8-core hardware; the gate's 2x bound
-leaves headroom for shared CI runners.
+Selects executor sweeps out of the bench trajectory by the ``labels`` key the
+benchmark registry injects into every JSON record (a benchmark opts in by
+registering the ``speedup`` label) instead of hard-coding record names, so a
+new benchmark joins this gate by registering — never by editing this script.
 
-On hosts with fewer than --min-cores (default 4) the check is skipped with a
-notice: wall-clock speedup is physically capped by the core count there and
-the claim must be read off a wider machine.
+Two layers:
+
+* **Structure** (always checked, any core count): every ``speedup``-labeled
+  record whose rows carry an ``executors`` key must contain a real sweep —
+  at least two distinct executor widths, each with a wall_seconds — and at
+  least one record in the whole trajectory must carry rows marked
+  ``gate_speedup``. A scenario or stream bench that silently stopped
+  sweeping executors fails here even on a 1-core runner.
+
+* **Ratio** (skipped below --min-cores): rows marked ``"gate_speedup":true``
+  (the work-stealing PALID rows) are grouped into sweeps and the widest
+  width's wall time must be at most --max-ratio times the narrowest's.
+  The ROADMAP claims >=3x on real 8-core hardware; the default 2x bound
+  leaves headroom for shared CI runners. Unmarked sweep rows (baselines,
+  stream/serve/scenario rows) are reported, never ratio-gated — on a shared
+  1-core host their executor axis only moves scheduling counters.
 """
 
 import argparse
@@ -20,7 +31,7 @@ import sys
 
 
 def load_records(path):
-    records = {}
+    records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -30,64 +41,131 @@ def load_records(path):
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            name = record.get("bench")
-            if name:
-                records[name] = record
+            if record.get("bench"):
+                records.append(record)
     return records
 
 
-def palid_walls(record):
-    """{executors: wall_seconds} for the work-stealing PALID rows."""
-    walls = {}
+def labels_of(record):
+    return [l for l in str(record.get("labels", "")).split(",") if l]
+
+
+def sweep_key(row):
+    """Groups one record's rows into sweeps: identity minus the executor
+    axis (method/mode/dataset/batch/window distinguish parallel sweeps)."""
+    return tuple((k, row[k]) for k in ("method", "mode", "regime", "dataset",
+                                       "batch", "window") if k in row)
+
+
+def collect_sweeps(record):
+    """{sweep-key: {executors: (wall_seconds, gated)}} for one record."""
+    sweeps = {}
     for row in record.get("rows", []):
-        if row.get("method") == "PALID" and "executors" in row:
-            walls[int(row["executors"])] = float(row["wall_seconds"])
-    return walls
+        if not isinstance(row, dict) or "executors" not in row:
+            continue
+        if not isinstance(row.get("wall_seconds"), (int, float)):
+            continue
+        sweeps.setdefault(sweep_key(row), {})[int(row["executors"])] = (
+            float(row["wall_seconds"]), bool(row.get("gate_speedup")))
+    return sweeps
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trajectory", help="bench_trajectory.jsonl")
     parser.add_argument("--min-cores", type=int, default=4,
-                        help="skip (exit 0) below this many CPUs")
+                        help="skip the ratio gate (not the structural check) "
+                             "below this many CPUs")
     parser.add_argument("--max-ratio", type=float, default=0.5,
-                        help="fail when wall(8) / wall(1) exceeds this")
+                        help="fail when wall(widest) / wall(narrowest) "
+                             "exceeds this on a gate_speedup sweep")
     args = parser.parse_args()
 
-    cores = os.cpu_count() or 1
-    if cores < args.min_cores:
-        print(f"::notice::speedup gate skipped: host has {cores} cores "
-              f"(< {args.min_cores}); wall-clock speedup is core-bound here "
-              f"and the >=3x-at-8-executors claim must be validated on "
-              f"multi-core hardware")
-        return 0
-
-    records = load_records(args.trajectory)
-    checked = 0
-    failed = False
-    for name in ("fig7_parallel_baselines", "table2_palid"):
-        record = records.get(name)
-        if record is None:
-            continue
-        walls = palid_walls(record)
-        if 1 not in walls or 8 not in walls:
-            print(f"warning: {name} has no PALID 1/8-executor pair")
-            continue
-        checked += 1
-        ratio = walls[8] / walls[1] if walls[1] > 0 else float("inf")
-        speedup = 1.0 / ratio if ratio > 0 else float("inf")
-        verdict = "ok" if ratio <= args.max_ratio else "FAIL"
-        print(f"{verdict} {name}: PALID wall(1)={walls[1]:.3f}s "
-              f"wall(8)={walls[8]:.3f}s -> {speedup:.2f}x speedup "
-              f"(gate: >= {1.0 / args.max_ratio:.1f}x on {cores} cores)")
-        if ratio > args.max_ratio:
-            failed = True
-    if checked == 0:
-        print("error: no PALID executor sweep found in the trajectory")
+    records = [r for r in load_records(args.trajectory)
+               if "speedup" in labels_of(r)]
+    if not records:
+        print("error: no 'speedup'-labeled records in the trajectory — "
+              "either the registry stopped injecting labels or every "
+              "speedup benchmark vanished")
         return 1
-    if failed:
-        print("speedup gate FAILED: 8-executor PALID is not at least "
-              f"{1.0 / args.max_ratio:.1f}x faster than 1 executor")
+
+    structural_errors = []
+    gated_sweeps = []   # (bench, sweep-key, {executors: wall})
+    report_sweeps = []  # ungated, for the log only
+    for record in records:
+        bench = record["bench"]
+        sweeps = collect_sweeps(record)
+        if not sweeps:
+            # Records without an executor axis (e.g. a size sweep that rides
+            # along in a speedup-labeled benchmark) have nothing to check.
+            print(f"note {bench}: no executor-sweep rows (skipped)")
+            continue
+        multi_width = 0
+        for key, widths in sweeps.items():
+            name = ",".join(f"{k}={v}" for k, v in key) or "rows"
+            if len(widths) < 2:
+                # A deliberate single configuration (an ablation row like
+                # PALID-FIFO, the serve swap-under-load run) — nothing to
+                # ratio; the record-level check below still demands a real
+                # sweep somewhere in the record.
+                print(f"note {bench}/{name}: single width "
+                      f"{sorted(widths)} (not a sweep)")
+                continue
+            multi_width += 1
+            walls = {e: w for e, (w, _) in widths.items()}
+            if any(g for _, g in widths.values()):
+                gated_sweeps.append((bench, name, walls))
+            else:
+                report_sweeps.append((bench, name, walls))
+        if multi_width == 0:
+            structural_errors.append(
+                f"{bench}: rows carry an executors key but no sweep spans "
+                f"two widths — the executor sweep degenerated")
+
+    for error in structural_errors:
+        print(f"FAIL {error}")
+    if not gated_sweeps and not structural_errors:
+        structural_errors.append(
+            "no gate_speedup sweep found in the trajectory — the PALID "
+            "executor sweeps stopped marking their rows")
+        print(f"FAIL {structural_errors[-1]}")
+
+    def ratio_line(bench, name, walls):
+        lo, hi = min(walls), max(walls)
+        ratio = walls[hi] / walls[lo] if walls[lo] > 0 else float("inf")
+        speedup = 1.0 / ratio if ratio > 0 else float("inf")
+        return lo, hi, ratio, (f"{bench}/{name}: wall({lo})="
+                               f"{walls[lo]:.3f}s wall({hi})="
+                               f"{walls[hi]:.3f}s -> {speedup:.2f}x")
+
+    cores = os.cpu_count() or 1
+    ratio_failures = []
+    if cores < args.min_cores:
+        print(f"::notice::speedup ratio gate skipped: host has {cores} "
+              f"cores (< {args.min_cores}); wall-clock speedup is "
+              f"core-bound here and the >=3x-at-8-executors claim must be "
+              f"validated on multi-core hardware")
+    else:
+        for bench, name, walls in gated_sweeps:
+            _, hi, ratio, line = ratio_line(bench, name, walls)
+            verdict = "ok" if ratio <= args.max_ratio else "FAIL"
+            print(f"{verdict} {line} "
+                  f"(gate: >= {1.0 / args.max_ratio:.1f}x on {cores} cores)")
+            if ratio > args.max_ratio:
+                ratio_failures.append(f"{bench}/{name}")
+    for bench, name, walls in report_sweeps:
+        _, _, _, line = ratio_line(bench, name, walls)
+        print(f"info {line} (reported, not gated)")
+
+    print(f"\nchecked {len(gated_sweeps)} gated and {len(report_sweeps)} "
+          f"reported sweeps across {len(records)} speedup-labeled records")
+    if structural_errors:
+        print(f"speedup gate FAILED structurally on {len(structural_errors)} "
+              f"sweeps")
+        return 1
+    if ratio_failures:
+        print(f"speedup gate FAILED: {ratio_failures} below "
+              f"{1.0 / args.max_ratio:.1f}x at the widest executor count")
         return 1
     return 0
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Dead-bench lint: every bench source must register with the registry.
+
+Since PR 6 there is no per-bench main() — a bench/bench_*.cc that contains
+no ALID_BENCHMARK registration compiles, links into alid_bench, and then
+never runs: a silently dead benchmark. This lint fails CI when
+
+  * a bench/bench_*.cc (except the driver bench_main.cc) contains no
+    ALID_BENCHMARK/ALID_BENCHMARK_FULL registration, or
+  * a name registered in the sources does not appear in the live registry
+    (``alid_bench --list`` output passed via --list-output) — e.g. the file
+    was dropped from the build.
+
+Usage:
+    tools/lint_benches.py [--bench-dir bench] [--list-output FILE]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REGISTRATION = re.compile(
+    r'ALID_BENCHMARK(?:_FULL)?\s*\(\s*"([^"]+)"', re.MULTILINE)
+
+# Sources that are infrastructure, not benchmarks.
+EXEMPT = {"bench_main.cc"}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", default="bench")
+    parser.add_argument("--list-output", default="",
+                        help="file holding `alid_bench --list` output; when "
+                             "given, every source-registered name must "
+                             "appear in it")
+    args = parser.parse_args()
+
+    errors = []
+    registered = {}
+    for entry in sorted(os.listdir(args.bench_dir)):
+        if not entry.startswith("bench_") or not entry.endswith(".cc"):
+            continue
+        if entry in EXEMPT:
+            continue
+        path = os.path.join(args.bench_dir, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        names = REGISTRATION.findall(source)
+        if not names:
+            errors.append(f"{path}: no ALID_BENCHMARK registration — this "
+                          f"benchmark links into alid_bench but never runs")
+        for name in names:
+            if name in registered:
+                errors.append(f"{path}: benchmark name '{name}' already "
+                              f"registered in {registered[name]}")
+            registered[name] = path
+
+    if not registered and not errors:
+        errors.append(f"{args.bench_dir}: no benchmark sources found at all")
+
+    if args.list_output:
+        with open(args.list_output, "r", encoding="utf-8") as handle:
+            listed = {line.split("\t")[0].strip()
+                      for line in handle if line.strip()}
+        for name, path in sorted(registered.items()):
+            if name not in listed:
+                errors.append(f"{path}: '{name}' is registered in the source "
+                              f"but absent from `alid_bench --list` — the "
+                              f"file dropped out of the build")
+
+    for error in errors:
+        print(f"LINT {error}")
+    if errors:
+        print(f"bench lint FAILED: {len(errors)} problems")
+        return 1
+    print(f"bench lint ok: {len(registered)} registrations across "
+          f"{len(set(registered.values()))} sources")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
