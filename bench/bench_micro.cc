@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "registry.h"
 
+#include <cstring>
 #include <memory>
 
 #include "baselines/replicator.h"
@@ -21,6 +22,8 @@
 #include "linalg/jacobi.h"
 #include "linalg/lanczos.h"
 #include "serve/cluster_snapshot.h"
+#include "simd/simd_dispatch.h"
+#include "simd/soa_block.h"
 
 namespace alid::bench {
 namespace {
@@ -308,6 +311,137 @@ void RunSketch(BenchContext& ctx) {
 }
 
 ALID_BENCHMARK("micro_sketch", "micro", "micro_sketch", RunSketch);
+
+// ---------------------------------------------------------------------------
+// Row-major scalar vs SoA tile kernels, one column per available ISA.
+//
+// The Eq.-1 inner loop of absorb/serve scoring — the weighted kernel sum of
+// one cluster's support against a query — timed three ways per dimension:
+// the row-major scalar loop (the pre-SIMD path), the SoA tiles through the
+// scalar ops (layout effect alone), and the SoA tiles through each vector
+// ISA the host can run (scalar/avx2/widest — the dispatch axis). Outputs
+// are bit-compared against the row-major loop first; a single differing bit
+// fails the benchmark, because the vector path is only allowed to exist
+// under the exactness contract (README "SIMD dispatch"). The "simd_kernel"
+// record is the gate-able result: per-ISA member-evaluations/sec and the
+// speedup over the row-major baseline.
+// ---------------------------------------------------------------------------
+struct KernelFixture {
+  Dataset data;
+  std::vector<Scalar> weights;
+  SoaBlock block;
+  std::vector<Scalar> queries;  // row-major, num_queries x dim
+  Index num_queries = 0;
+  int dim;
+
+  KernelFixture(Index support, int dim_, uint64_t seed)
+      : data(dim_), dim(dim_) {
+    Rng rng(seed);
+    std::vector<Scalar> center(dim);
+    for (auto& v : center) v = rng.Uniform(0.0, 100.0);
+    std::vector<Scalar> point(dim);
+    for (Index i = 0; i < support; ++i) {
+      for (int d = 0; d < dim; ++d) point[d] = center[d] + rng.Gaussian();
+      data.Append(point);
+    }
+    weights.assign(support, 1.0 / static_cast<Scalar>(support));
+    block.FromRowMajor(data.raw().data(), support, dim);
+    num_queries = 64;
+    for (Index q = 0; q < num_queries; ++q) {
+      const auto row = data[static_cast<Index>(rng.UniformInt(0, support - 1))];
+      const double magnitude = 0.5 * static_cast<double>(q % 8);
+      for (int d = 0; d < dim; ++d) {
+        queries.push_back(row[d] + rng.Gaussian() * magnitude);
+      }
+    }
+  }
+
+  const Scalar* Query(Index q) const {
+    return queries.data() + static_cast<size_t>(q % num_queries) * dim;
+  }
+};
+
+// The pre-SIMD inner loop, verbatim: serial member-order accumulation over
+// row-major storage.
+Scalar RowMajorKernelSum(const KernelFixture& f, const AffinityFunction& fn,
+                         const Scalar* query) {
+  const std::span<const Scalar> q(query, static_cast<size_t>(f.dim));
+  Scalar sum = 0.0;
+  for (Index i = 0; i < f.data.size(); ++i) {
+    sum += f.weights[i] * fn.FromDistance(f.data.DistanceTo(i, q));
+  }
+  return sum;
+}
+
+void RunSimd(BenchContext& ctx) {
+  const auto isas = AvailableSimdIsas();
+  std::printf("SoA tile kernels vs row-major scalar (active ISA: %s)\n",
+              SimdIsaName(ActiveSimdIsa()));
+  std::string json = "{\"bench\":\"simd_kernel\",\"active_isa\":\"";
+  json += SimdIsaName(ActiveSimdIsa());
+  json += "\",\"rows\":[";
+  bool first = true;
+  int64_t total_mismatches = 0;
+  for (int dim : {16, 64, 256}) {
+    const Index support =
+        std::max<Index>(ctx.Scaled(2048), 4 * kSimdTileLanes);
+    KernelFixture fixture(support, dim, 3001 + dim);
+    AffinityFunction fn(
+        {.k = AffinityFunction::SuggestScalingFactor(fixture.data, 2.0, 0.9),
+         .p = 2.0});
+
+    Index q = 0;
+    const double rowmajor_per_call = TimePerCall([&] {
+      KeepAlive(RowMajorKernelSum(fixture, fn, fixture.Query(q)));
+      ++q;
+    });
+
+    for (SimdIsa isa : isas) {
+      const SimdKernelOps& ops = *SimdOpsFor(isa);
+      // Exactness first: the tile path must reproduce the row-major sum
+      // bit for bit on every probe query before its timing means anything.
+      int mismatches = 0;
+      for (Index probe = 0; probe < fixture.num_queries; ++probe) {
+        const Scalar want =
+            RowMajorKernelSum(fixture, fn, fixture.Query(probe));
+        const Scalar got = SoaWeightedKernelSum(
+            ops, fixture.block, fixture.weights, fn, fixture.Query(probe));
+        if (std::memcmp(&want, &got, sizeof(Scalar)) != 0) ++mismatches;
+      }
+      total_mismatches += mismatches;
+
+      Index v = 0;
+      const double per_call = TimePerCall([&] {
+        KeepAlive(SoaWeightedKernelSum(ops, fixture.block, fixture.weights,
+                                       fn, fixture.Query(v)));
+        ++v;
+      });
+      const double evals_per_sec =
+          per_call > 0.0 ? static_cast<double>(support) / per_call : 0.0;
+      const double speedup =
+          per_call > 0.0 ? rowmajor_per_call / per_call : 0.0;
+      std::printf("  dim=%-4d support=%-5d %-7s %.3e s/call  "
+                  "%10.0f evals/s  speedup %.2fx  mismatches %d\n",
+                  dim, support, ops.name, per_call, evals_per_sec, speedup,
+                  mismatches);
+      AppendF(json,
+              "%s{\"dim\":%d,\"support\":%d,\"isa\":\"%s\","
+              "\"seconds_per_call\":%.9f,\"evals_per_sec\":%.0f,"
+              "\"speedup_vs_rowmajor\":%.4f,\"mismatches\":%d}",
+              first ? "" : ",", dim, support, ops.name, per_call,
+              evals_per_sec, speedup, mismatches);
+      first = false;
+    }
+  }
+  json += "]}";
+  ctx.EmitJson(json);
+  if (total_mismatches > 0) {
+    ctx.Fail("SoA tile kernel disagreed with the row-major scalar loop — "
+             "the bit-exactness contract is broken");
+  }
+}
+
+ALID_BENCHMARK("micro_simd", "micro", "simd_kernel", RunSimd);
 
 }  // namespace
 }  // namespace alid::bench

@@ -26,15 +26,18 @@
 #include "data/labeled_data.h"
 #include "eval/metrics.h"
 #include "lsh/lsh_index.h"
+#include "registry.h"
 
 namespace alid::bench {
 
-/// Global size multiplier from ALID_BENCH_SCALE (default 1.0).
+/// Global size multiplier from ALID_BENCH_SCALE (default 1.0 when unset or
+/// empty). Delegates to the registry's shared parser, so the env variable,
+/// --scale and this helper agree on validity — a malformed value exits
+/// loudly instead of silently running default sizes.
 inline double Scale() {
   const char* s = std::getenv("ALID_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
-  const double v = std::atof(s);
-  return v >= 0.05 ? v : 1.0;
+  if (s == nullptr || *s == '\0') return 1.0;
+  return ParseBenchScaleOrDie(s, "ALID_BENCH_SCALE");
 }
 
 inline Index Scaled(double base) {

@@ -1,6 +1,8 @@
 #include "registry.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
@@ -33,9 +35,10 @@ std::string JoinCsv(const std::vector<std::string>& parts) {
 
 double EnvScale() {
   const char* s = std::getenv("ALID_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
-  const double v = std::atof(s);
-  return v >= 0.05 ? v : 1.0;
+  // Unset or empty means "default sizes" (the unset-variable shell idiom);
+  // anything else must parse, loudly.
+  if (s == nullptr || *s == '\0') return 1.0;
+  return ParseBenchScaleOrDie(s, "ALID_BENCH_SCALE");
 }
 
 bool ParseFlag(std::string_view arg, std::string_view name,
@@ -126,6 +129,48 @@ int RegisterBenchmark(BenchmarkDef def) {
   return 0;
 }
 
+bool ParseBenchScale(const char* text, double* scale, std::string* error) {
+  if (text == nullptr || *text == '\0') {
+    if (error != nullptr) *error = "empty scale value";
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    if (error != nullptr) {
+      *error = std::string("not a number: '") + text + "'";
+    }
+    return false;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    if (error != nullptr) {
+      *error = std::string("out of range: '") + text + "'";
+    }
+    return false;
+  }
+  if (v < 0.05) {
+    if (error != nullptr) {
+      AppendF(*error = "", "scale %g below the 0.05 floor (sizes would "
+                           "collapse to nothing)", v);
+    }
+    return false;
+  }
+  *scale = v;
+  return true;
+}
+
+double ParseBenchScaleOrDie(const char* text, const char* source) {
+  double scale = 1.0;
+  std::string error;
+  if (!ParseBenchScale(text, &scale, &error)) {
+    std::fprintf(stderr, "invalid benchmark scale from %s: %s\n", source,
+                 error.c_str());
+    std::exit(2);
+  }
+  return scale;
+}
+
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> parts;
   size_t begin = 0;
@@ -205,8 +250,7 @@ int BenchRegistry::RunMain(int argc, char** argv) {
     } else if (ParseFlag(arg, "--json-out", &value)) {
       json_out_path = value;
     } else if (ParseFlag(arg, "--scale", &value)) {
-      const double scale = std::atof(value.c_str());
-      if (scale >= 0.05) options.scale = scale;
+      options.scale = ParseBenchScaleOrDie(value.c_str(), "--scale");
     } else {
       std::fprintf(stderr, "unknown argument: %s\n\n",
                    std::string(arg).c_str());

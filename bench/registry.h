@@ -128,6 +128,20 @@ int RegisterBenchmark(BenchmarkDef def);
 /// Splits a comma-separated list ("a,b" -> {"a","b"}; "" -> {}).
 std::vector<std::string> SplitCsv(const std::string& csv);
 
+/// Parses a benchmark size multiplier. Accepts a finite decimal >= 0.05
+/// (the floor below which every Scaled() size collapses to a handful of
+/// items and the "benchmark" measures nothing); rejects garbage, trailing
+/// junk, non-finite and out-of-range values by returning false with an
+/// explanation in *error. The one parser behind ALID_BENCH_SCALE, --scale
+/// and bench_util.h's Scale(), so all three agree on what a valid scale is.
+bool ParseBenchScale(const char* text, double* scale, std::string* error);
+
+/// ParseBenchScale or exit(2) with the error on stderr, naming `source`
+/// (e.g. "ALID_BENCH_SCALE", "--scale"). A malformed scale used to fall
+/// back to 1.0 silently — a run claiming paper-grid numbers at toy sizes;
+/// now it refuses to run instead.
+double ParseBenchScaleOrDie(const char* text, const char* source);
+
 /// printf-appends to `out` (the JSON-record builder every bench shares).
 void AppendF(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -34,6 +34,11 @@ double AffinityFunction::SuggestScalingFactor(const Dataset& data, double p,
                                               int sample_size, uint64_t seed) {
   ALID_CHECK(data.size() >= 2);
   ALID_CHECK(target_affinity > 0.0 && target_affinity < 1.0);
+  // The median index below is dists[sample_size / 2]; an empty or negative
+  // sample would read out of bounds (and a "median of no distances" is
+  // meaningless anyway), so reject it loudly instead.
+  ALID_CHECK_MSG(sample_size >= 1,
+                 "SuggestScalingFactor needs at least one sampled distance");
   Rng rng(seed);
   std::vector<Scalar> dists;
   dists.reserve(sample_size);

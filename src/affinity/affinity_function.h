@@ -39,6 +39,8 @@ class AffinityFunction {
   /// Suggests a scaling factor k so that the median of `sample_size` random
   /// pairwise distances maps to affinity `target_affinity`. This reproduces
   /// the common practice of tuning the kernel to the data scale.
+  /// REQUIRES sample_size >= 1 (checked: the median of an empty sample would
+  /// otherwise read out of bounds).
   static double SuggestScalingFactor(const Dataset& data, double p,
                                      double target_affinity = 0.5,
                                      int sample_size = 1000,

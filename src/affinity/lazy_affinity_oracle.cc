@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/memory_tracker.h"
+#include "simd/simd_dispatch.h"
+#include "simd/soa_block.h"
 
 namespace alid {
 
@@ -48,6 +50,21 @@ std::vector<Scalar> LazyAffinityOracle::Column(std::span<const Index> rows,
   entries_computed_.fetch_add(static_cast<int64_t>(rows.size()),
                               std::memory_order_relaxed);
   return out;
+}
+
+void LazyAffinityOracle::DistancesTo(std::span<const Index> items,
+                                     std::span<const Scalar> point,
+                                     Scalar* out) const {
+  distances_computed_.fetch_add(static_cast<int64_t>(items.size()),
+                                std::memory_order_relaxed);
+  const double p = affinity_->params().p;
+  if (SimdSupportsNorm(p)) {
+    GatheredDistances(*ActiveSimdOps(), *data_, items, point, p, out);
+    return;
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = data_->DistanceTo(items[i], point, p);
+  }
 }
 
 void LazyAffinityOracle::EnableColumnCache(ColumnCacheOptions options) {

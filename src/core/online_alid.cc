@@ -8,8 +8,16 @@
 #include "common/histogram.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "simd/simd_dispatch.h"
 
 namespace alid {
+
+// The tiled branch-and-bound walk hands the kernel callback one
+// checkpoint group at a time; one SoA tile must be exactly one group or
+// the vector walk would check bounds at different prefix positions than
+// the scalar walk and the prune decisions could diverge.
+static_assert(kSimdTileLanes == kSketchBoundStride,
+              "one SoA tile must cover exactly one bound-checkpoint group");
 
 std::vector<int> StreamStats::LatencyHistogram(int bins) const {
   return EqualWidthHistogram(batch_seconds, bins);
@@ -22,6 +30,7 @@ OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
   ALID_CHECK(options_.refresh_frontier >= 1);
   ALID_CHECK(options_.cache_budget_fraction > 0.0 &&
              options_.cache_budget_fraction <= 1.0);
+  simd_norm_ = SimdSupportsNorm(options_.affinity.p);
   oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
   if (!options_.column_cache) oracle_->DisableColumnCache();
   stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
@@ -139,6 +148,9 @@ OnlineAlid::Choice OnlineAlid::ScoreArrival(Index slot) const {
   for (Index j : lsh_->QueryByIndex(slot)) {
     if (assignment_[j] >= 0) candidate[assignment_[j]] = 1;
   }
+  const SimdKernelOps& ops = *ActiveSimdOps();
+  const double p = options_.affinity.p;
+  const Scalar* query = data_[slot].data();
   Scalar best_margin = -std::numeric_limits<Scalar>::infinity();
   for (size_t c = 0; c < clusters_.size(); ++c) {
     if (candidate[c] == 0 || cluster_dead_[c] != 0) continue;
@@ -147,27 +159,58 @@ OnlineAlid::Choice OnlineAlid::ScoreArrival(Index slot) const {
     // (Theorem 1 equality on the support), hence the slack.
     const Scalar threshold = cl.density * (1.0 - options_.absorb_slack);
     const SupportSketch& sketch = sketches_[c];
+    // The vector path needs fresh tiles (same protocol as the sketch) and a
+    // tile kernel for the configured norm. Either way the arithmetic below
+    // is bit-identical — the tiles reproduce the oracle's member-order
+    // accumulation exactly — so this is a speed choice, never a result
+    // choice. The newcomer is unassigned, so no member equals `slot` and
+    // the oracle's a_ii = 0 diagonal can never be hit here.
+    const bool tiles_fresh =
+        simd_norm_ && tiles_[c].built_version == cluster_version_[c];
     if (sketch.engaged() && sketch.built_version == cluster_version_[c]) {
-      // Branch-and-bound filter (SketchBoundRejects — one walk shared with
-      // the serving layer, so both sides take bit-identical prune
-      // decisions): a rejected candidate provably cannot clear the absorb
-      // threshold or beat the incumbent's exact margin, so its
+      // Branch-and-bound filter (SketchBoundRejects[Tiled] — one walk
+      // shared with the serving layer, so both sides take bit-identical
+      // prune decisions): a rejected candidate provably cannot clear the
+      // absorb threshold or beat the incumbent's exact margin, so its
       // full-support scoring is skipped; anything else — inconclusive walk
       // or give-up — falls through to the unchanged exact summation below.
       // Both exits are pure functions of the sketch and the arrival, hence
       // executor-independent.
-      if (SketchBoundRejects(std::span<const Scalar>(sketch.weights),
-                             std::span<const Scalar>(sketch.rest_weights),
-                             threshold, best_margin, [&](size_t t) {
-                               return oracle_->Entry(
-                                   cl.members[sketch.ordinals[t]], slot);
-                             })) {
+      bool rejected;
+      if (tiles_fresh) {
+        // One SoA tile per checkpoint group (kSimdTileLanes ==
+        // kSketchBoundStride), so t0 always lands on a tile boundary.
+        rejected = SketchBoundRejectsTiled(
+            std::span<const Scalar>(sketch.weights),
+            std::span<const Scalar>(sketch.rest_weights), threshold,
+            best_margin, [&](size_t t0, size_t n, Scalar* out) {
+              Scalar dists[kSimdTileLanes];
+              TileDistances(ops, tiles_[c].prefix,
+                            static_cast<Index>(t0 / kSimdTileLanes), query, p,
+                            dists);
+              for (size_t i = 0; i < n; ++i) {
+                out[i] = affinity_fn_.FromDistance(dists[i]);
+              }
+            });
+      } else {
+        rejected = SketchBoundRejects(
+            std::span<const Scalar>(sketch.weights),
+            std::span<const Scalar>(sketch.rest_weights), threshold,
+            best_margin, [&](size_t t) {
+              return oracle_->Entry(cl.members[sketch.ordinals[t]], slot);
+            });
+      }
+      if (rejected) {
         ++best.sketch_prunes;
         continue;
       }
       ++best.sketch_exact;
     }
-    const Scalar margin = ClusterAffinity(cl, slot) - threshold;
+    const Scalar affinity =
+        tiles_fresh ? SoaWeightedKernelSum(ops, tiles_[c].members, cl.weights,
+                                           affinity_fn_, query)
+                    : ClusterAffinity(cl, slot);
+    const Scalar margin = affinity - threshold;
     if (margin > 0.0 && margin > best_margin) {
       best_margin = margin;
       best.cluster = static_cast<int>(c);
@@ -238,21 +281,40 @@ void OnlineAlid::Refresh() {
 }
 
 void OnlineAlid::RefreshSketches() {
-  // Pure per cluster (weights in, sketch out), so the sweep chunks on the
-  // shared pool like every other parallel phase; only clusters whose
-  // version moved rebuild, so the cost is O(changed), not O(clusters).
-  ParallelChunks(options_.pool, 0, static_cast<int64_t>(clusters_.size()),
-                 options_.grain, [&](int64_t, int64_t lo, int64_t hi) {
-                   for (int64_t c = lo; c < hi; ++c) {
-                     if (sketches_[c].built_version == cluster_version_[c]) {
-                       continue;
-                     }
-                     sketches_[c] =
-                         BuildSupportSketch(clusters_[c].weights,
-                                            options_.sketch);
-                     sketches_[c].built_version = cluster_version_[c];
-                   }
-                 });
+  // Pure per cluster (weights in, sketch out; member rows in, tiles out),
+  // so the sweep chunks on the shared pool like every other parallel phase;
+  // only clusters whose version moved rebuild, so the cost is O(changed),
+  // not O(clusters). The scoring tiles follow the sketch's freshness
+  // protocol exactly: between batches every cluster's tiles are fresh, so
+  // the next parallel scoring phase runs the vector path throughout.
+  ParallelChunks(
+      options_.pool, 0, static_cast<int64_t>(clusters_.size()),
+      options_.grain, [&](int64_t, int64_t lo, int64_t hi) {
+        for (int64_t c = lo; c < hi; ++c) {
+          if (sketches_[c].built_version != cluster_version_[c]) {
+            sketches_[c] =
+                BuildSupportSketch(clusters_[c].weights, options_.sketch);
+            sketches_[c].built_version = cluster_version_[c];
+          }
+          if (!simd_norm_ ||
+              tiles_[c].built_version == cluster_version_[c]) {
+            continue;
+          }
+          ClusterTiles& tiles = tiles_[c];
+          tiles.members.GatherRows(data_, clusters_[c].members);
+          const SupportSketch& sketch = sketches_[c];
+          if (sketch.engaged()) {
+            std::vector<Index> prefix_items(sketch.ordinals.size());
+            for (size_t t = 0; t < sketch.ordinals.size(); ++t) {
+              prefix_items[t] = clusters_[c].members[sketch.ordinals[t]];
+            }
+            tiles.prefix.GatherRows(data_, prefix_items);
+          } else {
+            tiles.prefix = SoaBlock();
+          }
+          tiles.built_version = cluster_version_[c];
+        }
+      });
 }
 
 void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
@@ -423,6 +485,7 @@ void OnlineAlid::InstallPoolCluster(Cluster c, const AlidDetector& detector,
   cluster_dead_.push_back(0);
   cluster_uid_.push_back(next_cluster_uid_++);
   sketches_.emplace_back();
+  tiles_.emplace_back();
   Assign(static_cast<int>(clusters_.size()) - 1);
   ++stats_.clusters_born;
 }
@@ -521,6 +584,7 @@ void OnlineAlid::CompactClusters() {
   std::vector<uint64_t> kept_versions;
   std::vector<uint64_t> kept_uids;
   std::vector<SupportSketch> kept_sketches;
+  std::vector<ClusterTiles> kept_tiles;
   kept.reserve(clusters_.size());
   for (size_t c = 0; c < clusters_.size(); ++c) {
     if (cluster_dead_[c] != 0) continue;
@@ -529,11 +593,13 @@ void OnlineAlid::CompactClusters() {
     kept_versions.push_back(cluster_version_[c]);
     kept_uids.push_back(cluster_uid_[c]);
     kept_sketches.push_back(std::move(sketches_[c]));
+    kept_tiles.push_back(std::move(tiles_[c]));
   }
   clusters_ = std::move(kept);
   cluster_version_ = std::move(kept_versions);
   cluster_uid_ = std::move(kept_uids);
   sketches_ = std::move(kept_sketches);
+  tiles_ = std::move(kept_tiles);
   cluster_dead_.assign(clusters_.size(), 0);
   for (int& a : assignment_) {
     if (a >= 0) a = remap[a];  // dead clusters hold no assignments

@@ -9,6 +9,7 @@
 
 #include "core/alid.h"
 #include "core/support_sketch.h"
+#include "simd/soa_block.h"
 
 namespace alid {
 
@@ -228,6 +229,19 @@ class OnlineAlid {
   const LazyAffinityOracle& oracle() const { return *oracle_; }
 
  private:
+  // Dimension-major member tiles of one cluster — the vector-kernel mirror
+  // of (members, weights) and of the sketch prefix, versioned exactly like
+  // the sketch: `built` must equal the cluster's mutation counter or the
+  // tiles must not be consulted (the scoring falls back to the oracle path,
+  // which is bit-identical anyway). Rebuilt alongside the sketches at batch
+  // end, so the parallel scoring phase only ever reads fresh tiles.
+  struct ClusterTiles {
+    SoaBlock members;  // member rows, in member order
+    SoaBlock prefix;   // sketch-prefix rows, in sketch (descending-weight)
+                       // order; empty when the sketch is disengaged
+    uint64_t built_version = SupportSketch::kUnbuilt;
+  };
+
   // Absorb decision of one arrival: the target cluster (-1 = pool) plus the
   // sketch-filter activity of the scoring (accumulated serially into
   // StreamStats after the parallel phase). The deciding margin is
@@ -295,6 +309,13 @@ class OnlineAlid {
   // the end of every batch (so the parallel scoring phase and FromStream
   // exports only ever read fresh ones).
   std::vector<SupportSketch> sketches_;
+  // SIMD scoring tiles parallel to clusters_, maintained under the same
+  // freshness protocol as sketches_. Never built when the configured norm
+  // has no tile kernel (simd_norm_ below), in which case scoring stays on
+  // the row-major oracle path everywhere.
+  std::vector<ClusterTiles> tiles_;
+  // SimdSupportsNorm(options_.affinity.p), resolved once at construction.
+  bool simd_norm_ = false;
   // Dissolved-in-this-batch markers; compacted away at batch end so public
   // cluster ids stay dense.
   std::vector<uint8_t> cluster_dead_;

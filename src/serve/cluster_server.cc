@@ -81,15 +81,26 @@ std::vector<AssignResult> ClusterServer::AssignBatch(
   // the same snapshot even if Publish swaps mid-batch — the linearization
   // point of the batch is this load.
   if (const auto snap = snapshot(); snap != nullptr) {
-    ParallelChunks(options_.pool, 0, count, options_.grain,
-                   [&](int64_t, int64_t lo, int64_t hi) {
-                     for (int64_t k = lo; k < hi; ++k) {
-                       results[k] = AssignWith(
-                           *snap, points.subspan(
-                                      static_cast<size_t>(k) * dim_,
-                                      static_cast<size_t>(dim_)));
-                     }
-                   });
+    const uint64_t generation = snap->generation();
+    ParallelChunks(
+        options_.pool, 0, count, options_.grain,
+        [&](int64_t, int64_t lo, int64_t hi) {
+          // Query-major block assignment inside the chunk: the snapshot
+          // streams each cluster's SoA tiles across the whole block of
+          // queries, and every outcome stays bit-identical to a per-query
+          // Assign (see ClusterSnapshot::AssignBatch).
+          std::vector<AssignOutcome> outcomes(static_cast<size_t>(hi - lo));
+          snap->AssignBatch(
+              points.subspan(static_cast<size_t>(lo) * dim_,
+                             static_cast<size_t>(hi - lo) * dim_),
+              outcomes);
+          for (int64_t k = lo; k < hi; ++k) {
+            const AssignOutcome& outcome = outcomes[k - lo];
+            stats_.RecordSketch(outcome.sketch_prunes, outcome.sketch_exact);
+            results[k] = {outcome.cluster, outcome.affinity, outcome.margin,
+                          generation};
+          }
+        });
   }
   int64_t assigned = 0;
   for (const AssignResult& r : results) assigned += r.cluster >= 0 ? 1 : 0;

@@ -1,6 +1,7 @@
 #include "serve/cluster_snapshot.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <unordered_map>
 
@@ -11,6 +12,11 @@
 #include "core/online_alid.h"
 
 namespace alid {
+
+// The tiled sketch walk below hands the kernel callback one checkpoint
+// group per SoA tile; see the twin assert in online_alid.cc.
+static_assert(kSimdTileLanes == kSketchBoundStride,
+              "one SoA tile must cover exactly one bound-checkpoint group");
 
 namespace {
 
@@ -254,6 +260,43 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
         static_cast<Index>(snap->sketch_member_.size()));
   }
 
+  // Vector-kernel tiles (see header): dimension-major copies of every
+  // cluster's member block and sketch prefix, skipped entirely when the
+  // norm has no tile kernel. Pure per cluster, so the pass chunks on the
+  // build pool like the others; a re-used cluster copies the predecessor's
+  // blocks (a compatible predecessor was built under the same norm, so its
+  // blocks exist and are bit-identical to a rebuild from the same rows).
+  snap->simd_norm_ = SimdSupportsNorm(options.affinity.p);
+  if (snap->simd_norm_) {
+    const int dim = data.dim();
+    snap->cluster_soa_.resize(static_cast<size_t>(num_clusters));
+    snap->sketch_soa_.resize(static_cast<size_t>(num_clusters));
+    ParallelChunks(
+        options.pool, 0, num_clusters, options.grain,
+        [&snap, &reuse_from, prev, dim](int64_t, int64_t lo, int64_t hi) {
+          for (int64_t c = lo; c < hi; ++c) {
+            const int p = reuse_from[c];
+            if (p >= 0 && !prev->cluster_soa_.empty()) {
+              snap->cluster_soa_[c] = prev->cluster_soa_[p];
+              snap->sketch_soa_[c] = prev->sketch_soa_[p];
+              continue;
+            }
+            const Index begin = snap->cluster_begin_[c];
+            const Index end = snap->cluster_begin_[c + 1];
+            snap->cluster_soa_[c].FromRowMajor(
+                snap->members_.raw().data() +
+                    static_cast<size_t>(begin) * dim,
+                end - begin, dim);
+            snap->sketch_soa_[c].GatherRows(
+                snap->members_,
+                std::span<const Index>(
+                    snap->sketch_member_.data() + snap->sketch_begin_[c],
+                    static_cast<size_t>(snap->sketch_begin_[c + 1] -
+                                        snap->sketch_begin_[c])));
+          }
+        });
+  }
+
   snap->build_info_.build_seconds = build_timer.Seconds();
   return snap;
 }
@@ -283,9 +326,20 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromStream(
 
 Scalar ClusterSnapshot::ClusterAffinity(int c,
                                         std::span<const Scalar> point) const {
+  const Index begin = cluster_begin_[c];
+  const Index end = cluster_begin_[c + 1];
+  if (simd_norm_) {
+    // Same member-order accumulation through the dimension-major tiles —
+    // bit-identical to the row-major loop below (see simd/soa_block.h).
+    return SoaWeightedKernelSum(
+        *ActiveSimdOps(), cluster_soa_[c],
+        std::span<const Scalar>(weights_.data() + begin,
+                                static_cast<size_t>(end - begin)),
+        *affinity_fn_, point.data());
+  }
   const double p = affinity_fn_->params().p;
   Scalar affinity = 0.0;  // pi(s_c, x), in member order (see header)
-  for (Index t = cluster_begin_[c]; t < cluster_begin_[c + 1]; ++t) {
+  for (Index t = begin; t < end; ++t) {
     affinity += weights_[t] *
                 affinity_fn_->FromDistance(members_.DistanceTo(t, point, p));
   }
@@ -323,14 +377,32 @@ bool ClusterSnapshot::SketchRejects(int c, std::span<const Scalar> point,
   const double p = affinity_fn_->params().p;
   const Index begin = sketch_begin_[c];
   const size_t prefix = static_cast<size_t>(sketch_begin_[c + 1] - begin);
-  // One walk, shared with the stream's absorb phase (SketchBoundRejects in
-  // support_sketch.h): checkpoint cadence, guard, reject test and give-up
-  // rule live there exactly once, so a tweak cannot desynchronize the two
-  // layers' prune decisions.
+  const std::span<const Scalar> prefix_weights(
+      sketch_weight_.data() + begin, prefix);
+  const std::span<const Scalar> prefix_rest(sketch_rest_.data() + begin,
+                                            prefix);
+  // One walk, shared with the stream's absorb phase (SketchBoundRejects
+  // [Tiled] in support_sketch.h): checkpoint cadence, guard, reject test
+  // and give-up rule live there exactly once, so a tweak cannot
+  // desynchronize the two layers' prune decisions.
+  if (simd_norm_) {
+    const SimdKernelOps& ops = *ActiveSimdOps();
+    const SoaBlock& soa = sketch_soa_[c];
+    return SketchBoundRejectsTiled(
+        prefix_weights, prefix_rest, threshold, incumbent,
+        [&](size_t t0, size_t n, Scalar* out) {
+          // One SoA tile per checkpoint group (kSimdTileLanes ==
+          // kSketchBoundStride), so t0 always lands on a tile boundary.
+          Scalar dists[kSimdTileLanes];
+          TileDistances(ops, soa, static_cast<Index>(t0 / kSimdTileLanes),
+                        point.data(), p, dists);
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = affinity_fn_->FromDistance(dists[i]);
+          }
+        });
+  }
   return SketchBoundRejects(
-      std::span<const Scalar>(sketch_weight_.data() + begin, prefix),
-      std::span<const Scalar>(sketch_rest_.data() + begin, prefix),
-      threshold, incumbent, [&](size_t t) {
+      prefix_weights, prefix_rest, threshold, incumbent, [&](size_t t) {
         return affinity_fn_->FromDistance(members_.DistanceTo(
             sketch_member_[begin + static_cast<Index>(t)], point, p));
       });
@@ -371,6 +443,70 @@ AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
     }
   }
   return best;
+}
+
+void ClusterSnapshot::AssignBatch(std::span<const Scalar> points,
+                                  std::span<AssignOutcome> outcomes) const {
+  const int d = dim();
+  ALID_CHECK(d > 0 && points.size() % static_cast<size_t>(d) == 0);
+  const Index count = static_cast<Index>(points.size() / d);
+  ALID_CHECK(outcomes.size() == static_cast<size_t>(count));
+  for (Index q = 0; q < count; ++q) outcomes[q] = AssignOutcome{};
+  const int num = num_clusters();
+  if (num == 0) return;
+  // Query-major tiling: mark every query's candidate clusters up front for
+  // a block of queries, then stream the clusters in ascending id across
+  // the whole block, so each cluster's SoA tiles are pulled through the
+  // cache once per block instead of once per query. The inner body is the
+  // loop body of Assign verbatim, each query carrying its own incumbent,
+  // and every query still visits its candidates in ascending cluster id —
+  // so winners, margins and sketch counters are bit-identical to per-query
+  // Assign calls (the property the batch-vs-serial tests pin).
+  constexpr Index kQueryBlock = 32;
+  std::vector<uint8_t> candidate(static_cast<size_t>(kQueryBlock) * num, 0);
+  std::array<Scalar, kQueryBlock> best_margin;
+  for (Index q0 = 0; q0 < count; q0 += kQueryBlock) {
+    const Index block = std::min<Index>(kQueryBlock, count - q0);
+    for (Index i = 0; i < block; ++i) {
+      const std::span<const Scalar> point =
+          points.subspan(static_cast<size_t>(q0 + i) * d,
+                         static_cast<size_t>(d));
+      ALID_CHECK(static_cast<int>(point.size()) == d);
+      CandidateMembers(point);
+      const QueryScratch& scratch = Scratch();
+      for (int c = 0; c < num; ++c) {
+        candidate[static_cast<size_t>(i) * num + c] =
+            scratch.candidates.IsMarked(static_cast<size_t>(c)) ? 1 : 0;
+      }
+      best_margin[i] = -std::numeric_limits<Scalar>::infinity();
+    }
+    for (int c = 0; c < num; ++c) {
+      const Scalar threshold = density_[c] * (1.0 - absorb_slack_);
+      const bool sketched = sketch_begin_[c + 1] > sketch_begin_[c];
+      for (Index i = 0; i < block; ++i) {
+        if (candidate[static_cast<size_t>(i) * num + c] == 0) continue;
+        const std::span<const Scalar> point =
+            points.subspan(static_cast<size_t>(q0 + i) * d,
+                           static_cast<size_t>(d));
+        AssignOutcome& best = outcomes[q0 + i];
+        if (sketched) {
+          if (SketchRejects(c, point, threshold, best_margin[i])) {
+            ++best.sketch_prunes;
+            continue;
+          }
+          ++best.sketch_exact;
+        }
+        const Scalar affinity = ClusterAffinity(c, point);
+        const Scalar margin = affinity - threshold;
+        if (margin > 0.0 && margin > best_margin[i]) {
+          best_margin[i] = margin;
+          best.cluster = c;
+          best.affinity = affinity;
+          best.margin = margin;
+        }
+      }
+    }
+  }
 }
 
 std::vector<ScoredCluster> ClusterSnapshot::TopKClusters(

@@ -12,6 +12,7 @@
 #include "core/cluster.h"
 #include "core/support_sketch.h"
 #include "lsh/lsh_index.h"
+#include "simd/soa_block.h"
 
 namespace alid {
 
@@ -158,6 +159,19 @@ class ClusterSnapshot {
   /// (lowest id on ties — the same rule as OnlineAlid::ScoreArrival).
   AssignOutcome Assign(std::span<const Scalar> point) const;
 
+  /// Assign for a batch of queries: `points` holds count * dim scalars,
+  /// row-major; `outcomes` must hold count entries. Each outcome — winner,
+  /// affinity, margin, sketch counters — is bit-identical to a standalone
+  /// Assign of the same point: the batch only reorders the *work* query-
+  /// major (outer loop over clusters in ascending id, inner loop over a
+  /// block of queries, each with its own incumbent), so one cluster's SoA
+  /// tiles are streamed through the cache once per query block instead of
+  /// once per query. Every candidate visit still happens in ascending
+  /// cluster id with the same per-query incumbent sequence, so prune
+  /// decisions — and the counters — cannot diverge from the scalar order.
+  void AssignBatch(std::span<const Scalar> points,
+                   std::span<AssignOutcome> outcomes) const;
+
   /// The candidate clusters of `point` scored by pi(s_c, x), descending
   /// (lowest id on ties), truncated to k.
   std::vector<ScoredCluster> TopKClusters(std::span<const Scalar> point,
@@ -250,6 +264,17 @@ class ClusterSnapshot {
   std::vector<Index> sketch_member_;
   std::vector<Scalar> sketch_weight_;
   std::vector<Scalar> sketch_rest_;
+  // Dimension-major member tiles per cluster (cluster_soa_: all members in
+  // member order; sketch_soa_: the sketch prefix in descending-weight
+  // order) — the vector-kernel mirror of the row-major blocks above. Built
+  // once at snapshot construction (copied from the predecessor for re-used
+  // clusters — the blocks are pure functions of the member rows, so the
+  // copy is bit-identical to a rebuild) and empty when the configured norm
+  // has no tile kernel (simd_norm_ == false), in which case every query
+  // runs the row-major scalar path.
+  std::vector<SoaBlock> cluster_soa_;
+  std::vector<SoaBlock> sketch_soa_;
+  bool simd_norm_ = false;
   SupportSketchParams sketch_params_;
   double absorb_slack_ = 0.05;
   std::unique_ptr<AffinityFunction> affinity_fn_;

@@ -1,0 +1,65 @@
+// AVX2 tile kernels: one 8-lane tile is two 4-wide double registers. Only
+// separate subtract/multiply/add intrinsics (never FMA — this TU builds
+// without -mfma and with -ffp-contract=off), accumulating in ascending
+// dimension order, so every lane reproduces the scalar reference bit for
+// bit. The whole file compiles away to a nullptr accessor when the
+// toolchain could not target AVX2.
+#include "simd/simd_dispatch.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace alid {
+namespace {
+
+void TileSquaredL2Avx2(const Scalar* tile, int dim, const Scalar* query,
+                       Scalar* out) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m256d q = _mm256_set1_pd(query[k]);
+    const Scalar* col = tile + static_cast<size_t>(k) * kSimdTileLanes;
+    const __m256d d_lo = _mm256_sub_pd(_mm256_loadu_pd(col), q);
+    const __m256d d_hi = _mm256_sub_pd(_mm256_loadu_pd(col + 4), q);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(d_lo, d_lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(d_hi, d_hi));
+  }
+  _mm256_storeu_pd(out, acc_lo);
+  _mm256_storeu_pd(out + 4, acc_hi);
+}
+
+void TileL1Avx2(const Scalar* tile, int dim, const Scalar* query,
+                Scalar* out) {
+  // |x| as a sign-bit mask clear — bit-identical to std::abs on doubles.
+  const __m256d abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+      static_cast<long long>(0x7fffffffffffffffULL)));
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m256d q = _mm256_set1_pd(query[k]);
+    const Scalar* col = tile + static_cast<size_t>(k) * kSimdTileLanes;
+    const __m256d d_lo = _mm256_sub_pd(_mm256_loadu_pd(col), q);
+    const __m256d d_hi = _mm256_sub_pd(_mm256_loadu_pd(col + 4), q);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_and_pd(d_lo, abs_mask));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_and_pd(d_hi, abs_mask));
+  }
+  _mm256_storeu_pd(out, acc_lo);
+  _mm256_storeu_pd(out + 4, acc_hi);
+}
+
+constexpr SimdKernelOps kAvx2Ops = {"avx2", TileSquaredL2Avx2, TileL1Avx2};
+
+}  // namespace
+
+const SimdKernelOps* GetAvx2SimdOps() { return &kAvx2Ops; }
+
+}  // namespace alid
+
+#else  // !defined(__AVX2__)
+
+namespace alid {
+const SimdKernelOps* GetAvx2SimdOps() { return nullptr; }
+}  // namespace alid
+
+#endif

@@ -1,0 +1,54 @@
+// AVX-512F tile kernels: one 8-lane tile is exactly one 8-wide double
+// register. Same exactness discipline as the AVX2/scalar paths — separate
+// subtract/multiply/add, ascending dimension order, no FMA, built with
+// -ffp-contract=off — so every lane is bit-identical to the scalar
+// reference. Compiles to a nullptr accessor without AVX-512 support.
+#include "simd/simd_dispatch.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace alid {
+namespace {
+
+void TileSquaredL2Avx512(const Scalar* tile, int dim, const Scalar* query,
+                         Scalar* out) {
+  __m512d acc = _mm512_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m512d q = _mm512_set1_pd(query[k]);
+    const __m512d d = _mm512_sub_pd(
+        _mm512_loadu_pd(tile + static_cast<size_t>(k) * kSimdTileLanes), q);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+void TileL1Avx512(const Scalar* tile, int dim, const Scalar* query,
+                  Scalar* out) {
+  __m512d acc = _mm512_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m512d q = _mm512_set1_pd(query[k]);
+    const __m512d d = _mm512_sub_pd(
+        _mm512_loadu_pd(tile + static_cast<size_t>(k) * kSimdTileLanes), q);
+    acc = _mm512_add_pd(acc, _mm512_abs_pd(d));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+constexpr SimdKernelOps kAvx512Ops = {"avx512", TileSquaredL2Avx512,
+                                      TileL1Avx512};
+
+}  // namespace
+
+const SimdKernelOps* GetAvx512SimdOps() { return &kAvx512Ops; }
+
+}  // namespace alid
+
+#else  // !defined(__AVX512F__)
+
+namespace alid {
+const SimdKernelOps* GetAvx512SimdOps() { return nullptr; }
+}  // namespace alid
+
+#endif

@@ -1,0 +1,51 @@
+// The always-compiled reference implementation of the tile kernels — the
+// bit-exactness oracle of every vector path. Each lane accumulates its
+// member's terms in ascending dimension order with separate multiply and add
+// (this TU builds with -ffp-contract=off, see CMakeLists), which is exactly
+// the operation sequence of the row-major scalar loops in common/dataset.cc
+// — so a lane's output is bit-identical to Dataset::SquaredL2 / the L1 loop
+// for that member, and bit-identical to what any vector ISA computes for the
+// same lane.
+#include <cmath>
+
+#include "simd/simd_dispatch.h"
+
+namespace alid {
+namespace {
+
+void TileSquaredL2Scalar(const Scalar* tile, int dim, const Scalar* query,
+                         Scalar* out) {
+  Scalar acc[kSimdTileLanes] = {};
+  for (int k = 0; k < dim; ++k) {
+    const Scalar q = query[k];
+    const Scalar* col = tile + static_cast<size_t>(k) * kSimdTileLanes;
+    for (int l = 0; l < kSimdTileLanes; ++l) {
+      const Scalar d = col[l] - q;
+      const Scalar sq = d * d;
+      acc[l] += sq;
+    }
+  }
+  for (int l = 0; l < kSimdTileLanes; ++l) out[l] = acc[l];
+}
+
+void TileL1Scalar(const Scalar* tile, int dim, const Scalar* query,
+                  Scalar* out) {
+  Scalar acc[kSimdTileLanes] = {};
+  for (int k = 0; k < dim; ++k) {
+    const Scalar q = query[k];
+    const Scalar* col = tile + static_cast<size_t>(k) * kSimdTileLanes;
+    for (int l = 0; l < kSimdTileLanes; ++l) {
+      acc[l] += std::abs(col[l] - q);
+    }
+  }
+  for (int l = 0; l < kSimdTileLanes; ++l) out[l] = acc[l];
+}
+
+constexpr SimdKernelOps kScalarOps = {"scalar", TileSquaredL2Scalar,
+                                      TileL1Scalar};
+
+}  // namespace
+
+const SimdKernelOps* GetScalarSimdOps() { return &kScalarOps; }
+
+}  // namespace alid

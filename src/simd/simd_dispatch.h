@@ -1,0 +1,89 @@
+#ifndef ALID_SIMD_SIMD_DISPATCH_H_
+#define ALID_SIMD_SIMD_DISPATCH_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace alid {
+
+/// The instruction sets the Eq.-1 kernel path can run on. kScalar is always
+/// compiled and is the bit-exactness oracle every wider path is tested
+/// against; the others exist only where the toolchain could compile them and
+/// engage only where the running CPU reports support.
+enum class SimdIsa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// One ISA's implementation of the dimension-major tile kernels. A tile is
+/// kSimdTileLanes member columns stored dimension-major (`tile[k *
+/// kSimdTileLanes + l]` is coordinate k of lane l), so one contiguous load
+/// feeds every lane the same coordinate of kSimdTileLanes different members.
+///
+/// Exactness contract (the reason the vector path can be the *default*):
+/// every lane accumulates its member's per-dimension terms in ascending
+/// dimension order with separate multiply and add — never fused, never
+/// reassociated across dimensions — which is operation-for-operation the
+/// scalar row-major loop of Dataset::SquaredL2 / LpDistance. Lanes never sum
+/// with each other, so lane width is not observable: every ISA produces
+/// bit-identical outputs, and `out[l]` is bit-identical to the scalar
+/// distance of member l. The SIMD translation units compile with
+/// -ffp-contract=off to pin this down.
+struct SimdKernelOps {
+  const char* name;
+  /// out[l] = sum_k (tile[k * lanes + l] - query[k])^2 for l < count.
+  void (*tile_squared_l2)(const Scalar* tile, int dim, const Scalar* query,
+                          Scalar* out);
+  /// out[l] = sum_k |tile[k * lanes + l] - query[k]| for l < count.
+  void (*tile_l1)(const Scalar* tile, int dim, const Scalar* query,
+                  Scalar* out);
+};
+
+/// Member columns per tile. Fixed at 8 so one tile is one AVX-512 register,
+/// two AVX2 registers, four NEON registers, or eight scalar accumulators —
+/// and so one tile is exactly one kSketchBoundStride checkpoint group of the
+/// branch-and-bound prefix walk.
+inline constexpr int kSimdTileLanes = 8;
+
+/// The ops of `isa`, or nullptr when that ISA was not compiled in or the
+/// running CPU does not support it (kScalar never returns nullptr).
+const SimdKernelOps* SimdOpsFor(SimdIsa isa);
+
+/// The dispatched ops: the widest supported ISA, unless the ALID_SIMD
+/// environment variable ("scalar", "avx2", "avx512", "neon", "auto")
+/// pinned one at first use. An unsatisfiable pin (ISA not compiled or not
+/// supported by the CPU) falls back to scalar, never to a different vector
+/// width, so a force-fallback CI leg can only ever get what it asked for.
+const SimdKernelOps* ActiveSimdOps();
+
+/// The ISA behind ActiveSimdOps().
+SimdIsa ActiveSimdIsa();
+
+/// Human-readable ISA name ("scalar", "avx2", ...).
+const char* SimdIsaName(SimdIsa isa);
+
+/// Every ISA whose ops are usable right now (compiled in and CPU-supported),
+/// scalar first — the bench's per-ISA column axis.
+std::vector<SimdIsa> AvailableSimdIsas();
+
+/// Test hook: pins the dispatched ops to `isa` (must be available) until the
+/// returned guard dies. Not thread-safe against concurrent queries — flip it
+/// only between operations, as the bit-identity tests do.
+class ScopedSimdIsaOverride {
+ public:
+  explicit ScopedSimdIsaOverride(SimdIsa isa);
+  ~ScopedSimdIsaOverride();
+  ScopedSimdIsaOverride(const ScopedSimdIsaOverride&) = delete;
+  ScopedSimdIsaOverride& operator=(const ScopedSimdIsaOverride&) = delete;
+
+ private:
+  const SimdKernelOps* previous_;
+  SimdIsa previous_isa_;
+};
+
+}  // namespace alid
+
+#endif  // ALID_SIMD_SIMD_DISPATCH_H_

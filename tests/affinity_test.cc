@@ -76,6 +76,24 @@ TEST(AffinityFunctionTest, SuggestScalingFactorHitsTarget) {
   EXPECT_LT(frac, 0.75);
 }
 
+TEST(AffinityFunctionDeathTest, SuggestScalingFactorRejectsEmptySample) {
+  Dataset d = SmallLine();
+  // sample_size <= 0 used to read dists[dists.size() / 2] of an empty
+  // vector; now it aborts with a message instead of returning garbage.
+  EXPECT_DEATH(AffinityFunction::SuggestScalingFactor(d, 2.0, 0.5, 0),
+               "at least one sampled distance");
+  EXPECT_DEATH(AffinityFunction::SuggestScalingFactor(d, 2.0, 0.5, -7),
+               "at least one sampled distance");
+}
+
+TEST(AffinityFunctionTest, SuggestScalingFactorSingleSampleIsFinite) {
+  Dataset d = SmallLine();
+  // The smallest legal sample: one distance is its own median.
+  const double k = AffinityFunction::SuggestScalingFactor(d, 2.0, 0.5, 1);
+  EXPECT_TRUE(std::isfinite(k));
+  EXPECT_GT(k, 0.0);
+}
+
 TEST(AffinityMatrixTest, MatchesKernelEntrywise) {
   AffinityFunction f({.k = 1.0, .p = 2.0});
   Dataset d = SmallLine();

@@ -1,0 +1,111 @@
+// Unit tests for the bench harness's shared numerics: the Percentile helper
+// behind the latency records' p50/p95/p99 keys and the strict benchmark
+// scale parser shared by ALID_BENCH_SCALE and --scale (a malformed scale
+// must exit loudly, never silently run default sizes).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+#include "registry.h"
+
+namespace alid::bench {
+namespace {
+
+TEST(PercentileTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 1.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one{42.5};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.0), 42.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.5), 42.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.99), 42.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 1.0), 42.5);
+}
+
+TEST(PercentileTest, EndpointsAreMinAndMax) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, SortsItsCopyBeforeInterpolating) {
+  // Deliberately unsorted; the median of {1,3,5,9} interpolates 3..5.
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 4.0);
+  // The caller's ordering must not leak into the answer.
+  const std::vector<double> sorted{1.0, 3.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), Percentile(sorted, 0.25));
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.95), Percentile(sorted, 0.95));
+}
+
+TEST(PercentileTest, LinearInterpolationBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.75), 7.5);
+}
+
+TEST(ParseBenchScaleTest, AcceptsOrdinaryValues) {
+  double scale = 0.0;
+  std::string error;
+  EXPECT_TRUE(ParseBenchScale("1", &scale, &error)) << error;
+  EXPECT_DOUBLE_EQ(scale, 1.0);
+  EXPECT_TRUE(ParseBenchScale("2.5", &scale, &error)) << error;
+  EXPECT_DOUBLE_EQ(scale, 2.5);
+  EXPECT_TRUE(ParseBenchScale("0.05", &scale, &error)) << error;
+  EXPECT_DOUBLE_EQ(scale, 0.05);
+  EXPECT_TRUE(ParseBenchScale("1e1", &scale, &error)) << error;
+  EXPECT_DOUBLE_EQ(scale, 10.0);
+}
+
+TEST(ParseBenchScaleTest, RejectsGarbage) {
+  double scale = 0.0;
+  std::string error;
+  // The original bug: atof("abc") == 0.0 silently shrank every size to
+  // nothing. Garbage must be an error, not a scale.
+  EXPECT_FALSE(ParseBenchScale("abc", &scale, &error));
+  EXPECT_NE(error.find("not a number"), std::string::npos) << error;
+  EXPECT_FALSE(ParseBenchScale("2x", &scale, &error));  // trailing junk
+  EXPECT_NE(error.find("not a number"), std::string::npos) << error;
+  EXPECT_FALSE(ParseBenchScale("", &scale, &error));
+  EXPECT_FALSE(ParseBenchScale(nullptr, &scale, &error));
+}
+
+TEST(ParseBenchScaleTest, RejectsOutOfRangeAndNonFinite) {
+  double scale = 0.0;
+  std::string error;
+  EXPECT_FALSE(ParseBenchScale("1e400", &scale, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_FALSE(ParseBenchScale("inf", &scale, &error));
+  EXPECT_FALSE(ParseBenchScale("nan", &scale, &error));
+}
+
+TEST(ParseBenchScaleTest, RejectsBelowFloor) {
+  double scale = 0.0;
+  std::string error;
+  EXPECT_FALSE(ParseBenchScale("0", &scale, &error));
+  EXPECT_NE(error.find("floor"), std::string::npos) << error;
+  EXPECT_FALSE(ParseBenchScale("0.01", &scale, &error));
+  EXPECT_FALSE(ParseBenchScale("-1", &scale, &error));
+}
+
+TEST(ParseBenchScaleDeathTest, OrDieExitsWithCodeTwoNamingTheSource) {
+  EXPECT_EXIT(ParseBenchScaleOrDie("abc", "ALID_BENCH_SCALE"),
+              ::testing::ExitedWithCode(2),
+              "invalid benchmark scale from ALID_BENCH_SCALE");
+  EXPECT_EXIT(ParseBenchScaleOrDie("0.001", "--scale"),
+              ::testing::ExitedWithCode(2),
+              "invalid benchmark scale from --scale");
+}
+
+TEST(ParseBenchScaleDeathTest, OrDieReturnsTheParsedValueWhenValid) {
+  EXPECT_DOUBLE_EQ(ParseBenchScaleOrDie("3.5", "--scale"), 3.5);
+}
+
+}  // namespace
+}  // namespace alid::bench
