@@ -7,12 +7,13 @@
 // query stream (jittered cluster points + far noise). The sweep crosses
 // query batch size {1, 64} with executors {1, 8} on one shared
 // work-stealing pool and reports QPS and p50/p95/p99 per-query latency; a
-// final row re-runs the batched-parallel configuration while a publisher
-// thread hot-swaps the intermediate snapshots underneath the readers
-// ("mode":"swap") — the snapshot-isolation cost under churn. Batched
-// results are bit-identical across the executor axis (tests/serve_test.cc),
-// so only the wall-clock columns move — on a 1-core host only scheduling
-// columns do.
+// "swap" row re-runs the batched-parallel configuration while a publisher
+// thread hot-swaps the intermediate snapshots underneath the readers — the
+// snapshot-isolation cost under churn — and an "asof" row addresses a
+// retained historical generation through the server's history ring (the
+// generation-addressed time-travel path). Batched results are bit-identical
+// across the executor axis (tests/serve_test.cc), so only the wall-clock
+// columns move — on a 1-core host only scheduling columns do.
 //
 // The last line is a single-line JSON record of the sweep for the bench
 // trajectory (machine-readable, stable key names).
@@ -21,6 +22,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string_view>
 #include <thread>
 
 #include "common/random.h"
@@ -33,7 +35,7 @@ namespace alid::bench {
 namespace {
 
 struct ServeRow {
-  const char* mode;  // "steady" or "swap"
+  const char* mode;  // "steady", "swap" or "asof"
   Index batch;
   int executors;
   double wall_seconds = 0.0;
@@ -49,11 +51,13 @@ struct ServeRow {
   int64_t swaps = 0;
 };
 
-// Runs the query workload against `server`; per-call wall times divided by
-// the call's batch size give the per-query latency profile.
+// Runs the query workload against `server` (generation != 0 addresses a
+// retained historical generation — the as-of path); per-call wall times
+// divided by the call's batch size give the per-query latency profile.
 ServeRow RunQueries(const ClusterServer& server,
                     const std::vector<Scalar>& queries, int dim, Index batch,
-                    int executors, const char* mode) {
+                    int executors, const char* mode,
+                    uint64_t generation = 0) {
   ServeRow row;
   row.mode = mode;
   row.batch = batch;
@@ -70,18 +74,12 @@ ServeRow RunQueries(const ClusterServer& server,
   for (Index begin = 0; begin < count; begin += batch) {
     const Index size = std::min<Index>(batch, count - begin);
     WallTimer call;
-    if (batch == 1) {
-      const AssignResult r =
-          server.Assign(all.subspan(static_cast<size_t>(begin) * dim,
-                                    static_cast<size_t>(dim)));
+    const QueryResponse response = server.Query(
+        {.points = all.subspan(static_cast<size_t>(begin) * dim,
+                               static_cast<size_t>(size) * dim),
+         .generation = generation});
+    for (const QueryOutcome& r : response.assignments) {
       row.assigned += r.cluster >= 0 ? 1 : 0;
-    } else {
-      const std::vector<AssignResult> results = server.AssignBatch(
-          all.subspan(static_cast<size_t>(begin) * dim,
-                      static_cast<size_t>(size) * dim));
-      for (const AssignResult& r : results) {
-        row.assigned += r.cluster >= 0 ? 1 : 0;
-      }
     }
     latencies.push_back(call.Seconds() / static_cast<double>(size));
   }
@@ -111,16 +109,21 @@ void PrintRow(const ServeRow& r) {
 void EmitServeJson(BenchContext& ctx, const std::vector<ServeRow>& rows,
                    Index n, Index queries, int clusters, Index members,
                    double publish_p95_seconds, int64_t rows_reused,
-                   int64_t clusters_reused) {
+                   int64_t clusters_reused, int64_t bytes_shared,
+                   int64_t bytes_copied, int64_t history_ring_bytes) {
   std::string json;
   AppendF(json,
           "{\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
           "\"clusters\":%d,\"members\":%d,"
           "\"publish_p95_seconds\":%.6f,\"rows_reused\":%lld,"
-          "\"clusters_reused\":%lld,\"rows\":[",
+          "\"clusters_reused\":%lld,\"bytes_shared\":%lld,"
+          "\"bytes_copied\":%lld,\"history_ring_bytes\":%lld,\"rows\":[",
           n, queries, clusters, members, publish_p95_seconds,
           static_cast<long long>(rows_reused),
-          static_cast<long long>(clusters_reused));
+          static_cast<long long>(clusters_reused),
+          static_cast<long long>(bytes_shared),
+          static_cast<long long>(bytes_copied),
+          static_cast<long long>(history_ring_bytes));
   for (size_t i = 0; i < rows.size(); ++i) {
     const ServeRow& r = rows[i];
     AppendF(
@@ -169,16 +172,20 @@ void Run(BenchContext& ctx) {
   std::vector<double> publish_seconds;
   int64_t rows_reused = 0;
   int64_t clusters_reused = 0;
+  int64_t bytes_shared = 0;
+  int64_t bytes_copied = 0;
   const auto publish = [&] {
     WallTimer publish_timer;
     // Chained incremental export — the production ingest->publish loop:
-    // each generation re-uses the blocks of every cluster the batch left
-    // untouched.
+    // each generation *shares* the arena blocks of every cluster the batch
+    // left untouched (a refcount bump, no copy).
     snapshots.push_back(ClusterSnapshot::FromStream(
         online, nullptr, snapshots.empty() ? nullptr : snapshots.back()));
     publish_seconds.push_back(publish_timer.Seconds());
     rows_reused += snapshots.back()->build_info().rows_reused;
     clusters_reused += snapshots.back()->build_info().clusters_reused;
+    bytes_shared += snapshots.back()->build_info().bytes_shared;
+    bytes_copied += snapshots.back()->build_info().bytes_copied;
   };
   std::vector<Scalar> flat;
   for (Index pos = 0; pos < data.size(); ++pos) {
@@ -216,12 +223,14 @@ void Run(BenchContext& ctx) {
   const auto& final_snapshot = snapshots.back();
   std::printf("streamed n=%d -> %d clusters over %d support members, %zu "
               "snapshots exported (publish p95 %.6fs, %lld rows / %lld "
-              "clusters re-used)\n",
+              "clusters re-used, %lld bytes shared vs %lld copied)\n",
               data.size(), final_snapshot->num_clusters(),
               final_snapshot->num_members(), snapshots.size(),
               Percentile(publish_seconds, 0.95),
               static_cast<long long>(rows_reused),
-              static_cast<long long>(clusters_reused));
+              static_cast<long long>(clusters_reused),
+              static_cast<long long>(bytes_shared),
+              static_cast<long long>(bytes_copied));
 
   // Query mix: jittered copies of random rows (assignable) + far uniform
   // noise (unassignable), in one fixed shuffled stream. Sized so each
@@ -316,15 +325,47 @@ void Run(BenchContext& ctx) {
     rows.push_back(row);
   }
 
+  PrintHeader("as-of queries against a retained generation (history ring)");
+  int64_t history_ring_bytes = 0;
+  {
+    ThreadPool pool(8);
+    ClusterServer server(dim, {.pool = &pool, .history_capacity = 8});
+    for (const auto& snap : snapshots) server.Publish(snap);
+    // The last tail publishes retired into the ring; address the
+    // second-to-last generation — a real time-travel lookup on every call.
+    const uint64_t retired = snapshots[snapshots.size() - 2]->generation();
+    ServeRow row = RunQueries(server, queries, dim, 64, 8, "asof", retired);
+    history_ring_bytes = server.stats().history_ring_bytes;
+    const ServeRow* steady = nullptr;
+    for (const ServeRow& r : rows) {
+      if (r.batch == 64 && r.executors == 8 &&
+          std::string_view(r.mode) == "steady") {
+        steady = &r;
+      }
+    }
+    row.speedup = steady != nullptr && row.wall_seconds > 0.0
+                      ? steady->wall_seconds / row.wall_seconds
+                      : 0.0;  // vs current-generation twin: the ring-scan cost
+    PrintRow(row);
+    rows.push_back(row);
+    std::printf("history ring: %d generations retained, %lld extra bytes "
+                "(blocks shared with the current snapshot are free)\n",
+                server.stats().generations_retained,
+                static_cast<long long>(history_ring_bytes));
+  }
+
   std::printf("\nExpected shape: batched queries amortize the snapshot "
               "acquire and fan out across executors (the batch answers from "
               "ONE snapshot either way); the swap row tracks its steady "
               "twin closely because readers never block on publication — "
-              "retired snapshots die with their last in-flight reader.\n");
+              "retired snapshots die with their last in-flight reader; the "
+              "as-of row pays only the ring scan on top, because a retained "
+              "snapshot answers exactly like it did when current.\n");
   EmitServeJson(ctx, rows, data.size(), num_queries,
                 final_snapshot->num_clusters(), final_snapshot->num_members(),
                 Percentile(publish_seconds, 0.95), rows_reused,
-                clusters_reused);
+                clusters_reused, bytes_shared, bytes_copied,
+                history_ring_bytes);
 }
 
 ALID_BENCHMARK("serve", "runtime,serve,speedup", "serve", Run);

@@ -1,9 +1,14 @@
-// Serving quickstart: stream -> snapshot -> queries, end to end.
+// Serving quickstart: stream -> snapshot -> generation-addressed queries,
+// end to end.
 //
 // The write side streams arrivals through OnlineAlid and periodically
-// exports an immutable ClusterSnapshot; the read side answers assignment
-// queries at full speed against whatever snapshot is currently published —
+// exports an immutable ClusterSnapshot; the read side answers Query()
+// requests at full speed against whatever snapshot is currently published —
 // an RCU swap, so queries never block on ingest and never see torn state.
+// Consecutive snapshots share their unchanged clusters' arena blocks, so a
+// publish costs O(changed bytes), retired generations stay addressable
+// through the server's history ring (bounded time travel), and
+// GenerationDiff explains what changed between any two of them.
 //
 //   ./build/example_serving_quickstart
 #include <cstdio>
@@ -55,24 +60,55 @@ int main() {
       batch.clear();
       online.Refresh();
       // Incremental export: chaining on the served snapshot lets every
-      // cluster the batch left untouched move over as block copies —
-      // publish cost tracks what changed, not the window.
+      // cluster the batch left untouched *share* its arena blocks (a
+      // refcount bump) — publish cost tracks what changed, not the window.
       server.Publish(
           ClusterSnapshot::FromStream(online, &pool, server.snapshot()));
       const SnapshotBuildInfo& build = server.snapshot()->build_info();
       std::printf("published snapshot @%llu arrivals: %d clusters over %d "
-                  "support members (%.1f ms build, %d/%d clusters re-used)\n",
+                  "support members (%.1f ms build, %d/%d clusters re-used, "
+                  "%lld bytes shared / %lld copied)\n",
                   static_cast<unsigned long long>(server.generation()),
                   server.snapshot()->num_clusters(),
                   server.snapshot()->num_members(),
                   build.build_seconds * 1e3, build.clusters_reused,
-                  build.clusters_total);
+                  build.clusters_total,
+                  static_cast<long long>(build.bytes_shared),
+                  static_cast<long long>(build.bytes_copied));
     }
+  }
+
+  // Steady state: a localized burst (tight jitter around one topic) leaves
+  // the other clusters untouched — their blocks move into the next
+  // generation as refcount bumps, and the ledger shows it.
+  const uint64_t before_burst = server.generation();
+  {
+    Rng jitter(7);
+    const auto& burst = stream.true_clusters.front();
+    batch.clear();
+    for (int q = 0; q < 32; ++q) {
+      const auto row = stream.data[burst[static_cast<size_t>(
+          jitter.UniformInt(0, static_cast<int>(burst.size()) - 1))]];
+      for (int d = 0; d < dim; ++d) {
+        batch.push_back(row[d] + jitter.Gaussian() * 0.05);
+      }
+    }
+    online.InsertBatch(batch);
+    server.Publish(
+        ClusterSnapshot::FromStream(online, &pool, server.snapshot()));
+    const SnapshotBuildInfo& build = server.snapshot()->build_info();
+    std::printf("localized burst -> generation %llu: %d/%d clusters "
+                "unchanged, %lld bytes shared / %lld copied\n",
+                static_cast<unsigned long long>(server.generation()),
+                build.clusters_reused, build.clusters_total,
+                static_cast<long long>(build.bytes_shared),
+                static_cast<long long>(build.bytes_copied));
   }
 
   // Single query: where does a brand-new item belong, and how strongly?
   const auto probe = stream.data[order[7]];
-  const AssignResult single = server.Assign(probe);
+  const QueryOutcome single =
+      server.Query({.points = probe}).assignments.front();
   if (single.cluster >= 0) {
     std::printf("\nprobe -> cluster %d (affinity %.3f, margin %.3f) under "
                 "snapshot generation %llu\n",
@@ -82,8 +118,10 @@ int main() {
     std::printf("\nprobe -> unassigned (noise)\n");
   }
 
-  // Ranked alternatives plus the metadata behind the winner.
-  for (const ScoredCluster& s : server.TopKClusters(probe, 3)) {
+  // Ranked alternatives plus the metadata behind the winner: top_k > 0
+  // switches the same Query() call into ranked mode.
+  const QueryResponse ranked = server.Query({.points = probe, .top_k = 3});
+  for (const ScoredCluster& s : ranked.ranked.front()) {
     const ClusterSnapshotInfo info = server.ClusterInfo(s.cluster);
     std::printf("  candidate cluster %d: pi=%.3f%s, support %d, density "
                 "%.3f (verified %.3f)\n",
@@ -102,13 +140,37 @@ int main() {
       queries.push_back(row[d] + noise.Gaussian() * 0.05);
     }
   }
-  const std::vector<AssignResult> answers = server.AssignBatch(queries);
+  const QueryResponse answers = server.Query({.points = queries});
   int assigned = 0;
-  for (const AssignResult& r : answers) assigned += r.cluster >= 0 ? 1 : 0;
+  for (const QueryOutcome& r : answers.assignments) {
+    assigned += r.cluster >= 0 ? 1 : 0;
+  }
   std::printf("\nbatch of %zu jittered queries: %d assigned, %zu noise, all "
               "answered by generation %llu\n",
-              answers.size(), assigned, answers.size() - assigned,
-              static_cast<unsigned long long>(answers.front().generation));
+              answers.assignments.size(), assigned,
+              answers.assignments.size() - assigned,
+              static_cast<unsigned long long>(answers.generation));
+
+  // Bounded time travel: retired generations stay addressable through the
+  // history ring, and an as-of query reproduces exactly the answers that
+  // generation gave when it was current.
+  const uint64_t current = server.generation();
+  const uint64_t past = before_burst;  // the generation the burst retired
+  const QueryResponse asof =
+      server.Query({.points = probe, .generation = past});
+  if (asof.ok()) {
+    std::printf("\nas-of generation %llu the probe mapped to cluster %d "
+                "(today: %d)\n",
+                static_cast<unsigned long long>(asof.generation),
+                asof.assignments.front().cluster, single.cluster);
+    // ...and GenerationDiff explains what changed in between.
+    const GenerationDiffResult diff = server.GenerationDiff(past, current);
+    std::printf("generations %llu -> %llu: %zu born, %zu died, %zu drifted, "
+                "%d unchanged (the unchanged ones share their arena blocks)\n",
+                static_cast<unsigned long long>(diff.from),
+                static_cast<unsigned long long>(diff.to), diff.births.size(),
+                diff.deaths.size(), diff.drifted.size(), diff.unchanged);
+  }
 
   const ServeStatsView stats = server.stats();
   std::printf("\nserver totals: %lld queries (%lld singles, %lld batch "
@@ -126,6 +188,13 @@ int main() {
               static_cast<long long>(stats.sketch_exact),
               static_cast<long long>(stats.rows_reused),
               static_cast<long long>(stats.clusters_reused));
+  std::printf("arena ledger: %lld bytes shared vs %lld copied across "
+              "publishes; history ring holds %d generations at %lld extra "
+              "bytes\n",
+              static_cast<long long>(stats.bytes_shared),
+              static_cast<long long>(stats.bytes_copied),
+              stats.generations_retained,
+              static_cast<long long>(stats.history_ring_bytes));
   std::printf("per-query latency histogram (%zu samples, 8 bins to max): ",
               stats.query_seconds.size());
   for (int count : stats.LatencyHistogram(8)) std::printf("%d ", count);

@@ -21,7 +21,7 @@ void MemoryTracker::Reset() {
 }
 
 void ScopedMemoryCharge::Adjust(int64_t new_bytes) {
-  MemoryTracker::Global().Add(new_bytes - bytes_);
+  tracker_->Add(new_bytes - bytes_);
   bytes_ = new_bytes;
 }
 

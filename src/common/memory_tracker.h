@@ -31,13 +31,18 @@ class MemoryTracker {
   std::atomic<int64_t> peak_{0};
 };
 
-/// RAII registration of a fixed-size allocation against the global tracker.
+/// RAII registration of a fixed-size allocation against a tracker — the
+/// global one by default, or a dedicated resource space (e.g. the snapshot
+/// arena's) so a subsystem's footprint stays separately attributable while
+/// still released exactly once on destruction.
 class ScopedMemoryCharge {
  public:
-  explicit ScopedMemoryCharge(int64_t bytes) : bytes_(bytes) {
-    MemoryTracker::Global().Add(bytes_);
+  explicit ScopedMemoryCharge(int64_t bytes, MemoryTracker* tracker = nullptr)
+      : tracker_(tracker != nullptr ? tracker : &MemoryTracker::Global()),
+        bytes_(bytes) {
+    tracker_->Add(bytes_);
   }
-  ~ScopedMemoryCharge() { MemoryTracker::Global().Release(bytes_); }
+  ~ScopedMemoryCharge() { tracker_->Release(bytes_); }
 
   ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
   ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
@@ -46,6 +51,7 @@ class ScopedMemoryCharge {
   void Adjust(int64_t new_bytes);
 
  private:
+  MemoryTracker* tracker_;
   int64_t bytes_;
 };
 

@@ -32,7 +32,7 @@ void LshIndex::InitTables() {
   ALID_CHECK(params_.num_tables > 0);
   ALID_CHECK(params_.num_projections > 0);
   ALID_CHECK(params_.segment_length > 0.0);
-  const int d = data_->dim();
+  const int d = dim_;
   Rng rng(params_.seed);
   tables_.resize(params_.num_tables);
   for (auto& table : tables_) {
@@ -44,7 +44,7 @@ void LshIndex::InitTables() {
 }
 
 LshIndex::LshIndex(const Dataset& data, LshParams params)
-    : data_(&data), params_(params) {
+    : data_(&data), dim_(data.dim()), params_(params) {
   InitTables();
   const Index n = data.size();
   for (auto& table : tables_) {
@@ -72,7 +72,19 @@ LshIndex::LshIndex(const Dataset& data, LshParams params)
 }
 
 LshIndex::LshIndex(const Dataset& data, LshParams params, DeferIndexing)
-    : data_(&data), params_(params) {
+    : data_(&data), dim_(data.dim()), params_(params) {
+  InitTables();
+  for (const auto& table : tables_) {
+    memory_bytes_ += table.projections.size() * sizeof(Scalar);
+    memory_bytes_ += table.offsets.size() * sizeof(Scalar);
+  }
+  charge_ =
+      std::make_unique<ScopedMemoryCharge>(static_cast<int64_t>(memory_bytes_));
+}
+
+LshIndex::LshIndex(int dim, LshParams params)
+    : data_(nullptr), dim_(dim), params_(params) {
+  ALID_CHECK(dim_ > 0);
   InitTables();
   for (const auto& table : tables_) {
     memory_bytes_ += table.projections.size() * sizeof(Scalar);
@@ -90,15 +102,23 @@ void LshIndex::AppendItem(Index i) {
 }
 
 void LshIndex::ComputeItemKeys(Index i, uint64_t* out) const {
+  ALID_CHECK(data_ != nullptr);
   ALID_CHECK(i >= 0 && i < data_->size());
   for (size_t t = 0; t < tables_.size(); ++t) {
     out[t] = HashPoint(tables_[t], (*data_)[i]);
   }
 }
 
+void LshIndex::ComputePointKeys(std::span<const Scalar> point,
+                                uint64_t* out) const {
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    out[t] = HashPoint(tables_[t], point);
+  }
+}
+
 void LshIndex::InsertItemWithKeys(Index i, std::span<const uint64_t> keys) {
   ALID_CHECK(static_cast<int>(keys.size()) == params_.num_tables);
-  ALID_CHECK(i >= 0 && i < data_->size());
+  ALID_CHECK(i >= 0 && (data_ == nullptr || i < data_->size()));
   if (i == indexed_count_) {
     for (size_t t = 0; t < tables_.size(); ++t) {
       tables_[t].item_key.push_back(keys[t]);
@@ -146,7 +166,7 @@ LshIndex::~LshIndex() = default;
 
 uint64_t LshIndex::HashPoint(const Table& table,
                              std::span<const Scalar> point) const {
-  const int d = data_->dim();
+  const int d = dim_;
   ALID_DCHECK(static_cast<int>(point.size()) == d);
   std::vector<int32_t> floors(params_.num_projections);
   for (int p = 0; p < params_.num_projections; ++p) {

@@ -50,6 +50,17 @@ class LshIndex {
   /// own keys yields an index identical to the hashing constructor.
   LshIndex(const Dataset& data, LshParams params, DeferIndexing);
 
+  /// Dataset-free deferred index of the given dimensionality: the tables
+  /// (projections and offsets) are seeded exactly as in the other
+  /// constructors, but no Dataset is attached — items enter only through
+  /// InsertItemWithKeys with keys the caller computed (ComputePointKeys) or
+  /// inherited from an earlier index built with the same params. This is the
+  /// serving snapshot's mode: member rows live in refcounted arena blocks
+  /// rather than one flat dataset, so there is no Dataset to point at, yet
+  /// the buckets (and hence every QueryByPoint answer) are identical to an
+  /// eager index over the same rows in the same order.
+  LshIndex(int dim, LshParams params);
+
   ~LshIndex();
 
   LshIndex(const LshIndex&) = delete;
@@ -73,8 +84,17 @@ class LshIndex {
   /// Pure per-item hashing: writes item i's bucket key for every table into
   /// out[0 .. num_tables()). Thread-safe — OnlineAlid's batch ingest hashes
   /// a whole arrival batch in parallel with this and applies the mutations
-  /// serially through InsertItemWithKeys.
+  /// serially through InsertItemWithKeys. Requires an attached Dataset.
   void ComputeItemKeys(Index i, uint64_t* out) const;
+
+  /// Pure hashing of an arbitrary point (point.size() == the index's
+  /// dimensionality): writes its bucket key for every table into
+  /// out[0 .. num_tables()). Exactly the HashPoint that ComputeItemKeys and
+  /// QueryByPoint run, so keys computed from a copied row equal keys
+  /// computed from the original dataset row — the property that lets arena
+  /// blocks carry their members' keys across snapshot generations.
+  /// Thread-safe; works in dataset-free mode.
+  void ComputePointKeys(std::span<const Scalar> point, uint64_t* out) const;
 
   /// Inserts item i with precomputed keys: either the next append slot
   /// (i == size()) or a previously removed slot whose dataset row was
@@ -152,7 +172,8 @@ class LshIndex {
   // precomputed keys move between snapshot generations.
   void InitTables();
 
-  const Dataset* data_;
+  const Dataset* data_;  // nullptr in dataset-free mode
+  int dim_ = 0;
   LshParams params_;
   std::vector<Table> tables_;
   Index indexed_count_ = 0;  // how many dataset rows the tables know about

@@ -1,5 +1,10 @@
 #include "serve/cluster_server.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -9,6 +14,26 @@ namespace alid {
 ClusterServer::ClusterServer(int dim, ClusterServerOptions options)
     : dim_(dim), options_(options) {
   ALID_CHECK(dim_ > 0);
+  ALID_CHECK(options_.history_capacity >= 0);
+  ALID_CHECK(options_.history_budget_bytes >= 0);
+}
+
+int64_t ClusterServer::HistoryBytesLocked() const {
+  std::unordered_set<const ClusterBlock*> counted;
+  if (snapshot_ptr_ != nullptr) {
+    for (const auto& block : snapshot_ptr_->blocks()) {
+      counted.insert(block.get());
+    }
+  }
+  int64_t bytes = 0;
+  for (const Retained& entry : history_) {
+    for (const auto& block : entry.snapshot->blocks()) {
+      if (counted.insert(block.get()).second) {
+        bytes += static_cast<int64_t>(block->MemoryBytes());
+      }
+    }
+  }
+  return bytes;
 }
 
 void ClusterServer::Publish(std::shared_ptr<const ClusterSnapshot> snapshot) {
@@ -17,26 +42,66 @@ void ClusterServer::Publish(std::shared_ptr<const ClusterSnapshot> snapshot) {
   double build_seconds = 0.0;
   int64_t rows_reused = 0;
   int64_t clusters_reused = 0;
+  int64_t bytes_shared = 0;
+  int64_t bytes_copied = 0;
   if (incoming != nullptr) {
     const SnapshotBuildInfo& info = incoming->build_info();
     build_seconds = info.build_seconds;
     rows_reused = info.rows_reused;
     clusters_reused = info.clusters_reused;
+    bytes_shared = info.bytes_shared;
+    bytes_copied = info.bytes_copied;
   }
+  // Snapshots released by this publication (ring evictions, plus the swap
+  // operand itself when it goes out of scope) die outside the critical
+  // section, so an expensive teardown never stalls readers.
+  std::vector<std::shared_ptr<const ClusterSnapshot>> evicted;
+  bool republish = false;
   {
     std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    republish = snapshot_ptr_.get() == incoming;
+    if (!republish && snapshot_ptr_ != nullptr &&
+        options_.history_capacity > 0) {
+      // Retire the outgoing snapshot into the ring. A generation republished
+      // later (rollback) would otherwise accumulate duplicate entries, so an
+      // existing entry of the same generation is dropped first.
+      const uint64_t retiring = snapshot_ptr_->generation();
+      for (auto it = history_.begin(); it != history_.end();) {
+        if (it->generation == retiring) {
+          evicted.push_back(std::move(it->snapshot));
+          it = history_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      history_.push_back(Retained{retiring, snapshot_ptr_});
+    }
     snapshot_ptr_.swap(snapshot);
+    while (static_cast<int>(history_.size()) > options_.history_capacity) {
+      evicted.push_back(std::move(history_.front().snapshot));
+      history_.pop_front();
+      ++history_evictions_;
+    }
+    history_ring_bytes_ = HistoryBytesLocked();
+    while (options_.history_budget_bytes > 0 &&
+           history_ring_bytes_ > options_.history_budget_bytes &&
+           !history_.empty()) {
+      evicted.push_back(std::move(history_.front().snapshot));
+      history_.pop_front();
+      ++history_evictions_;
+      history_ring_bytes_ = HistoryBytesLocked();
+    }
   }
-  // `snapshot` now holds the retired state; it dies here (or with its last
-  // in-flight reader), outside the swap critical section. Re-publishing the
-  // snapshot that was already current (e.g. a rollback) still counts as a
-  // publication, but its build cost and re-use totals were recorded when it
-  // was first published — folding them again would claim work that never
-  // happened.
-  const bool republish = snapshot.get() == incoming;
+  evicted.clear();
+  // Re-publishing the snapshot that was already current (e.g. a rollback)
+  // still counts as a publication, but its build cost and re-use totals were
+  // recorded when it was first published — folding them again would claim
+  // work that never happened.
   stats_.RecordPublish(incoming != nullptr && !republish, build_seconds,
                        republish ? 0 : rows_reused,
-                       republish ? 0 : clusters_reused);
+                       republish ? 0 : clusters_reused,
+                       republish ? 0 : bytes_shared,
+                       republish ? 0 : bytes_copied);
 }
 
 std::shared_ptr<const ClusterSnapshot> ClusterServer::snapshot() const {
@@ -44,44 +109,68 @@ std::shared_ptr<const ClusterSnapshot> ClusterServer::snapshot() const {
   return snapshot_ptr_;
 }
 
+std::shared_ptr<const ClusterSnapshot> ClusterServer::SnapshotAt(
+    uint64_t generation) const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (generation == 0) return snapshot_ptr_;
+  if (snapshot_ptr_ != nullptr && snapshot_ptr_->generation() == generation) {
+    return snapshot_ptr_;
+  }
+  // Newest-first scan: as-of queries overwhelmingly address recent
+  // generations, and the ring is small by construction.
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->generation == generation) return it->snapshot;
+  }
+  return nullptr;
+}
+
 uint64_t ClusterServer::generation() const {
   const auto snap = snapshot();
   return snap != nullptr ? snap->generation() : 0;
 }
 
-AssignResult ClusterServer::AssignWith(const ClusterSnapshot& snapshot,
-                                       std::span<const Scalar> point) const {
-  const AssignOutcome outcome = snapshot.Assign(point);
-  // Relaxed atomics, so batched chunks record straight from pool workers.
-  stats_.RecordSketch(outcome.sketch_prunes, outcome.sketch_exact);
-  return {outcome.cluster, outcome.affinity, outcome.margin,
-          snapshot.generation()};
-}
-
-AssignResult ClusterServer::Assign(std::span<const Scalar> point) const {
-  ALID_CHECK(static_cast<int>(point.size()) == dim_);
+QueryResponse ClusterServer::Query(const QueryRequest& request) const {
+  ALID_CHECK(request.points.size() % static_cast<size_t>(dim_) == 0);
+  ALID_CHECK(request.top_k >= 0);
+  const Index count = static_cast<Index>(request.points.size() / dim_);
+  QueryResponse response;
   WallTimer timer;
-  AssignResult result;
-  if (const auto snap = snapshot(); snap != nullptr) {
-    result = AssignWith(*snap, point);
+  // One acquire for the whole request: every point of the call is answered
+  // by the same snapshot even if Publish swaps mid-call — the linearization
+  // point of the request is this load. An as-of request pins the retained
+  // generation the same way, so its answers are exactly the answers that
+  // generation gave when it was current.
+  const auto snap = SnapshotAt(request.generation);
+  if (snap == nullptr) {
+    response.status = request.generation == 0
+                          ? QueryStatus::kOffline
+                          : QueryStatus::kGenerationUnavailable;
+  } else {
+    response.status = QueryStatus::kOk;
+    response.generation = snap->generation();
   }
-  stats_.RecordAssign(1, result.cluster >= 0 ? 1 : 0, timer.Seconds(),
-                      /*batch=*/false);
-  return result;
-}
-
-std::vector<AssignResult> ClusterServer::AssignBatch(
-    std::span<const Scalar> points) const {
-  ALID_CHECK(points.size() % static_cast<size_t>(dim_) == 0);
-  const Index count = static_cast<Index>(points.size() / dim_);
-  std::vector<AssignResult> results(count);
-  if (count == 0) return results;
-  WallTimer timer;
-  // One acquire for the whole batch: every query of the call is answered by
-  // the same snapshot even if Publish swaps mid-batch — the linearization
-  // point of the batch is this load.
-  if (const auto snap = snapshot(); snap != nullptr) {
-    const uint64_t generation = snap->generation();
+  if (request.top_k > 0) {
+    response.ranked.resize(static_cast<size_t>(count));
+    if (count == 0) return response;
+    if (snap != nullptr) {
+      // Ranked queries are pure per point; chunking only distributes them.
+      ParallelChunks(options_.pool, 0, count, options_.grain,
+                     [&](int64_t, int64_t lo, int64_t hi) {
+                       for (int64_t q = lo; q < hi; ++q) {
+                         response.ranked[q] = snap->TopKClusters(
+                             request.points.subspan(
+                                 static_cast<size_t>(q) * dim_,
+                                 static_cast<size_t>(dim_)),
+                             request.top_k);
+                       }
+                     });
+    }
+    stats_.RecordTopK(count);
+    return response;
+  }
+  response.assignments.resize(static_cast<size_t>(count));
+  if (count == 0) return response;
+  if (snap != nullptr) {
     ParallelChunks(
         options_.pool, 0, count, options_.grain,
         [&](int64_t, int64_t lo, int64_t hi) {
@@ -91,30 +180,89 @@ std::vector<AssignResult> ClusterServer::AssignBatch(
           // Assign (see ClusterSnapshot::AssignBatch).
           std::vector<AssignOutcome> outcomes(static_cast<size_t>(hi - lo));
           snap->AssignBatch(
-              points.subspan(static_cast<size_t>(lo) * dim_,
-                             static_cast<size_t>(hi - lo) * dim_),
+              request.points.subspan(static_cast<size_t>(lo) * dim_,
+                                     static_cast<size_t>(hi - lo) * dim_),
               outcomes);
           for (int64_t k = lo; k < hi; ++k) {
             const AssignOutcome& outcome = outcomes[k - lo];
+            // Relaxed atomics, so chunks record straight from pool workers.
             stats_.RecordSketch(outcome.sketch_prunes, outcome.sketch_exact);
-            results[k] = {outcome.cluster, outcome.affinity, outcome.margin,
-                          generation};
+            response.assignments[k] = outcome;
           }
         });
   }
   int64_t assigned = 0;
-  for (const AssignResult& r : results) assigned += r.cluster >= 0 ? 1 : 0;
-  stats_.RecordAssign(count, assigned, timer.Seconds(), /*batch=*/true);
-  return results;
+  for (const QueryOutcome& r : response.assignments) {
+    assigned += r.cluster >= 0 ? 1 : 0;
+  }
+  stats_.RecordAssign(count, assigned, timer.Seconds(),
+                      /*batch=*/count != 1);
+  return response;
 }
 
-std::vector<ScoredCluster> ClusterServer::TopKClusters(
-    std::span<const Scalar> point, int k) const {
-  ALID_CHECK(static_cast<int>(point.size()) == dim_);
-  stats_.RecordTopK();
-  const auto snap = snapshot();
-  if (snap == nullptr) return {};
-  return snap->TopKClusters(point, k);
+GenerationDiffResult ClusterServer::GenerationDiff(uint64_t from,
+                                                   uint64_t to) const {
+  GenerationDiffResult diff;
+  const auto snap_from = SnapshotAt(from);
+  const auto snap_to = SnapshotAt(to);
+  if (snap_from == nullptr || snap_to == nullptr) return diff;
+  diff.ok = true;
+  diff.from = snap_from->generation();
+  diff.to = snap_to->generation();
+  std::unordered_map<uint64_t, int> from_by_uid;
+  from_by_uid.reserve(static_cast<size_t>(snap_from->num_clusters()));
+  for (int c = 0; c < snap_from->num_clusters(); ++c) {
+    if (snap_from->cluster_uid(c) != 0) {
+      from_by_uid.emplace(snap_from->cluster_uid(c), c);
+    }
+  }
+  for (int c = 0; c < snap_to->num_clusters(); ++c) {
+    const uint64_t uid = snap_to->cluster_uid(c);
+    const auto it = uid != 0 ? from_by_uid.find(uid) : from_by_uid.end();
+    if (it == from_by_uid.end()) {
+      ClusterDrift born;
+      born.uid = uid;
+      born.cluster_to = c;
+      born.size_to = snap_to->cluster_size(c);
+      born.density_to = snap_to->density(c);
+      diff.births.push_back(born);
+      continue;
+    }
+    const int f = it->second;
+    from_by_uid.erase(it);
+    if (snap_from->cluster_version(f) == snap_to->cluster_version(c)) {
+      ++diff.unchanged;
+      continue;
+    }
+    ClusterDrift moved;
+    moved.uid = uid;
+    moved.cluster_from = f;
+    moved.cluster_to = c;
+    moved.size_from = snap_from->cluster_size(f);
+    moved.size_to = snap_to->cluster_size(c);
+    moved.density_from = snap_from->density(f);
+    moved.density_to = snap_to->density(c);
+    diff.drifted.push_back(moved);
+  }
+  // Clusters of `from` never matched: deaths, in ascending id so the report
+  // is deterministic.
+  std::vector<std::pair<int, uint64_t>> gone;
+  gone.reserve(from_by_uid.size());
+  for (const auto& [uid, c] : from_by_uid) gone.emplace_back(c, uid);
+  // uid == 0 clusters (non-stream sources) cannot match; report them too.
+  for (int c = 0; c < snap_from->num_clusters(); ++c) {
+    if (snap_from->cluster_uid(c) == 0) gone.emplace_back(c, 0);
+  }
+  std::sort(gone.begin(), gone.end());
+  for (const auto& [c, uid] : gone) {
+    ClusterDrift dead;
+    dead.uid = uid;
+    dead.cluster_from = c;
+    dead.size_from = snap_from->cluster_size(c);
+    dead.density_from = snap_from->density(c);
+    diff.deaths.push_back(dead);
+  }
+  return diff;
 }
 
 ClusterSnapshotInfo ClusterServer::ClusterInfo(int cluster) const {
@@ -122,6 +270,15 @@ ClusterSnapshotInfo ClusterServer::ClusterInfo(int cluster) const {
   const auto snap = snapshot();
   if (snap == nullptr) return {};
   return snap->ClusterInfo(cluster);
+}
+
+ServeStatsView ClusterServer::stats() const {
+  ServeStatsView view = stats_.View();
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  view.history_ring_bytes = history_ring_bytes_;
+  view.generations_retained = static_cast<int>(history_.size());
+  view.history_evictions = history_evictions_;
+  return view;
 }
 
 }  // namespace alid

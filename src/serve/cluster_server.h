@@ -2,6 +2,7 @@
 #define ALID_SERVE_CLUSTER_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -24,29 +25,105 @@ struct ClusterServerOptions {
   ThreadPool* pool = nullptr;
   /// Chunk grain of batched queries (see DeterministicGrain); 0 auto.
   int64_t grain = 0;
+  /// Retired generations the server keeps addressable for as-of queries
+  /// (the history ring, oldest evicted first); 0 disables time travel.
+  /// Retention is cheap because consecutive generations share their
+  /// unchanged clusters' arena blocks — the ring pays only for blocks no
+  /// longer referenced by the current snapshot.
+  int history_capacity = 4;
+  /// Byte budget of that *extra* history footprint (unique arena-block
+  /// bytes retained only for history — see ServeStatsView::
+  /// history_ring_bytes); oldest generations are evicted until the ring
+  /// fits. 0 means no byte bound (the capacity bound alone applies).
+  int64_t history_budget_bytes = 0;
 };
 
-/// One answered assignment query. `generation` names the snapshot that
-/// answered — every result of one AssignBatch call carries the same value,
-/// because the batch acquires its snapshot exactly once.
-struct AssignResult {
-  int cluster = -1;
-  Scalar affinity = 0.0;
-  Scalar margin = 0.0;
-  uint64_t generation = 0;
-
+/// One answered assignment query (the QueryOutcome shape; `generation`
+/// names the snapshot that answered — every result of one batched call
+/// carries the same value, because the call acquires its snapshot exactly
+/// once).
+struct AssignResult : QueryOutcome {
   bool operator==(const AssignResult&) const = default;
 };
 
-/// The read side of the serving subsystem: answers assignment queries
-/// against an immutable ClusterSnapshot published through an RCU-style
-/// atomic shared_ptr swap. Readers never wait on each other and never see
-/// torn state — a query (or a whole batch) acquires one snapshot reference
-/// up front and scores against it even while Publish() installs a
-/// successor; the old snapshot dies when its last in-flight reader
-/// releases it. The write side (an ingest/refresh loop) mutates nothing
-/// the readers touch: it builds a fresh snapshot off-line and publishes it
-/// in one pointer swap.
+/// A unified serve request: `points` holds count * dim scalars, row-major.
+/// top_k == 0 asks for assignments (one QueryOutcome per point — the
+/// Theorem-1 absorb decision); top_k > 0 asks for ranked candidates (one
+/// ScoredCluster list per point, descending affinity, truncated to top_k).
+/// generation == 0 addresses the current snapshot; any other value
+/// addresses that retained generation from the history ring (bounded time
+/// travel) and fails with kGenerationUnavailable once it was evicted.
+struct QueryRequest {
+  std::span<const Scalar> points;
+  int top_k = 0;
+  uint64_t generation = 0;
+};
+
+enum class QueryStatus {
+  kOk = 0,
+  /// No snapshot published (or an explicit nullptr publish took the server
+  /// offline): every point answers unassigned, generation 0.
+  kOffline = 1,
+  /// The addressed generation is neither current nor retained in the
+  /// history ring.
+  kGenerationUnavailable = 2,
+};
+
+/// The answer to one QueryRequest. Exactly one of `assignments` (top_k ==
+/// 0) or `ranked` (top_k > 0) is populated per point; on a non-kOk status
+/// the populated side holds default (unassigned / empty) entries so callers
+/// can index it without branching.
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kOffline;
+  /// Generation of the snapshot that answered (0 on non-kOk statuses).
+  uint64_t generation = 0;
+  std::vector<QueryOutcome> assignments;
+  std::vector<std::vector<ScoredCluster>> ranked;
+
+  bool ok() const { return status == QueryStatus::kOk; }
+};
+
+/// One cluster's change between two generations (ClusterServer::
+/// GenerationDiff). Clusters match across snapshots by stream uid; a
+/// matched cluster whose version differs drifted (membership/weights/
+/// density changed), an unmatched one was born or died.
+struct ClusterDrift {
+  uint64_t uid = 0;
+  int cluster_from = -1;  ///< Id in the `from` snapshot (-1 for births).
+  int cluster_to = -1;    ///< Id in the `to` snapshot (-1 for deaths).
+  Index size_from = 0;
+  Index size_to = 0;
+  Scalar density_from = 0.0;
+  Scalar density_to = 0.0;
+};
+
+/// What changed between two retained generations.
+struct GenerationDiffResult {
+  /// False when either generation is not addressable (evicted or never
+  /// published) — the vectors are empty then.
+  bool ok = false;
+  uint64_t from = 0;
+  uint64_t to = 0;
+  std::vector<ClusterDrift> births;   ///< In `to` only.
+  std::vector<ClusterDrift> deaths;   ///< In `from` only.
+  std::vector<ClusterDrift> drifted;  ///< Matched, version changed.
+  /// Matched clusters whose (uid, version) survived verbatim — exactly the
+  /// clusters whose arena blocks the two snapshots share.
+  int unchanged = 0;
+};
+
+/// The read side of the serving subsystem: answers generation-addressed
+/// queries against immutable ClusterSnapshots published through an
+/// RCU-style atomic shared_ptr swap. Readers never wait on each other and
+/// never see torn state — a query (or a whole batch) acquires one snapshot
+/// reference up front and scores against it even while Publish() installs a
+/// successor; a retired snapshot enters the bounded history ring (staying
+/// addressable for as-of queries) and dies when evicted and released by its
+/// last in-flight reader. The write side (an ingest/refresh loop) mutates
+/// nothing the readers touch: it builds a fresh snapshot off-line and
+/// publishes it in one pointer swap. Because consecutive snapshots share
+/// their unchanged clusters' arena blocks, both the publish and the ring
+/// cost O(changed bytes), not O(window).
 ///
 /// The publication cell implements std::atomic<std::shared_ptr> semantics
 /// (P0718: linearizable store, acquire loads) over a reader-writer lock
@@ -62,15 +139,17 @@ struct AssignResult {
 /// snapshots enter the server.
 class ClusterServer {
  public:
-  /// `dim` is the dimensionality served (checked against every published
-  /// snapshot and query).
+  /// `dim` is the dimensionality served (ALID_CHECKed positive here, and
+  /// checked against every published snapshot and query).
   explicit ClusterServer(int dim, ClusterServerOptions options = {});
 
   /// Atomically installs a new snapshot (a release in the publication
   /// order: a reader that sees it also sees everything its build wrote).
-  /// Passing nullptr takes the server offline (queries answer unassigned,
-  /// generation 0). The retired snapshot is released outside the swap
-  /// critical section, so an expensive teardown never stalls readers.
+  /// The retired snapshot enters the history ring (unless history_capacity
+  /// is 0); generations evicted by the capacity/budget bounds are released
+  /// outside the swap critical section, so an expensive teardown never
+  /// stalls readers. Passing nullptr takes the server offline (queries
+  /// answer unassigned, generation 0).
   void Publish(std::shared_ptr<const ClusterSnapshot> snapshot);
 
   /// The current snapshot, or nullptr before the first Publish. Holding the
@@ -80,18 +159,23 @@ class ClusterServer {
   /// Generation of the current snapshot (0 when offline).
   uint64_t generation() const;
 
-  /// Single assignment query against the current snapshot.
-  AssignResult Assign(std::span<const Scalar> point) const;
+  /// The unified serve entry point (see QueryRequest): assignment or
+  /// ranked mode, against the current snapshot or a retained generation.
+  /// The whole request is answered by ONE snapshot (acquired once) and
+  /// chunked across the shared pool; assignment results are bit-identical
+  /// to querying that snapshot point by point serially, and an as-of
+  /// request reproduces exactly the answers the addressed generation gave
+  /// when it was current (the snapshot is immutable — nothing to recompute).
+  QueryResponse Query(const QueryRequest& request) const;
 
-  /// Batched assignment: `points` holds count * dim scalars, row-major. The
-  /// whole batch is answered by ONE snapshot (acquired once), chunked across
-  /// the shared pool; the results are bit-identical to calling Assign
-  /// count times serially against that snapshot.
-  std::vector<AssignResult> AssignBatch(std::span<const Scalar> points) const;
+  /// Cluster births, deaths and drift between two addressable generations
+  /// (0 = current). Purely metadata — O(clusters), no member rows touched.
+  GenerationDiffResult GenerationDiff(uint64_t from, uint64_t to) const;
 
-  /// Top-k candidate clusters of a point by pi(s_c, x), descending.
-  std::vector<ScoredCluster> TopKClusters(std::span<const Scalar> point,
-                                          int k) const;
+  /// Snapshot of generation `generation` (0 = current): the current
+  /// snapshot or a ring entry, nullptr when not addressable. Holding the
+  /// pointer pins it past eviction.
+  std::shared_ptr<const ClusterSnapshot> SnapshotAt(uint64_t generation) const;
 
   /// Copy-out of one cluster's metadata from the current snapshot
   /// (info.cluster == -1 when offline or out of range).
@@ -100,22 +184,87 @@ class ClusterServer {
   int dim() const { return dim_; }
   const ClusterServerOptions& options() const { return options_; }
 
-  /// A consistent read of the serving counters (QPS, latency profile, …).
-  ServeStatsView stats() const { return stats_.View(); }
+  /// A consistent read of the serving counters (QPS, latency profile,
+  /// publish byte ledger, history-ring gauges, …).
+  ServeStatsView stats() const;
   void ResetStats() { stats_.Reset(); }
 
+  // --- Deprecated pre-generation query surface ----------------------------
+  // Thin inline adapters over Query(), retained for one deprecation cycle.
+  // Migration:
+  //   server.Assign(x)          -> server.Query({.points = x}).assignments[0]
+  //   server.AssignBatch(xs)    -> server.Query({.points = xs}).assignments
+  //   server.TopKClusters(x, k) -> server.Query({.points = x, .top_k = k})
+  //                                      .ranked[0]
+
+  /// Single assignment query against the current snapshot.
+  [[deprecated(
+      "use Query(QueryRequest{.points = point}) — the generation-addressed "
+      "serve API")]]
+  AssignResult Assign(std::span<const Scalar> point) const;
+
+  /// Batched assignment against the current snapshot.
+  [[deprecated(
+      "use Query(QueryRequest{.points = points}) — the generation-addressed "
+      "serve API")]]
+  std::vector<AssignResult> AssignBatch(std::span<const Scalar> points) const;
+
+  /// Top-k candidate clusters of a point by pi(s_c, x), descending.
+  [[deprecated(
+      "use Query(QueryRequest{.points = point, .top_k = k}) — the "
+      "generation-addressed serve API")]]
+  std::vector<ScoredCluster> TopKClusters(std::span<const Scalar> point,
+                                          int k) const;
+
  private:
-  AssignResult AssignWith(const ClusterSnapshot& snapshot,
-                          std::span<const Scalar> point) const;
+  struct Retained {
+    uint64_t generation = 0;
+    std::shared_ptr<const ClusterSnapshot> snapshot;
+  };
+
+  // Unique arena-block bytes referenced by ring entries but NOT by the
+  // current snapshot — the true extra cost of time travel (shared blocks
+  // are charged to the live snapshot). Caller holds snapshot_mu_.
+  int64_t HistoryBytesLocked() const;
 
   int dim_;
   ClusterServerOptions options_;
   // The publication cell (see class comment). shared lock: copy the
-  // pointer; unique lock: swap it.
+  // pointer / scan the ring; unique lock: swap + retire + evict.
   mutable std::shared_mutex snapshot_mu_;
   std::shared_ptr<const ClusterSnapshot> snapshot_ptr_;
+  std::deque<Retained> history_;  // oldest first
+  int64_t history_ring_bytes_ = 0;
+  int64_t history_evictions_ = 0;
   mutable ServeStats stats_;
 };
+
+inline AssignResult ClusterServer::Assign(std::span<const Scalar> point) const {
+  const QueryResponse response = Query(QueryRequest{point, 0, 0});
+  AssignResult result;
+  if (!response.assignments.empty()) {
+    static_cast<QueryOutcome&>(result) = response.assignments.front();
+  }
+  return result;
+}
+
+inline std::vector<AssignResult> ClusterServer::AssignBatch(
+    std::span<const Scalar> points) const {
+  const QueryResponse response = Query(QueryRequest{points, 0, 0});
+  std::vector<AssignResult> results(response.assignments.size());
+  for (size_t i = 0; i < response.assignments.size(); ++i) {
+    static_cast<QueryOutcome&>(results[i]) = response.assignments[i];
+  }
+  return results;
+}
+
+inline std::vector<ScoredCluster> ClusterServer::TopKClusters(
+    std::span<const Scalar> point, int k) const {
+  if (k <= 0) return {};
+  QueryResponse response = Query(QueryRequest{point, k, 0});
+  if (response.ranked.empty()) return {};
+  return std::move(response.ranked.front());
+}
 
 }  // namespace alid
 

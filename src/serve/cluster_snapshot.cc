@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "affinity/lazy_affinity_oracle.h"
 #include "common/check.h"
 #include "common/epoch_stamp.h"
 #include "common/parallel.h"
@@ -61,11 +62,12 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   ALID_CHECK(options.absorb_slack >= 0.0 && options.absorb_slack < 1.0);
   WallTimer build_timer;
   std::shared_ptr<ClusterSnapshot> snap(new ClusterSnapshot());
+  const int dim = data.dim();
+  snap->dim_ = dim;
   snap->generation_ = generation;
   snap->absorb_slack_ = options.absorb_slack;
   snap->sketch_params_ = options.sketch;
   snap->affinity_fn_ = std::make_unique<AffinityFunction>(options.affinity);
-  snap->members_ = Dataset(data.dim());
 
   const int num_clusters = static_cast<int>(clusters.size());
   const int tables = options.lsh.num_tables;
@@ -78,9 +80,9 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // matches a cluster of the previous snapshot is provably unchanged (every
   // membership/weight/density mutation — and every member-row overwrite,
   // which expiry precedes — bumps the stream's version counter), so its
-  // exported blocks move over verbatim. Everything the re-use skips is a
-  // pure function of the cluster's members and weights, hence the copied
-  // blocks are bit-identical to what a from-scratch build would recompute.
+  // arena block is shared by refcount. Everything in the block is a pure
+  // function of the cluster's members and weights, hence the shared block is
+  // bit-identical to what a from-scratch build would recompute.
   std::vector<int> reuse_from(static_cast<size_t>(num_clusters), -1);
   if (stream != nullptr) {
     snap->src_uid_.resize(static_cast<size_t>(num_clusters));
@@ -89,7 +91,7 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
       snap->src_uid_[c] = stream->cluster_uid(c);
       snap->src_version_[c] = stream->cluster_version(c);
     }
-    if (prev != nullptr && prev->CompatibleWith(options, data.dim())) {
+    if (prev != nullptr && prev->CompatibleWith(options, dim)) {
       std::unordered_map<uint64_t, int> prev_by_uid;
       prev_by_uid.reserve(prev->src_uid_.size());
       for (size_t p = 0; p < prev->src_uid_.size(); ++p) {
@@ -111,190 +113,195 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
     snap->src_version_.assign(static_cast<size_t>(num_clusters), 0);
   }
 
-  // Serial fill, cluster-major: rows/weights/ids move as block copies from
-  // the previous snapshot when re-used, otherwise gather from the source.
+  // Block fill, cluster-major: an unchanged cluster *shares* the previous
+  // snapshot's sealed arena block (a refcount bump — zero bytes moved);
+  // a changed one materializes a fresh block and gathers its rows from the
+  // source. `fresh` keeps the mutable handle of every new block for the
+  // build passes below; once Build returns, only const references remain.
+  snap->blocks_.resize(static_cast<size_t>(num_clusters));
+  std::vector<std::shared_ptr<ClusterBlock>> fresh(
+      static_cast<size_t>(num_clusters));
   snap->cluster_begin_.push_back(0);
   for (int c = 0; c < num_clusters; ++c) {
     const Cluster& cluster = clusters[c];
     ALID_CHECK(cluster.members.size() == cluster.weights.size());
+    const Index count = static_cast<Index>(cluster.members.size());
     const int p = reuse_from[c];
     if (p >= 0) {
-      const Index pb = prev->cluster_begin_[p];
-      const Index pe = prev->cluster_begin_[p + 1];
-      ALID_CHECK(static_cast<size_t>(pe - pb) == cluster.members.size());
-      snap->members_.AppendRaw(prev->members_.RawRows(pb, pe));
-      snap->source_id_.insert(snap->source_id_.end(),
-                              prev->source_id_.begin() + pb,
-                              prev->source_id_.begin() + pe);
-      snap->weights_.insert(snap->weights_.end(), prev->weights_.begin() + pb,
-                            prev->weights_.begin() + pe);
-      snap->member_keys_.insert(
-          snap->member_keys_.end(),
-          prev->member_keys_.begin() + static_cast<size_t>(pb) * tables,
-          prev->member_keys_.begin() + static_cast<size_t>(pe) * tables);
-      snap->verified_density_.push_back(prev->verified_density_[p]);
-      snap->build_info_.rows_reused += pe - pb;
+      const std::shared_ptr<const ClusterBlock>& block = prev->blocks_[p];
+      ALID_CHECK(block->count == count);
+      snap->blocks_[c] = block;
+      snap->build_info_.bytes_shared +=
+          static_cast<int64_t>(block->MemoryBytes());
+      snap->build_info_.rows_reused += count;
       ++snap->build_info_.clusters_reused;
     } else {
-      for (size_t t = 0; t < cluster.members.size(); ++t) {
+      auto block = std::make_shared<ClusterBlock>();
+      block->count = count;
+      block->dim = dim;
+      block->keys_per_member = tables;
+      block->rows.resize(static_cast<size_t>(count) * dim);
+      block->weights.resize(static_cast<size_t>(count));
+      block->source_ids.resize(static_cast<size_t>(count));
+      block->member_keys.resize(static_cast<size_t>(count) * tables);
+      for (Index t = 0; t < count; ++t) {
         const Index source = cluster.members[t];
         ALID_CHECK(source >= 0 && source < data.size());
-        snap->members_.Append(data[source]);
-        snap->source_id_.push_back(source);
-        snap->weights_.push_back(cluster.weights[t]);
+        const std::span<const Scalar> row = data[source];
+        std::copy(row.begin(), row.end(),
+                  block->rows.begin() + static_cast<size_t>(t) * dim);
+        block->weights[t] = cluster.weights[t];
+        block->source_ids[t] = source;
       }
-      snap->member_keys_.resize(snap->member_keys_.size() +
-                                cluster.members.size() *
-                                    static_cast<size_t>(tables));
-      snap->verified_density_.push_back(0.0);  // computed below
-      snap->build_info_.rows_rebuilt +=
-          static_cast<Index>(cluster.members.size());
+      snap->blocks_[c] = block;
+      fresh[c] = std::move(block);
+      snap->build_info_.rows_rebuilt += count;
     }
-    for (size_t t = 0; t < cluster.members.size(); ++t) {
+    for (Index t = 0; t < count; ++t) {
       snap->cluster_of_.push_back(c);
     }
-    snap->cluster_begin_.push_back(snap->members_.size());
+    snap->cluster_begin_.push_back(snap->cluster_begin_.back() + count);
     snap->density_.push_back(cluster.density);
     snap->seed_.push_back(cluster.seed);
   }
   snap->build_info_.clusters_total = num_clusters;
 
-  // Snapshot-owned substrates over the compacted members. The oracle's
-  // default-on column cache is budgeted for the member set; the LSH index
-  // is built deferred: re-used clusters insert their inherited keys,
-  // rebuilt clusters hash their members in a deterministic parallel pass,
-  // and the serial 0..M-1 insertion then reproduces exactly the buckets the
-  // hashing constructor would have built (same params => same projections
-  // as the source index, so point queries land in equivalent buckets).
-  snap->oracle_ =
-      std::make_unique<LazyAffinityOracle>(snap->members_, *snap->affinity_fn_);
-  snap->lsh_ = std::make_unique<LshIndex>(snap->members_, options.lsh,
-                                          LshIndex::DeferIndexing::kDeferred);
+  // Per-snapshot LSH index over the global member positions, dataset-free
+  // (the rows live in the blocks): shared clusters re-insert their
+  // inherited keys, fresh clusters hash their block rows in a deterministic
+  // parallel pass, and the serial 0..M-1 insertion then reproduces exactly
+  // the buckets an eager index over the same rows would have built (same
+  // params => same projections as the source index, so point queries land
+  // in equivalent buckets).
+  snap->lsh_ = std::make_unique<LshIndex>(dim, options.lsh);
   ParallelChunks(options.pool, 0, num_clusters, options.grain,
-                 [&snap, &reuse_from](int64_t, int64_t lo, int64_t hi) {
+                 [&snap, &fresh](int64_t, int64_t lo, int64_t hi) {
                    for (int64_t c = lo; c < hi; ++c) {
-                     if (reuse_from[c] >= 0) continue;  // keys inherited
-                     const Index begin = snap->cluster_begin_[c];
-                     const Index end = snap->cluster_begin_[c + 1];
-                     const size_t tables =
-                         static_cast<size_t>(snap->lsh_->num_tables());
-                     for (Index m = begin; m < end; ++m) {
-                       snap->lsh_->ComputeItemKeys(
-                           m,
-                           &snap->member_keys_[static_cast<size_t>(m) *
+                     ClusterBlock* block = fresh[c].get();
+                     if (block == nullptr) continue;  // keys inherited
+                     const size_t tables = static_cast<size_t>(
+                         snap->lsh_->num_tables());
+                     for (Index m = 0; m < block->count; ++m) {
+                       snap->lsh_->ComputePointKeys(
+                           block->row(m),
+                           &block->member_keys[static_cast<size_t>(m) *
                                                tables]);
                      }
                    }
                  });
-  for (Index m = 0; m < snap->members_.size(); ++m) {
-    snap->lsh_->InsertItemWithKeys(
-        m, std::span<const uint64_t>(
-               snap->member_keys_.data() + static_cast<size_t>(m) * tables,
-               static_cast<size_t>(tables)));
-  }
-
-  // Verify each rebuilt cluster's density from the snapshot's own kernel
-  // entries: x^T A x over the exported support, through the per-snapshot
-  // column cache (the symmetric pair (t, u)/(u, t) is one cached slot, so
-  // the pass also warms and exercises the cache). Per-cluster sums run
-  // serially in a fixed order inside deterministic chunks, so the values
-  // are bit-identical for any pool width or grain — and for a re-used
-  // cluster, bit-identical to the predecessor's value it inherited, which
-  // is why this pass may skip it.
-  ParallelChunks(options.pool, 0, num_clusters, options.grain,
-                 [&snap, &reuse_from](int64_t, int64_t lo, int64_t hi) {
-                   for (int64_t c = lo; c < hi; ++c) {
-                     if (reuse_from[c] >= 0) continue;
-                     const Index begin = snap->cluster_begin_[c];
-                     const Index end = snap->cluster_begin_[c + 1];
-                     Scalar density = 0.0;
-                     for (Index t = begin; t < end; ++t) {
-                       for (Index u = begin; u < end; ++u) {
-                         density += snap->weights_[t] * snap->weights_[u] *
-                                    snap->oracle_->Entry(t, u);
-                       }
-                     }
-                     snap->verified_density_[c] = density;
-                   }
-                 });
-
-  // Support sketches, flattened snapshot-local: re-used clusters shift the
-  // predecessor's positions by their block offset; rebuilt clusters lift
-  // the stream's fresh sketch when one exists (the "export, don't rebuild"
-  // path) and otherwise build from the weights — all three produce the same
-  // bits because the sketch is a pure function of the weights.
-  snap->sketch_begin_.push_back(0);
   for (int c = 0; c < num_clusters; ++c) {
+    const ClusterBlock& block = *snap->blocks_[c];
     const Index begin = snap->cluster_begin_[c];
-    const int p = reuse_from[c];
-    if (p >= 0) {
-      const Index delta = begin - prev->cluster_begin_[p];
-      for (Index s = prev->sketch_begin_[p]; s < prev->sketch_begin_[p + 1];
-           ++s) {
-        snap->sketch_member_.push_back(prev->sketch_member_[s] + delta);
-        snap->sketch_weight_.push_back(prev->sketch_weight_[s]);
-        snap->sketch_rest_.push_back(prev->sketch_rest_[s]);
-      }
-    } else {
-      const SupportSketch* fresh = nullptr;
-      SupportSketch built;
-      if (stream != nullptr &&
-          stream->cluster_sketch(c).built_version ==
-              stream->cluster_version(c)) {
-        fresh = &stream->cluster_sketch(c);
-      } else {
-        built = BuildSupportSketch(
-            std::span<const Scalar>(snap->weights_.data() + begin,
-                                    static_cast<size_t>(
-                                        snap->cluster_begin_[c + 1] - begin)),
-            options.sketch);
-        fresh = &built;
-      }
-      for (size_t t = 0; t < fresh->ordinals.size(); ++t) {
-        snap->sketch_member_.push_back(begin + fresh->ordinals[t]);
-        snap->sketch_weight_.push_back(fresh->weights[t]);
-        snap->sketch_rest_.push_back(fresh->rest_weights[t]);
-      }
+    for (Index m = 0; m < block.count; ++m) {
+      snap->lsh_->InsertItemWithKeys(
+          begin + m,
+          std::span<const uint64_t>(
+              block.member_keys.data() + static_cast<size_t>(m) * tables,
+              static_cast<size_t>(tables)));
     }
-    snap->sketch_begin_.push_back(
-        static_cast<Index>(snap->sketch_member_.size()));
   }
 
-  // Vector-kernel tiles (see header): dimension-major copies of every
-  // cluster's member block and sketch prefix, skipped entirely when the
-  // norm has no tile kernel. Pure per cluster, so the pass chunks on the
-  // build pool like the others; a re-used cluster copies the predecessor's
-  // blocks (a compatible predecessor was built under the same norm, so its
-  // blocks exist and are bit-identical to a rebuild from the same rows).
+  // Verify each fresh cluster's density from the build's own kernel
+  // entries: x^T A x over the exported support, through a build-scratch
+  // delta dataset (the fresh clusters' rows only) and lazy oracle whose
+  // column cache dedups the symmetric (t, u)/(u, t) pairs. Per-cluster sums
+  // run serially in a fixed order inside deterministic chunks, so the
+  // values are bit-identical for any pool width or grain — and for a shared
+  // cluster, bit-identical to the predecessor's value its block carries,
+  // which is why this pass may skip it. The scratch dataset and oracle die
+  // with this scope: only the verified densities (in the blocks) and the
+  // cache-hit counter survive, so the snapshot holds no second copy of any
+  // member row.
+  {
+    Dataset delta(dim);
+    std::vector<Index> delta_begin(static_cast<size_t>(num_clusters), -1);
+    for (int c = 0; c < num_clusters; ++c) {
+      if (fresh[c] == nullptr) continue;
+      delta_begin[c] = delta.size();
+      delta.AppendRaw(std::span<const Scalar>(fresh[c]->rows.data(),
+                                              fresh[c]->rows.size()));
+    }
+    if (!delta.empty()) {
+      LazyAffinityOracle oracle(delta, *snap->affinity_fn_);
+      ParallelChunks(
+          options.pool, 0, num_clusters, options.grain,
+          [&fresh, &delta_begin, &oracle](int64_t, int64_t lo, int64_t hi) {
+            for (int64_t c = lo; c < hi; ++c) {
+              ClusterBlock* block = fresh[c].get();
+              if (block == nullptr) continue;
+              const Index base = delta_begin[c];
+              Scalar density = 0.0;
+              for (Index t = 0; t < block->count; ++t) {
+                for (Index u = 0; u < block->count; ++u) {
+                  density += block->weights[t] * block->weights[u] *
+                             oracle.Entry(base + t, base + u);
+                }
+              }
+              block->verified_density = density;
+            }
+          });
+      snap->verification_cache_hits_ = oracle.cache_hits();
+    }
+  }
+
+  // Support sketches, cluster-local ordinals: shared blocks carry theirs;
+  // fresh clusters lift the stream's fresh sketch when one exists (the
+  // "export, don't rebuild" path) and otherwise build from the weights —
+  // both produce the same bits because the sketch is a pure function of the
+  // weights.
+  for (int c = 0; c < num_clusters; ++c) {
+    ClusterBlock* block = fresh[c].get();
+    if (block == nullptr) continue;
+    const SupportSketch* sketch = nullptr;
+    SupportSketch built;
+    if (stream != nullptr &&
+        stream->cluster_sketch(c).built_version ==
+            stream->cluster_version(c)) {
+      sketch = &stream->cluster_sketch(c);
+    } else {
+      built = BuildSupportSketch(block->weights_span(), options.sketch);
+      sketch = &built;
+    }
+    block->sketch_members.reserve(sketch->ordinals.size());
+    for (size_t t = 0; t < sketch->ordinals.size(); ++t) {
+      block->sketch_members.push_back(sketch->ordinals[t]);
+      block->sketch_weights.push_back(sketch->weights[t]);
+      block->sketch_rest.push_back(sketch->rest_weights[t]);
+    }
+  }
+
+  // Vector-kernel tiles (see snapshot_arena.h): dimension-major copies of
+  // every fresh cluster's member block and sketch prefix, skipped entirely
+  // when the norm has no tile kernel. Pure per cluster, so the pass chunks
+  // on the build pool like the others; a shared block's tiles ride along
+  // with the block (a compatible predecessor was built under the same norm,
+  // so they exist and are bit-identical to a rebuild from the same rows).
   snap->simd_norm_ = SimdSupportsNorm(options.affinity.p);
   if (snap->simd_norm_) {
-    const int dim = data.dim();
-    snap->cluster_soa_.resize(static_cast<size_t>(num_clusters));
-    snap->sketch_soa_.resize(static_cast<size_t>(num_clusters));
-    ParallelChunks(
-        options.pool, 0, num_clusters, options.grain,
-        [&snap, &reuse_from, prev, dim](int64_t, int64_t lo, int64_t hi) {
-          for (int64_t c = lo; c < hi; ++c) {
-            const int p = reuse_from[c];
-            if (p >= 0 && !prev->cluster_soa_.empty()) {
-              snap->cluster_soa_[c] = prev->cluster_soa_[p];
-              snap->sketch_soa_[c] = prev->sketch_soa_[p];
-              continue;
-            }
-            const Index begin = snap->cluster_begin_[c];
-            const Index end = snap->cluster_begin_[c + 1];
-            snap->cluster_soa_[c].FromRowMajor(
-                snap->members_.raw().data() +
-                    static_cast<size_t>(begin) * dim,
-                end - begin, dim);
-            snap->sketch_soa_[c].GatherRows(
-                snap->members_,
-                std::span<const Index>(
-                    snap->sketch_member_.data() + snap->sketch_begin_[c],
-                    static_cast<size_t>(snap->sketch_begin_[c + 1] -
-                                        snap->sketch_begin_[c])));
-          }
-        });
+    ParallelChunks(options.pool, 0, num_clusters, options.grain,
+                   [&fresh, dim](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t c = lo; c < hi; ++c) {
+                       ClusterBlock* block = fresh[c].get();
+                       if (block == nullptr) continue;
+                       block->cluster_soa.FromRowMajor(block->rows.data(),
+                                                       block->count, dim);
+                       block->sketch_soa.GatherRowMajor(
+                           block->rows.data(), dim,
+                           std::span<const Index>(
+                               block->sketch_members.data(),
+                               block->sketch_members.size()));
+                     }
+                   });
+  }
+
+  // Every fresh block is complete: seal it — charging its bytes to the
+  // global tracker and the arena's resource space exactly once — and count
+  // what this build materialized vs. shared.
+  for (int c = 0; c < num_clusters; ++c) {
+    if (fresh[c] == nullptr) continue;
+    fresh[c]->Seal();
+    snap->build_info_.bytes_copied +=
+        static_cast<int64_t>(fresh[c]->MemoryBytes());
   }
 
   snap->build_info_.build_seconds = build_timer.Seconds();
@@ -326,22 +333,19 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromStream(
 
 Scalar ClusterSnapshot::ClusterAffinity(int c,
                                         std::span<const Scalar> point) const {
-  const Index begin = cluster_begin_[c];
-  const Index end = cluster_begin_[c + 1];
+  const ClusterBlock& block = *blocks_[c];
   if (simd_norm_) {
     // Same member-order accumulation through the dimension-major tiles —
     // bit-identical to the row-major loop below (see simd/soa_block.h).
-    return SoaWeightedKernelSum(
-        *ActiveSimdOps(), cluster_soa_[c],
-        std::span<const Scalar>(weights_.data() + begin,
-                                static_cast<size_t>(end - begin)),
-        *affinity_fn_, point.data());
+    return SoaWeightedKernelSum(*ActiveSimdOps(), block.cluster_soa,
+                                block.weights_span(), *affinity_fn_,
+                                point.data());
   }
   const double p = affinity_fn_->params().p;
   Scalar affinity = 0.0;  // pi(s_c, x), in member order (see header)
-  for (Index t = begin; t < end; ++t) {
-    affinity += weights_[t] *
-                affinity_fn_->FromDistance(members_.DistanceTo(t, point, p));
+  for (Index t = 0; t < block.count; ++t) {
+    affinity += block.weights[t] *
+                affinity_fn_->FromDistance(LpDistance(block.row(t), point, p));
   }
   return affinity;
 }
@@ -349,14 +353,13 @@ Scalar ClusterSnapshot::ClusterAffinity(int c,
 ClusterSnapshot::SketchView ClusterSnapshot::sketch(int c) const {
   SketchView view;
   if (c < 0 || c >= num_clusters()) return view;
-  const Index begin = sketch_begin_[c];
-  const Index end = sketch_begin_[c + 1];
-  view.members = std::span<const Index>(sketch_member_.data() + begin,
-                                        static_cast<size_t>(end - begin));
-  view.weights = std::span<const Scalar>(sketch_weight_.data() + begin,
-                                         static_cast<size_t>(end - begin));
-  view.rest_weights = std::span<const Scalar>(
-      sketch_rest_.data() + begin, static_cast<size_t>(end - begin));
+  const ClusterBlock& block = *blocks_[c];
+  view.members = std::span<const Index>(block.sketch_members.data(),
+                                        block.sketch_members.size());
+  view.weights = std::span<const Scalar>(block.sketch_weights.data(),
+                                         block.sketch_weights.size());
+  view.rest_weights = std::span<const Scalar>(block.sketch_rest.data(),
+                                              block.sketch_rest.size());
   return view;
 }
 
@@ -375,19 +378,18 @@ bool ClusterSnapshot::SketchRejects(int c, std::span<const Scalar> point,
                                     Scalar threshold,
                                     Scalar incumbent) const {
   const double p = affinity_fn_->params().p;
-  const Index begin = sketch_begin_[c];
-  const size_t prefix = static_cast<size_t>(sketch_begin_[c + 1] - begin);
-  const std::span<const Scalar> prefix_weights(
-      sketch_weight_.data() + begin, prefix);
-  const std::span<const Scalar> prefix_rest(sketch_rest_.data() + begin,
-                                            prefix);
+  const ClusterBlock& block = *blocks_[c];
+  const std::span<const Scalar> prefix_weights(block.sketch_weights.data(),
+                                               block.sketch_weights.size());
+  const std::span<const Scalar> prefix_rest(block.sketch_rest.data(),
+                                            block.sketch_rest.size());
   // One walk, shared with the stream's absorb phase (SketchBoundRejects
   // [Tiled] in support_sketch.h): checkpoint cadence, guard, reject test
   // and give-up rule live there exactly once, so a tweak cannot
   // desynchronize the two layers' prune decisions.
   if (simd_norm_) {
     const SimdKernelOps& ops = *ActiveSimdOps();
-    const SoaBlock& soa = sketch_soa_[c];
+    const SoaBlock& soa = block.sketch_soa;
     return SketchBoundRejectsTiled(
         prefix_weights, prefix_rest, threshold, incumbent,
         [&](size_t t0, size_t n, Scalar* out) {
@@ -403,14 +405,15 @@ bool ClusterSnapshot::SketchRejects(int c, std::span<const Scalar> point,
   }
   return SketchBoundRejects(
       prefix_weights, prefix_rest, threshold, incumbent, [&](size_t t) {
-        return affinity_fn_->FromDistance(members_.DistanceTo(
-            sketch_member_[begin + static_cast<Index>(t)], point, p));
+        return affinity_fn_->FromDistance(
+            LpDistance(block.row(block.sketch_members[t]), point, p));
       });
 }
 
 AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
   ALID_CHECK(static_cast<int>(point.size()) == dim());
   AssignOutcome best;
+  best.generation = generation_;
   if (num_clusters() == 0) return best;
   CandidateMembers(point);
   const QueryScratch& scratch = Scratch();
@@ -420,7 +423,7 @@ AssignOutcome ClusterSnapshot::Assign(std::span<const Scalar> point) const {
     // Absorb when (near-)infective — the same slack rule, threshold and
     // lowest-id tie-break as the stream's ScoreArrival.
     const Scalar threshold = density_[c] * (1.0 - absorb_slack_);
-    if (sketch_begin_[c + 1] > sketch_begin_[c]) {
+    if (!blocks_[c]->sketch_members.empty()) {
       // Branch-and-bound: any scored prefix of the sketch plus its rest
       // weight (plus the FP guard) certifies an upper bound on pi(s_c, x);
       // a checkpoint bound that cannot clear the threshold or beat the
@@ -451,7 +454,10 @@ void ClusterSnapshot::AssignBatch(std::span<const Scalar> points,
   ALID_CHECK(d > 0 && points.size() % static_cast<size_t>(d) == 0);
   const Index count = static_cast<Index>(points.size() / d);
   ALID_CHECK(outcomes.size() == static_cast<size_t>(count));
-  for (Index q = 0; q < count; ++q) outcomes[q] = AssignOutcome{};
+  for (Index q = 0; q < count; ++q) {
+    outcomes[q] = AssignOutcome{};
+    outcomes[q].generation = generation_;
+  }
   const int num = num_clusters();
   if (num == 0) return;
   // Query-major tiling: mark every query's candidate clusters up front for
@@ -482,7 +488,7 @@ void ClusterSnapshot::AssignBatch(std::span<const Scalar> points,
     }
     for (int c = 0; c < num; ++c) {
       const Scalar threshold = density_[c] * (1.0 - absorb_slack_);
-      const bool sketched = sketch_begin_[c + 1] > sketch_begin_[c];
+      const bool sketched = !blocks_[c]->sketch_members.empty();
       for (Index i = 0; i < block; ++i) {
         if (candidate[static_cast<size_t>(i) * num + c] == 0) continue;
         const std::span<const Scalar> point =
@@ -525,15 +531,19 @@ std::vector<ScoredCluster> ClusterSnapshot::TopKClusters(
   for (int c = 0; c < num_clusters(); ++c) {
     if (!scratch.candidates.IsMarked(static_cast<size_t>(c))) continue;
     if (static_cast<int>(topk.size()) == k &&
-        sketch_begin_[c + 1] > sketch_begin_[c] &&
+        !blocks_[c]->sketch_members.empty() &&
         SketchRejects(c, point, /*threshold=*/0.0,
                       /*incumbent=*/topk.front())) {
       continue;
     }
     const Scalar affinity = ClusterAffinity(c, point);
-    scored.push_back(
-        {c, affinity,
-         affinity - density_[c] * (1.0 - absorb_slack_) > 0.0});
+    ScoredCluster entry;
+    entry.cluster = c;
+    entry.affinity = affinity;
+    entry.margin = affinity - density_[c] * (1.0 - absorb_slack_);
+    entry.generation = generation_;
+    entry.absorbable = entry.margin > 0.0;
+    scored.push_back(entry);
     if (static_cast<int>(topk.size()) < k) {
       topk.push_back(affinity);
       std::push_heap(topk.begin(), topk.end(), std::greater<Scalar>());
@@ -557,15 +567,14 @@ std::vector<ScoredCluster> ClusterSnapshot::TopKClusters(
 ClusterSnapshotInfo ClusterSnapshot::ClusterInfo(int c) const {
   ClusterSnapshotInfo info;
   if (c < 0 || c >= num_clusters()) return info;
+  const ClusterBlock& block = *blocks_[c];
   info.cluster = c;
-  const Index begin = cluster_begin_[c];
-  const Index end = cluster_begin_[c + 1];
-  info.size = end - begin;
+  info.size = block.count;
   info.density = density_[c];
-  info.verified_density = verified_density_[c];
+  info.verified_density = block.verified_density;
   info.seed = seed_[c];
-  info.members.assign(source_id_.begin() + begin, source_id_.begin() + end);
-  info.weights.assign(weights_.begin() + begin, weights_.begin() + end);
+  info.members.assign(block.source_ids.begin(), block.source_ids.end());
+  info.weights.assign(block.weights.begin(), block.weights.end());
   return info;
 }
 

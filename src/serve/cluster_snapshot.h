@@ -7,11 +7,11 @@
 #include <vector>
 
 #include "affinity/affinity_function.h"
-#include "affinity/lazy_affinity_oracle.h"
 #include "common/dataset.h"
 #include "core/cluster.h"
 #include "core/support_sketch.h"
 #include "lsh/lsh_index.h"
+#include "serve/snapshot_arena.h"
 #include "simd/soa_block.h"
 
 namespace alid {
@@ -49,23 +49,43 @@ struct ClusterSnapshotOptions {
 /// (FromStream with a previous snapshot) actually saved.
 struct SnapshotBuildInfo {
   int clusters_total = 0;
-  /// Clusters inherited wholesale from the previous snapshot: member rows,
-  /// weights, LSH keys, verified density and sketch all moved as blocks
-  /// because the stream's (uid, version) pair proved them unchanged.
+  /// Clusters inherited wholesale from the previous snapshot: their arena
+  /// blocks (member rows, weights, LSH keys, verified density, sketch, SoA
+  /// tiles) moved as shared refcount bumps because the stream's
+  /// (uid, version) pair proved them unchanged.
   int clusters_reused = 0;
-  Index rows_reused = 0;    ///< Member rows bulk-copied from the predecessor.
+  Index rows_reused = 0;    ///< Member rows shared from the predecessor.
   Index rows_rebuilt = 0;   ///< Member rows gathered + re-hashed from source.
+  /// Arena-block bytes this build *shared* with its predecessor (refcount
+  /// bumps — no copy, no new charge) vs. bytes it newly materialized and
+  /// charged. bytes_shared > 0 on a steady-state incremental publish is the
+  /// O(changed-bytes) property CI gates on.
+  int64_t bytes_shared = 0;
+  int64_t bytes_copied = 0;
   double build_seconds = 0.0;
 };
 
-/// The outcome of one assignment query against a snapshot.
-struct AssignOutcome {
+/// The shared shape of every answered query — the single result vocabulary
+/// of the serve API (ClusterServer::Query). AssignResult and ScoredCluster
+/// extend it without changing its meaning.
+struct QueryOutcome {
   /// Snapshot cluster id, or -1 when no candidate cluster absorbs the point.
   int cluster = -1;
-  /// pi(s_c, x) of the winning cluster (0 when unassigned).
+  /// pi(s_c, x) of the cluster (0 when unassigned).
   Scalar affinity = 0.0;
-  /// Winning margin over the absorb threshold (0 when unassigned).
+  /// Signed margin over the absorb threshold density * (1 - absorb_slack)
+  /// (0 when unassigned; may be negative for ranked non-absorbable
+  /// candidates).
   Scalar margin = 0.0;
+  /// Generation of the snapshot that answered (0 when offline).
+  uint64_t generation = 0;
+
+  bool operator==(const QueryOutcome&) const = default;
+};
+
+/// The outcome of one assignment query against a snapshot: the QueryOutcome
+/// shape plus the query's sketch-filter activity.
+struct AssignOutcome : QueryOutcome {
   /// Candidate clusters the support-sketch bound rejected for this query —
   /// full-support scorings skipped without changing the answer.
   int32_t sketch_prunes = 0;
@@ -75,14 +95,13 @@ struct AssignOutcome {
 };
 
 /// One scored candidate of a TopKClusters query.
-struct ScoredCluster {
-  int cluster = -1;
-  /// pi(s_c, x) — Theorem 1's infectivity of the point against the support.
-  Scalar affinity = 0.0;
+struct ScoredCluster : QueryOutcome {
   /// True iff the affinity clears the absorb threshold
-  /// density * (1 - absorb_slack); the top absorbable candidate is exactly
-  /// Assign's answer.
+  /// density * (1 - absorb_slack), i.e. margin > 0; the top absorbable
+  /// candidate is exactly Assign's answer.
   bool absorbable = false;
+
+  bool operator==(const ScoredCluster&) const = default;
 };
 
 /// Copy-out of one cluster's metadata (safe to hold across snapshot swaps).
@@ -90,8 +109,8 @@ struct ClusterSnapshotInfo {
   int cluster = -1;  ///< -1 when the queried id was out of range.
   Index size = 0;
   Scalar density = 0.0;
-  /// x^T A x recomputed from the snapshot's own kernel entries at build time
-  /// (through the per-snapshot column cache) — an integrity check that the
+  /// x^T A x recomputed from the snapshot build's own kernel entries
+  /// (through a build-scratch column cache) — an integrity check that the
   /// exported supports and the reported density describe the same simplex.
   Scalar verified_density = 0.0;
   Index seed = -1;     ///< Source id of the detection seed.
@@ -100,11 +119,14 @@ struct ClusterSnapshotInfo {
 };
 
 /// An immutable, self-contained view of one detection state, built for
-/// serving: the compacted member rows of every dominant cluster (copied, so
-/// the source dataset/stream may mutate or die), their simplex weights and
-/// densities, a per-snapshot LSH index over the members for candidate
-/// retrieval, and a per-snapshot lazy oracle (column cache included) for the
-/// build's density verification. Every query method is const, touches only
+/// serving: every dominant cluster's payload (compacted member rows, simplex
+/// weights, source ids, per-member LSH keys, support sketch, SoA tiles)
+/// lives in a refcounted arena block (see snapshot_arena.h), plus a
+/// per-snapshot LSH index over the members for candidate retrieval. The
+/// incremental export *shares* an unchanged cluster's block with the
+/// predecessor snapshot instead of copying it, so consecutive generations
+/// cost only their changed bytes — and a server's history ring of old
+/// generations is nearly free. Every query method is const, touches only
 /// snapshot-owned state plus thread-local scratch, and is therefore safe for
 /// any number of concurrent readers — the read side of the serving
 /// subsystem's RCU design.
@@ -135,12 +157,12 @@ class ClusterSnapshot {
   /// `previous` enables the incremental export: any cluster whose stream
   /// (uid, version) pair matches a cluster of the previous snapshot — which
   /// proves its members, weights, density and member rows did not change —
-  /// re-uses that snapshot's member rows, weights, per-member LSH keys,
-  /// verified density and sketch as block copies instead of gathering,
-  /// re-hashing and re-verifying them, turning publish cost from O(window)
-  /// into O(changed clusters). The result is deep-equal to a from-scratch
-  /// build (the property tests pin this every generation); pass nullptr for
-  /// the from-scratch behavior.
+  /// *shares* that snapshot's arena block (rows, weights, per-member LSH
+  /// keys, verified density, sketch, SoA tiles) by refcount instead of
+  /// gathering, re-hashing and re-verifying, turning publish cost from
+  /// O(window) into O(changed bytes). The result is deep-equal to a
+  /// from-scratch build (the property tests pin this every generation); pass
+  /// nullptr for the from-scratch behavior.
   static std::shared_ptr<const ClusterSnapshot> FromStream(
       const OnlineAlid& stream, ThreadPool* pool = nullptr,
       std::shared_ptr<const ClusterSnapshot> previous = nullptr);
@@ -148,8 +170,8 @@ class ClusterSnapshot {
   int num_clusters() const {
     return static_cast<int>(cluster_begin_.size()) - 1;
   }
-  Index num_members() const { return members_.size(); }
-  int dim() const { return members_.dim(); }
+  Index num_members() const { return cluster_begin_.back(); }
+  int dim() const { return dim_; }
   uint64_t generation() const { return generation_; }
   double absorb_slack() const { return absorb_slack_; }
 
@@ -157,6 +179,7 @@ class ClusterSnapshot {
   /// the clusters of the point's LSH collisions, the winner the candidate
   /// with the largest positive margin pi(s_c, x) - density_c * (1 - slack)
   /// (lowest id on ties — the same rule as OnlineAlid::ScoreArrival).
+  /// outcome.generation carries this snapshot's generation.
   AssignOutcome Assign(std::span<const Scalar> point) const;
 
   /// Assign for a batch of queries: `points` holds count * dim scalars,
@@ -182,15 +205,22 @@ class ClusterSnapshot {
   ClusterSnapshotInfo ClusterInfo(int c) const;
 
   Scalar density(int c) const { return density_[c]; }
+  Index cluster_size(int c) const {
+    return cluster_begin_[c + 1] - cluster_begin_[c];
+  }
+  /// Stream identity of cluster `c` ((0, 0) when the source carries none) —
+  /// what the incremental export and ClusterServer::GenerationDiff match on.
+  uint64_t cluster_uid(int c) const { return src_uid_[c]; }
+  uint64_t cluster_version(int c) const { return src_version_[c]; }
 
-  /// What this build cost and what the incremental path saved.
+  /// What this build cost and what the incremental path saved/shared.
   const SnapshotBuildInfo& build_info() const { return build_info_; }
 
   /// Read-only view of cluster `c`'s support sketch (empty spans when the
   /// sketch is disengaged for that cluster) — the deep-equality tests
   /// compare these across incremental and from-scratch builds.
   struct SketchView {
-    /// Snapshot-local member positions, descending weight.
+    /// Cluster-local member ordinals, descending weight.
     std::span<const Index> members;
     std::span<const Scalar> weights;
     /// Weight mass left after each prefix position (see SupportSketch).
@@ -199,9 +229,17 @@ class ClusterSnapshot {
   };
   SketchView sketch(int c) const;
 
-  /// Per-snapshot substrate observability (cache hits of the build's
-  /// verification pass; LSH footprint).
-  const LazyAffinityOracle& oracle() const { return *oracle_; }
+  /// The refcounted arena blocks backing this snapshot, one per cluster —
+  /// shared with other generations that inherited the same clusters. The
+  /// server's history accounting walks these to charge each block once.
+  std::span<const std::shared_ptr<const ClusterBlock>> blocks() const {
+    return {blocks_.data(), blocks_.size()};
+  }
+
+  /// Per-snapshot substrate observability: column-cache hits of the build's
+  /// density-verification pass (the build-scratch oracle is discarded after
+  /// the pass — only its counters survive) and the LSH footprint.
+  int64_t verification_cache_hits() const { return verification_cache_hits_; }
   const LshIndex& lsh() const { return *lsh_; }
 
  private:
@@ -220,7 +258,7 @@ class ClusterSnapshot {
       const StreamIdentity* identity);
 
   // True iff `previous` was built under the same scoring/indexing
-  // parameters, so its per-cluster blocks are re-usable verbatim.
+  // parameters, so its per-cluster arena blocks are shareable verbatim.
   bool CompatibleWith(const ClusterSnapshotOptions& options, int dim) const;
 
   // pi(s_c, x): the weighted kernel sum over cluster c's support, in member
@@ -241,45 +279,28 @@ class ClusterSnapshot {
   const std::vector<Index>& CandidateMembers(
       std::span<const Scalar> point) const;
 
-  Dataset members_;                  // compacted member rows, cluster-major
-  std::vector<Index> source_id_;     // snapshot-local -> source id
-  std::vector<int> cluster_of_;      // snapshot-local -> cluster id
-  std::vector<Index> cluster_begin_; // cluster -> first member (C + 1 edges)
-  std::vector<Scalar> weights_;      // parallel to members_
+  int dim_ = 0;
+  // One refcounted arena block per cluster (see snapshot_arena.h): all
+  // member-indexed payload lives there, shared with the predecessor for
+  // unchanged clusters.
+  std::vector<std::shared_ptr<const ClusterBlock>> blocks_;
+  std::vector<Index> cluster_begin_; // cluster -> first global member (C + 1)
+  std::vector<int> cluster_of_;      // global member position -> cluster id
   std::vector<Scalar> density_;      // per cluster
-  std::vector<Scalar> verified_density_;
   std::vector<Index> seed_;          // per cluster, source ids
   // Stream identity of each cluster ((0, 0) when the source carries none):
   // the key the *next* incremental export matches against.
   std::vector<uint64_t> src_uid_;
   std::vector<uint64_t> src_version_;
-  // Per-member LSH bucket keys, members x num_tables row-major — kept so an
-  // unchanged cluster's keys move to the successor snapshot as one block
-  // copy instead of num_projections * dim multiplies per member per table.
-  std::vector<uint64_t> member_keys_;
-  // Flattened per-cluster support sketches (C + 1 edges; member positions
-  // are snapshot-local, descending weight) with the per-position rest
-  // weights that make the walk's tightening bounds.
-  std::vector<Index> sketch_begin_;
-  std::vector<Index> sketch_member_;
-  std::vector<Scalar> sketch_weight_;
-  std::vector<Scalar> sketch_rest_;
-  // Dimension-major member tiles per cluster (cluster_soa_: all members in
-  // member order; sketch_soa_: the sketch prefix in descending-weight
-  // order) — the vector-kernel mirror of the row-major blocks above. Built
-  // once at snapshot construction (copied from the predecessor for re-used
-  // clusters — the blocks are pure functions of the member rows, so the
-  // copy is bit-identical to a rebuild) and empty when the configured norm
-  // has no tile kernel (simd_norm_ == false), in which case every query
-  // runs the row-major scalar path.
-  std::vector<SoaBlock> cluster_soa_;
-  std::vector<SoaBlock> sketch_soa_;
   bool simd_norm_ = false;
   SupportSketchParams sketch_params_;
   double absorb_slack_ = 0.05;
   std::unique_ptr<AffinityFunction> affinity_fn_;
-  std::unique_ptr<LazyAffinityOracle> oracle_;
+  // Per-snapshot dataset-free LSH index over the global member positions
+  // (rebuilt clusters hash their block rows, shared clusters re-insert their
+  // inherited keys — identical buckets either way).
   std::unique_ptr<LshIndex> lsh_;
+  int64_t verification_cache_hits_ = 0;
   uint64_t generation_ = 0;
   SnapshotBuildInfo build_info_;
 };

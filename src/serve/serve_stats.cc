@@ -32,13 +32,20 @@ void ServeStats::RecordAssign(int64_t items, int64_t assigned, double seconds,
 }
 
 void ServeStats::RecordPublish(bool has_build, double build_seconds,
-                               int64_t rows_reused, int64_t clusters_reused) {
+                               int64_t rows_reused, int64_t clusters_reused,
+                               int64_t bytes_shared, int64_t bytes_copied) {
   snapshots_published_.fetch_add(1, std::memory_order_relaxed);
   if (rows_reused > 0) {
     rows_reused_.fetch_add(rows_reused, std::memory_order_relaxed);
   }
   if (clusters_reused > 0) {
     clusters_reused_.fetch_add(clusters_reused, std::memory_order_relaxed);
+  }
+  if (bytes_shared > 0) {
+    bytes_shared_.fetch_add(bytes_shared, std::memory_order_relaxed);
+  }
+  if (bytes_copied > 0) {
+    bytes_copied_.fetch_add(bytes_copied, std::memory_order_relaxed);
   }
   if (!has_build) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -66,6 +73,8 @@ ServeStatsView ServeStats::View() const {
   view.sketch_exact = sketch_exact_.load(std::memory_order_relaxed);
   view.rows_reused = rows_reused_.load(std::memory_order_relaxed);
   view.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
+  view.bytes_shared = bytes_shared_.load(std::memory_order_relaxed);
+  view.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The clock is read under mu_ too: Reset() rewrites the (non-atomic)
@@ -92,6 +101,8 @@ void ServeStats::Reset() {
   sketch_exact_.store(0, std::memory_order_relaxed);
   rows_reused_.store(0, std::memory_order_relaxed);
   clusters_reused_.store(0, std::memory_order_relaxed);
+  bytes_shared_.store(0, std::memory_order_relaxed);
+  bytes_copied_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   query_seconds_.clear();
   publish_seconds_.clear();

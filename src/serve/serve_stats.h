@@ -13,8 +13,8 @@ namespace alid {
 /// One consistent read of a ClusterServer's counters (ServeStats::View()) —
 /// the serving counterpart of PalidStats / StreamStats.
 struct ServeStatsView {
-  int64_t single_queries = 0;  ///< Assign calls.
-  int64_t batch_calls = 0;     ///< AssignBatch calls.
+  int64_t single_queries = 0;  ///< Single-point assignment queries.
+  int64_t batch_calls = 0;     ///< Batched assignment calls (Query, >1 point).
   int64_t queries = 0;         ///< Items answered (singles + batch items).
   int64_t assigned = 0;        ///< Queries routed to a cluster.
   int64_t unassigned = 0;      ///< Queries matching no cluster (noise).
@@ -32,6 +32,19 @@ struct ServeStatsView {
   /// predecessors via the incremental export (0 under from-scratch builds).
   int64_t rows_reused = 0;
   int64_t clusters_reused = 0;
+  /// Arena-block bytes the published snapshots shared with their
+  /// predecessors (refcount bumps) vs. newly materialized — the byte-level
+  /// ledger of the O(changed-bytes) publish property (see
+  /// SnapshotBuildInfo).
+  int64_t bytes_shared = 0;
+  int64_t bytes_copied = 0;
+  /// Gauges of the server's history ring at View() time: unique arena bytes
+  /// held *only* for retained historical generations (blocks shared with
+  /// the current snapshot are free), how many retired generations are
+  /// addressable, and how many were evicted by the capacity/budget bounds.
+  int64_t history_ring_bytes = 0;
+  int generations_retained = 0;
+  int64_t history_evictions = 0;
   double elapsed_seconds = 0.0;  ///< Since server construction / Reset().
   double qps = 0.0;              ///< queries / elapsed_seconds.
   /// Mean per-query wall seconds of each recent Assign/AssignBatch call
@@ -58,14 +71,17 @@ class ServeStats {
 
   void RecordAssign(int64_t items, int64_t assigned, double seconds,
                     bool batch);
-  void RecordTopK() { topk_queries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTopK(int64_t count = 1) {
+    topk_queries_.fetch_add(count, std::memory_order_relaxed);
+  }
   void RecordInfo() { info_queries_.fetch_add(1, std::memory_order_relaxed); }
   /// One publication: the snapshot's build latency joins the bounded
   /// publish-latency reservoir (skipped when has_build is false — the
-  /// offline nullptr publish) and its incremental-export reuse counters
-  /// accumulate.
+  /// offline nullptr publish) and its incremental-export reuse/byte
+  /// counters accumulate.
   void RecordPublish(bool has_build, double build_seconds, int64_t rows_reused,
-                     int64_t clusters_reused);
+                     int64_t clusters_reused, int64_t bytes_shared,
+                     int64_t bytes_copied);
   /// Sketch-filter activity of one answered query (relaxed atomics: batched
   /// queries record from pool workers).
   void RecordSketch(int64_t prunes, int64_t exact) {
@@ -91,6 +107,8 @@ class ServeStats {
   std::atomic<int64_t> sketch_exact_{0};
   std::atomic<int64_t> rows_reused_{0};
   std::atomic<int64_t> clusters_reused_{0};
+  std::atomic<int64_t> bytes_shared_{0};
+  std::atomic<int64_t> bytes_copied_{0};
   mutable std::mutex mu_;
   std::vector<double> query_seconds_;
   std::vector<double> publish_seconds_;

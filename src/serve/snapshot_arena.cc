@@ -1,0 +1,26 @@
+#include "serve/snapshot_arena.h"
+
+namespace alid {
+
+MemoryTracker& SnapshotArenaTracker() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+size_t ClusterBlock::MemoryBytes() const {
+  return rows.size() * sizeof(Scalar) + weights.size() * sizeof(Scalar) +
+         source_ids.size() * sizeof(Index) +
+         member_keys.size() * sizeof(uint64_t) +
+         sketch_members.size() * sizeof(Index) +
+         sketch_weights.size() * sizeof(Scalar) +
+         sketch_rest.size() * sizeof(Scalar) + cluster_soa.MemoryBytes() +
+         sketch_soa.MemoryBytes();
+}
+
+void ClusterBlock::Seal() {
+  const int64_t bytes = static_cast<int64_t>(MemoryBytes());
+  global_charge_.Adjust(bytes);
+  arena_charge_.Adjust(bytes);
+}
+
+}  // namespace alid

@@ -98,7 +98,10 @@ TEST(ServeTest, AssignAgreesWithStreamAbsorbOnHeldOutArrivals) {
     const auto snap = ClusterSnapshot::FromStream(*online);
     ClusterServer server(data.data.dim());
     server.Publish(snap);
-    const AssignResult predicted = server.Assign(data.data[i]);
+    const QueryResponse predicted_response =
+        server.Query({.points = data.data[i]});
+    ASSERT_TRUE(predicted_response.ok());
+    const QueryOutcome predicted = predicted_response.assignments.front();
     const int64_t redetects_before = online->stats().redetections;
     const Index slot = online->Insert(data.data[i]);
     const int actual = online->ClusterOf(slot);
@@ -146,17 +149,19 @@ TEST(ServeTest, BatchedParallelQueriesBitIdenticalToSerial) {
 
   ClusterServer serial(dim);
   serial.Publish(snap);
-  std::vector<AssignResult> expected;
+  std::vector<QueryOutcome> expected;
   for (Index q = 0; q < count; ++q) {
-    expected.push_back(serial.Assign(
-        std::span<const Scalar>(queries).subspan(
-            static_cast<size_t>(q) * dim, static_cast<size_t>(dim))));
+    const QueryResponse one = serial.Query(
+        {.points = std::span<const Scalar>(queries).subspan(
+             static_cast<size_t>(q) * dim, static_cast<size_t>(dim))});
+    expected.push_back(one.assignments.front());
   }
   // Bit-identity of the whole result — cluster, affinity, margin bits and
   // the per-batch generation — across pool widths, scheduling and grains.
-  const std::vector<AssignResult> no_pool =
-      serial.AssignBatch(queries);
-  EXPECT_EQ(no_pool, expected);
+  const QueryResponse no_pool = serial.Query({.points = queries});
+  EXPECT_TRUE(no_pool.ok());
+  EXPECT_EQ(no_pool.generation, snap->generation());
+  EXPECT_EQ(no_pool.assignments, expected);
   for (int executors : {2, 4, 8}) {
     for (bool stealing : {true, false}) {
       for (int64_t grain : {int64_t{0}, int64_t{1}, int64_t{7}}) {
@@ -166,13 +171,13 @@ TEST(ServeTest, BatchedParallelQueriesBitIdenticalToSerial) {
         SCOPED_TRACE(testing::Message()
                      << "executors=" << executors << " stealing=" << stealing
                      << " grain=" << grain);
-        EXPECT_EQ(server.AssignBatch(queries), expected);
+        EXPECT_EQ(server.Query({.points = queries}).assignments, expected);
       }
     }
   }
   // The sweep exercised real assignments, not a wall of -1s.
   int hits = 0;
-  for (const AssignResult& r : expected) hits += r.cluster >= 0 ? 1 : 0;
+  for (const QueryOutcome& r : expected) hits += r.cluster >= 0 ? 1 : 0;
   EXPECT_GT(hits, 0);
   EXPECT_LT(hits, count);
 }
@@ -194,7 +199,8 @@ TEST(ServeTest, SnapshotImmutableUnderConcurrentIngest) {
   ClusterServer server(dim);
   server.Publish(snap);
   const std::vector<Scalar> queries = FlatRows(data, order, 0, 80);
-  const std::vector<AssignResult> expected = server.AssignBatch(queries);
+  const std::vector<QueryOutcome> expected =
+      server.Query({.points = queries}).assignments;
 
   std::atomic<bool> mismatch{false};
   std::thread ingest([&] {
@@ -214,7 +220,9 @@ TEST(ServeTest, SnapshotImmutableUnderConcurrentIngest) {
   for (int t = 0; t < 2; ++t) {
     readers.emplace_back([&] {
       for (int rep = 0; rep < 30; ++rep) {
-        if (server.AssignBatch(queries) != expected) mismatch.store(true);
+        if (server.Query({.points = queries}).assignments != expected) {
+          mismatch.store(true);
+        }
       }
     });
   }
@@ -266,11 +274,11 @@ TEST(ServeTest, SnapshotSwapUnderLoadIsLinearizable) {
     readers.emplace_back([&] {
       uint64_t last_seen = 0;
       while (!done.load(std::memory_order_acquire)) {
-        const std::vector<AssignResult> batch = server.AssignBatch(queries);
-        for (const AssignResult& r : batch) {
-          if (r.generation != batch.front().generation) torn.store(true);
+        const QueryResponse batch = server.Query({.points = queries});
+        for (const QueryOutcome& r : batch.assignments) {
+          if (r.generation != batch.generation) torn.store(true);
         }
-        const uint64_t gen = batch.front().generation;
+        const uint64_t gen = batch.generation;
         if (gen < last_seen) non_monotonic.store(true);
         last_seen = gen;
         if (std::find(published.begin(), published.end(), gen) ==
@@ -323,9 +331,13 @@ TEST(ServeTest, ServesAlidAndPalidDetections) {
   for (size_t c = 0; c < alid.clusters.size(); ++c) {
     for (Index m : {alid.clusters[c].members.front(),
                     alid.clusters[c].members.back()}) {
-      const AssignResult r = server.Assign(data.data[m]);
+      const QueryOutcome r =
+          server.Query({.points = data.data[m]}).assignments.front();
       EXPECT_EQ(r.cluster, static_cast<int>(c)) << "member " << m;
-      const auto topk = server.TopKClusters(data.data[m], 2);
+      const QueryResponse ranked =
+          server.Query({.points = data.data[m], .top_k = 2});
+      ASSERT_EQ(ranked.ranked.size(), 1u);
+      const std::vector<ScoredCluster>& topk = ranked.ranked.front();
       ASSERT_GT(topk.size(), 0u);
       EXPECT_EQ(topk.front().cluster, r.cluster);
       EXPECT_TRUE(topk.front().absorbable);
@@ -343,7 +355,9 @@ TEST(ServeTest, ServesAlidAndPalidDetections) {
   server.Publish(psnap);
   EXPECT_EQ(server.generation(), 2u);
   const Index member = parallel.clusters[0].members.front();
-  EXPECT_EQ(server.Assign(data.data[member]).cluster, 0);
+  EXPECT_EQ(
+      server.Query({.points = data.data[member]}).assignments.front().cluster,
+      0);
 }
 
 TEST(ServeTest, TopKOrderingAndClusterInfoRoundTrip) {
@@ -355,8 +369,11 @@ TEST(ServeTest, TopKOrderingAndClusterInfoRoundTrip) {
   ClusterServer server(data.data.dim());
   server.Publish(snap);
 
-  const auto topk =
-      server.TopKClusters(data.data[0], snap->num_clusters() + 3);
+  const QueryResponse ranked = server.Query(
+      {.points = data.data[0], .top_k = snap->num_clusters() + 3});
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked.ranked.size(), 1u);
+  const std::vector<ScoredCluster>& topk = ranked.ranked.front();
   for (size_t r = 1; r < topk.size(); ++r) {
     EXPECT_GE(topk[r - 1].affinity, topk[r].affinity);
   }
@@ -364,6 +381,10 @@ TEST(ServeTest, TopKOrderingAndClusterInfoRoundTrip) {
     const Scalar threshold =
         snap->density(s.cluster) * (1.0 - snap->absorb_slack());
     EXPECT_EQ(s.absorbable, s.affinity - threshold > 0.0);
+    // Ranked entries carry the full QueryOutcome shape: the signed margin
+    // against this cluster's threshold and the answering generation.
+    EXPECT_EQ(s.margin, s.affinity - threshold);
+    EXPECT_EQ(s.generation, snap->generation());
   }
 
   // ClusterInfo mirrors the stream's live clusters (source ids == slots).
@@ -385,25 +406,35 @@ TEST(ServeTest, TopKOrderingAndClusterInfoRoundTrip) {
   EXPECT_EQ(server.ClusterInfo(snap->num_clusters()).cluster, -1);
   // The verification pass ran through the per-snapshot column cache: each
   // symmetric pair is one slot, so the (u, t) half of every sum hit.
-  EXPECT_GT(snap->oracle().cache_hits(), 0);
+  EXPECT_GT(snap->verification_cache_hits(), 0);
 }
 
 TEST(ServeTest, OfflineAndEmptySnapshotEdges) {
   LabeledData data = Workload(60, 5);
   const int dim = data.data.dim();
   ClusterServer server(dim);
-  // Offline: no snapshot published yet.
+  // Offline: no snapshot published yet. Queries answer with kOffline and
+  // default (unassigned) entries, one per point.
   EXPECT_EQ(server.generation(), 0u);
   EXPECT_EQ(server.snapshot(), nullptr);
-  EXPECT_EQ(server.Assign(data.data[0]).cluster, -1);
-  EXPECT_EQ(server.Assign(data.data[0]).generation, 0u);
-  EXPECT_TRUE(server.TopKClusters(data.data[0], 3).empty());
+  const QueryResponse offline = server.Query({.points = data.data[0]});
+  EXPECT_EQ(offline.status, QueryStatus::kOffline);
+  EXPECT_FALSE(offline.ok());
+  EXPECT_EQ(offline.generation, 0u);
+  ASSERT_EQ(offline.assignments.size(), 1u);
+  EXPECT_EQ(offline.assignments.front().cluster, -1);
+  EXPECT_EQ(offline.assignments.front().generation, 0u);
+  const QueryResponse offline_ranked =
+      server.Query({.points = data.data[0], .top_k = 3});
+  EXPECT_EQ(offline_ranked.status, QueryStatus::kOffline);
+  ASSERT_EQ(offline_ranked.ranked.size(), 1u);
+  EXPECT_TRUE(offline_ranked.ranked.front().empty());
   EXPECT_EQ(server.ClusterInfo(0).cluster, -1);
-  const auto batch =
-      server.AssignBatch(FlatRows(data, ShuffledOrder(data), 0, 5));
-  ASSERT_EQ(batch.size(), 5u);
-  for (const AssignResult& r : batch) EXPECT_EQ(r.cluster, -1);
-  EXPECT_TRUE(server.AssignBatch({}).empty());
+  const std::vector<Scalar> five = FlatRows(data, ShuffledOrder(data), 0, 5);
+  const QueryResponse batch = server.Query({.points = five});
+  ASSERT_EQ(batch.assignments.size(), 5u);
+  for (const QueryOutcome& r : batch.assignments) EXPECT_EQ(r.cluster, -1);
+  EXPECT_TRUE(server.Query({}).assignments.empty());
 
   // A snapshot with zero clusters (fresh stream) serves unassigned answers
   // under its own generation.
@@ -415,12 +446,21 @@ TEST(ServeTest, OfflineAndEmptySnapshotEdges) {
   EXPECT_EQ(snap->num_members(), 0);
   server.Publish(snap);
   EXPECT_EQ(server.generation(), 1u);
-  const AssignResult r = server.Assign(data.data[1]);
-  EXPECT_EQ(r.cluster, -1);
+  const QueryResponse r = server.Query({.points = data.data[1]});
+  EXPECT_TRUE(r.ok());
   EXPECT_EQ(r.generation, 1u);
+  EXPECT_EQ(r.assignments.front().cluster, -1);
+  EXPECT_EQ(r.assignments.front().generation, 1u);
   // Taking the server offline again is an explicit Publish(nullptr).
   server.Publish(nullptr);
   EXPECT_EQ(server.generation(), 0u);
+  // The empty-cluster generation stays addressable through the ring.
+  EXPECT_EQ(server.Query({.points = data.data[1], .generation = 1})
+                .status,
+            QueryStatus::kOk);
+  EXPECT_EQ(server.Query({.points = data.data[1], .generation = 9})
+                .status,
+            QueryStatus::kGenerationUnavailable);
 }
 
 TEST(ServeTest, StatsCountQueriesAndLatencies) {
@@ -430,9 +470,10 @@ TEST(ServeTest, StatsCountQueriesAndLatencies) {
   ClusterServer server(data.data.dim());
   server.Publish(ClusterSnapshot::FromStream(*online));
 
-  for (Index i = 200; i < 220; ++i) server.Assign(data.data[i]);
-  server.AssignBatch(FlatRows(data, order, 220, 260));
-  server.TopKClusters(data.data[0], 2);
+  for (Index i = 200; i < 220; ++i) server.Query({.points = data.data[i]});
+  const std::vector<Scalar> forty = FlatRows(data, order, 220, 260);
+  server.Query({.points = forty});
+  server.Query({.points = data.data[0], .top_k = 2});
   server.ClusterInfo(0);
 
   const ServeStatsView stats = server.stats();
@@ -443,6 +484,9 @@ TEST(ServeTest, StatsCountQueriesAndLatencies) {
   EXPECT_EQ(stats.topk_queries, 1);
   EXPECT_EQ(stats.info_queries, 1);
   EXPECT_EQ(stats.snapshots_published, 1);
+  // A from-scratch publish materializes every block and shares none.
+  EXPECT_GT(stats.bytes_copied, 0);
+  EXPECT_EQ(stats.bytes_shared, 0);
   EXPECT_GT(stats.elapsed_seconds, 0.0);
   EXPECT_GT(stats.qps, 0.0);
   // One latency sample per call: 20 singles + 1 batch.

@@ -479,6 +479,11 @@ TEST(SketchServeTest, ServerSurfacesSketchAndPublishTelemetry) {
   EXPECT_EQ(after_publish.publish_seconds.size(), 2u);
   EXPECT_GT(after_publish.rows_reused, 0);
   EXPECT_GT(after_publish.clusters_reused, 0);
+  // The incremental second publish shared its unchanged clusters' arena
+  // blocks instead of copying them; the from-scratch first copied all.
+  EXPECT_GT(after_publish.bytes_shared, 0);
+  EXPECT_GT(after_publish.bytes_copied, 0);
+  EXPECT_EQ(after_publish.generations_retained, 1);
 
   Rng rng(3);
   for (int q = 0; q < 400; ++q) {
@@ -489,7 +494,7 @@ TEST(SketchServeTest, ServerSurfacesSketchAndPublishTelemetry) {
     for (int d = 0; d < dim; ++d) {
       point[d] = row[d] + rng.Gaussian() * magnitude;
     }
-    server.Assign(point);
+    server.Query({.points = point});
   }
   const ServeStatsView view = server.stats();
   EXPECT_GT(view.sketch_prunes + view.sketch_exact, 0);
@@ -497,6 +502,7 @@ TEST(SketchServeTest, ServerSurfacesSketchAndPublishTelemetry) {
   const ServeStatsView reset = server.stats();
   EXPECT_EQ(reset.sketch_prunes, 0);
   EXPECT_EQ(reset.rows_reused, 0);
+  EXPECT_EQ(reset.bytes_shared, 0);
   EXPECT_TRUE(reset.publish_seconds.empty());
 }
 

@@ -19,7 +19,8 @@ never fail the gate.
 
 Beyond wall times, the script reports (never gates) the support-sketch and
 incremental-publish counters — sketch_prunes / sketch_exact / rows_reused /
-clusters_reused — including the per-record sketch hit-rate delta, and
+clusters_reused / bytes_shared / bytes_copied / history_ring_bytes —
+including the per-record sketch hit-rate delta, and
 ``--require-positive key1,key2`` asserts that the named counters sum to a
 positive value across the *current* record: CI uses it to prove the sketch
 fast path and the incremental export cannot silently disable themselves.
@@ -54,8 +55,12 @@ WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds",
 
 # Exactness/telemetry counters: reported (and assertable via
 # --require-positive), never ratio-gated — counts move with workloads.
+# bytes_shared / bytes_copied are the arena ledger of the snapshot publish
+# path: shared > 0 proves the incremental export really aliased its
+# predecessor's blocks instead of copying them.
 COUNTER_KEYS = ("sketch_prunes", "sketch_exact", "rows_reused",
-                "clusters_reused")
+                "clusters_reused", "bytes_shared", "bytes_copied",
+                "history_ring_bytes")
 
 
 def reject_duplicate_keys(pairs):
