@@ -20,14 +20,17 @@
 #include "bench_util.h"
 #include "registry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <thread>
 
 #include "common/random.h"
 #include "core/online_alid.h"
 #include "data/synthetic.h"
+#include "obs/trace.h"
 #include "serve/cluster_server.h"
 #include "serve/cluster_snapshot.h"
 
@@ -46,9 +49,12 @@ struct ServeRow {
   double speedup = 0.0;  // vs the 1-executor row of the same (mode, batch)
   int64_t assigned = 0;
   int64_t unassigned = 0;
-  int64_t sketch_prunes = 0;   // candidates the sketch bound rejected
-  int64_t sketch_exact = 0;    // sketch-engaged candidates scored exactly
   int64_t swaps = 0;
+  // The server's per-instance metrics registry as comma-joined JSON fields
+  // (queries/assigned/sketch_*/publish and history gauges) — captured while
+  // the server is alive; rows use a fresh server each, so the registry
+  // totals ARE the row's deltas.
+  std::string registry_fields;
 };
 
 // Runs the query workload against `server` (generation != 0 addresses a
@@ -62,9 +68,6 @@ ServeRow RunQueries(const ClusterServer& server,
   row.mode = mode;
   row.batch = batch;
   row.executors = executors;
-  // ServeStats counters are monotonic; deltas keep the row self-contained
-  // even if a server ever answers more than one sweep.
-  const ServeStatsView before = server.stats();
   const Index count = static_cast<Index>(queries.size()) / dim;
   std::vector<double> latencies;
   latencies.reserve(static_cast<size_t>(count / batch) + 1);
@@ -91,9 +94,7 @@ ServeRow RunQueries(const ClusterServer& server,
   row.p50_query_seconds = Percentile(latencies, 0.50);
   row.p95_query_seconds = Percentile(latencies, 0.95);
   row.p99_query_seconds = Percentile(latencies, 0.99);
-  const ServeStatsView after = server.stats();
-  row.sketch_prunes = after.sketch_prunes - before.sketch_prunes;
-  row.sketch_exact = after.sketch_exact - before.sketch_exact;
+  row.registry_fields = server.metrics().ToJsonFields();
   return row;
 }
 
@@ -110,20 +111,29 @@ void EmitServeJson(BenchContext& ctx, const std::vector<ServeRow>& rows,
                    Index n, Index queries, int clusters, Index members,
                    double publish_p95_seconds, int64_t rows_reused,
                    int64_t clusters_reused, int64_t bytes_shared,
-                   int64_t bytes_copied, int64_t history_ring_bytes) {
+                   int64_t bytes_copied, int64_t history_ring_bytes,
+                   double trace_base_seconds, double trace_wall_seconds,
+                   double trace_overhead_ratio) {
   std::string json;
   AppendF(json,
           "{\"bench\":\"serve\",\"n\":%d,\"queries\":%d,"
           "\"clusters\":%d,\"members\":%d,"
           "\"publish_p95_seconds\":%.6f,\"rows_reused\":%lld,"
           "\"clusters_reused\":%lld,\"bytes_shared\":%lld,"
-          "\"bytes_copied\":%lld,\"history_ring_bytes\":%lld,\"rows\":[",
+          "\"bytes_copied\":%lld,\"history_ring_bytes\":%lld,"
+          "\"trace_base_seconds\":%.6f,\"trace_wall_seconds\":%.6f,"
+          "\"trace_overhead_ratio\":%.4f,\"rows\":[",
           n, queries, clusters, members, publish_p95_seconds,
           static_cast<long long>(rows_reused),
           static_cast<long long>(clusters_reused),
           static_cast<long long>(bytes_shared),
           static_cast<long long>(bytes_copied),
-          static_cast<long long>(history_ring_bytes));
+          static_cast<long long>(history_ring_bytes), trace_base_seconds,
+          trace_wall_seconds, trace_overhead_ratio);
+  // The wall/latency/derived keys are emitted by hand; the counter keys
+  // (queries, assigned, sketch_*, publish ledger, history and pool gauges)
+  // come from each row's embedded registry export — the manual list must
+  // never overlap the registry's names (--schema-check rejects duplicates).
   for (size_t i = 0; i < rows.size(); ++i) {
     const ServeRow& r = rows[i];
     AppendF(
@@ -131,15 +141,12 @@ void EmitServeJson(BenchContext& ctx, const std::vector<ServeRow>& rows,
         "%s{\"mode\":\"%s\",\"batch\":%d,\"executors\":%d,"
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"qps\":%.2f,"
         "\"p50_query_seconds\":%.9f,\"p95_query_seconds\":%.9f,"
-        "\"p99_query_seconds\":%.9f,\"assigned\":%lld,\"unassigned\":%lld,"
-        "\"sketch_prunes\":%lld,\"sketch_exact\":%lld,\"swaps\":%lld}",
+        "\"p99_query_seconds\":%.9f,\"unassigned\":%lld,"
+        "\"swaps\":%lld,%s}",
         i == 0 ? "" : ",", r.mode, r.batch, r.executors, r.wall_seconds,
         r.speedup, r.qps, r.p50_query_seconds, r.p95_query_seconds,
-        r.p99_query_seconds, static_cast<long long>(r.assigned),
-        static_cast<long long>(r.unassigned),
-        static_cast<long long>(r.sketch_prunes),
-        static_cast<long long>(r.sketch_exact),
-        static_cast<long long>(r.swaps));
+        r.p99_query_seconds, static_cast<long long>(r.unassigned),
+        static_cast<long long>(r.swaps), r.registry_fields.c_str());
   }
   json += "]}";
   ctx.EmitJson(json);
@@ -265,6 +272,40 @@ void Run(BenchContext& ctx) {
     }
   }
 
+  // Tracing-overhead row: the batched single-executor query workload timed
+  // with the span recorder off and then on (best of 3 each — min is the
+  // noise-robust estimator on shared runners). Measured before the sweep so
+  // Enable()'s ring re-arm cannot wipe the sweep's own --trace-out spans;
+  // CI pins the ratio below 1.05 via bench_compare's --require-max gate.
+  double trace_base_seconds = 0.0;
+  double trace_wall_seconds = 0.0;
+  {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    const bool was_enabled = recorder.enabled();
+    ClusterServer server(dim, {});
+    server.Publish(final_snapshot);
+    const auto query_wall = [&] {
+      return RunQueries(server, queries, dim, 64, 1, "overhead")
+          .wall_seconds;
+    };
+    recorder.Disable();
+    trace_base_seconds = query_wall();
+    for (int i = 0; i < 2; ++i) {
+      trace_base_seconds = std::min(trace_base_seconds, query_wall());
+    }
+    recorder.Enable();
+    trace_wall_seconds = query_wall();
+    for (int i = 0; i < 2; ++i) {
+      trace_wall_seconds = std::min(trace_wall_seconds, query_wall());
+    }
+    if (!was_enabled) recorder.Disable();
+  }
+  const double trace_overhead_ratio =
+      trace_base_seconds > 0.0 ? trace_wall_seconds / trace_base_seconds
+                               : 1.0;
+  std::printf("tracing overhead: %.3fs off vs %.3fs on (x%.4f)\n",
+              trace_base_seconds, trace_wall_seconds, trace_overhead_ratio);
+
   PrintHeader("steady-state serving (single published snapshot)");
   std::printf("%-7s %-6s %-6s %-9s %-9s %-11s %-12s %-12s %-12s %-9s %-7s\n",
               "mode", "batch", "execs", "wall(s)", "speedup", "qps",
@@ -365,7 +406,8 @@ void Run(BenchContext& ctx) {
                 final_snapshot->num_clusters(), final_snapshot->num_members(),
                 Percentile(publish_seconds, 0.95), rows_reused,
                 clusters_reused, bytes_shared, bytes_copied,
-                history_ring_bytes);
+                history_ring_bytes, trace_base_seconds, trace_wall_seconds,
+                trace_overhead_ratio);
 }
 
 ALID_BENCHMARK("serve", "runtime,serve,speedup", "serve", Run);

@@ -17,12 +17,15 @@
 #include "bench_util.h"
 #include "registry.h"
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/online_alid.h"
 #include "data/synthetic.h"
+#include "obs/trace.h"
 #include "serve/cluster_snapshot.h"
 
 namespace alid::bench {
@@ -37,21 +40,12 @@ struct StreamRow {
   double p50_batch_seconds = 0.0;
   double p95_batch_seconds = 0.0;  // == ingest_p95_seconds (both emitted)
   double speedup = 0.0;  // vs the 1-executor row of the same (batch, window)
+  // Stdout-table and derived columns only — the full counter set reaches
+  // the JSON through registry_fields below.
   int64_t absorbed = 0;
-  int64_t pooled = 0;
   int64_t evicted = 0;
-  int64_t refreshes = 0;
   int64_t redetections = 0;
-  int64_t sketch_prunes = 0;
-  int64_t sketch_exact = 0;
-  int64_t refresh_speculations = 0;
-  int64_t refresh_conflicts = 0;
-  int64_t cache_hits = 0;
   double cache_hit_rate = 0.0;
-  int64_t cache_evictions = 0;
-  int64_t cache_stale_drops = 0;
-  int64_t cache_budget_bytes = 0;
-  int64_t cache_invalidated = 0;
   int64_t steals = 0;
   int clusters = 0;
   // Publish phase (measured outside the ingest wall): steady-state
@@ -59,6 +53,11 @@ struct StreamRow {
   double publish_p95_seconds = 0.0;
   int64_t rows_reused = 0;
   int64_t clusters_reused = 0;
+  // The stream's per-instance metrics registry as comma-joined JSON fields
+  // (absorbed/pooled/evicted/..., cache and pool gauges) — captured while
+  // the stream is alive, embedded verbatim in the row record so every
+  // counter key the trajectory carries comes from the registry exporter.
+  std::string registry_fields;
 };
 
 // Shuffled dataset rows followed by a band of near-miss probes (jittered
@@ -119,7 +118,7 @@ StreamRow RunStream(const LabeledData& data,
   online.Refresh();
   row.wall_seconds = timer.Seconds();
 
-  const StreamStats& stats = online.stats();
+  const StreamStats stats = online.stats();
   row.items_per_second = row.wall_seconds > 0.0
                              ? static_cast<double>(stats.arrivals) /
                                    row.wall_seconds
@@ -127,23 +126,12 @@ StreamRow RunStream(const LabeledData& data,
   row.p50_batch_seconds = Percentile(stats.batch_seconds, 0.50);
   row.p95_batch_seconds = Percentile(stats.batch_seconds, 0.95);
   row.absorbed = stats.absorbed;
-  row.pooled = stats.pooled;
   row.evicted = stats.evicted;
-  row.refreshes = stats.refreshes;
   row.redetections = stats.redetections;
-  row.sketch_prunes = stats.sketch_prunes;
-  row.sketch_exact = stats.sketch_exact;
-  row.refresh_speculations = stats.refresh_speculations;
-  row.refresh_conflicts = stats.refresh_conflicts;
-  row.cache_hits = online.oracle().cache_hits();
-  const int64_t touched =
-      row.cache_hits + online.oracle().entries_computed();
+  const int64_t cache_hits = online.oracle().cache_hits();
+  const int64_t touched = cache_hits + online.oracle().entries_computed();
   row.cache_hit_rate =
-      touched > 0 ? static_cast<double>(row.cache_hits) / touched : 0.0;
-  row.cache_evictions = online.oracle().cache_evictions();
-  row.cache_stale_drops = online.oracle().cache_stale_drops();
-  row.cache_budget_bytes = stats.cache_budget_bytes;
-  row.cache_invalidated = stats.cache_entries_invalidated;
+      touched > 0 ? static_cast<double>(cache_hits) / touched : 0.0;
   row.steals = pool != nullptr ? pool->steal_count() : 0;
   row.clusters = static_cast<int>(online.clusters().size());
 
@@ -174,6 +162,10 @@ StreamRow RunStream(const LabeledData& data,
     row.clusters_reused += snapshot->build_info().clusters_reused;
   }
   row.publish_p95_seconds = Percentile(publish_seconds, 0.95);
+  // Counter totals at end of run (ingest + publish tail), straight from the
+  // stream's registry: the trajectory's counter keys are the exporter's
+  // output, so a re-homed counter cannot silently drop out of the JSON.
+  row.registry_fields = online.metrics().ToJsonFields();
   return row;
 }
 
@@ -189,9 +181,18 @@ void PrintRow(const StreamRow& r) {
 }
 
 void EmitStreamJson(BenchContext& ctx, const std::vector<StreamRow>& rows,
-                    Index n) {
+                    Index n, double trace_base_seconds,
+                    double trace_wall_seconds, double trace_overhead_ratio) {
   std::string json;
-  AppendF(json, "{\"bench\":\"stream\",\"n\":%d,\"rows\":[", n);
+  AppendF(json,
+          "{\"bench\":\"stream\",\"n\":%d,"
+          "\"trace_base_seconds\":%.6f,\"trace_wall_seconds\":%.6f,"
+          "\"trace_overhead_ratio\":%.4f,\"rows\":[",
+          n, trace_base_seconds, trace_wall_seconds, trace_overhead_ratio);
+  // The wall/latency/derived keys are emitted by hand; every counter and
+  // gauge key (absorbed, evicted, sketch_prunes, cache_*, pool_*, ...)
+  // comes from the embedded registry export — the manual list must never
+  // overlap the registry's names (--schema-check rejects duplicate keys).
   for (size_t i = 0; i < rows.size(); ++i) {
     const StreamRow& r = rows[i];
     AppendF(
@@ -200,34 +201,15 @@ void EmitStreamJson(BenchContext& ctx, const std::vector<StreamRow>& rows,
         "\"wall_seconds\":%.6f,\"speedup\":%.4f,\"items_per_second\":%.2f,"
         "\"p50_batch_seconds\":%.6f,\"p95_batch_seconds\":%.6f,"
         "\"ingest_p95_seconds\":%.6f,\"publish_p95_seconds\":%.6f,"
-        "\"absorbed\":%lld,\"pooled\":%lld,\"evicted\":%lld,"
-        "\"refreshes\":%lld,\"redetections\":%lld,"
-        "\"sketch_prunes\":%lld,\"sketch_exact\":%lld,"
-        "\"refresh_speculations\":%lld,\"refresh_conflicts\":%lld,"
         "\"rows_reused\":%lld,\"clusters_reused\":%lld,"
-        "\"cache_hits\":%lld,\"cache_hit_rate\":%.4f,"
-        "\"cache_evictions\":%lld,\"cache_stale_drops\":%lld,"
-        "\"cache_budget_bytes\":%lld,"
-        "\"cache_invalidated\":%lld,\"steals\":%lld,\"clusters\":%d}",
+        "\"cache_hit_rate\":%.4f,\"steals\":%lld,\"clusters\":%d,%s}",
         i == 0 ? "" : ",", r.batch, r.window, r.executors, r.wall_seconds,
         r.speedup, r.items_per_second, r.p50_batch_seconds,
         r.p95_batch_seconds, r.p95_batch_seconds, r.publish_p95_seconds,
-        static_cast<long long>(r.absorbed),
-        static_cast<long long>(r.pooled), static_cast<long long>(r.evicted),
-        static_cast<long long>(r.refreshes),
-        static_cast<long long>(r.redetections),
-        static_cast<long long>(r.sketch_prunes),
-        static_cast<long long>(r.sketch_exact),
-        static_cast<long long>(r.refresh_speculations),
-        static_cast<long long>(r.refresh_conflicts),
         static_cast<long long>(r.rows_reused),
-        static_cast<long long>(r.clusters_reused),
-        static_cast<long long>(r.cache_hits), r.cache_hit_rate,
-        static_cast<long long>(r.cache_evictions),
-        static_cast<long long>(r.cache_stale_drops),
-        static_cast<long long>(r.cache_budget_bytes),
-        static_cast<long long>(r.cache_invalidated),
-        static_cast<long long>(r.steals), r.clusters);
+        static_cast<long long>(r.clusters_reused), r.cache_hit_rate,
+        static_cast<long long>(r.steals), r.clusters,
+        r.registry_fields.c_str());
   }
   json += "]}";
   ctx.EmitJson(json);
@@ -253,6 +235,39 @@ void Run(BenchContext& ctx) {
               static_cast<int>(arrivals.size()) / data.data.dim() -
                   data.size(),
               data.true_clusters.size());
+
+  // Tracing-overhead row: the same modest ingest configuration timed with
+  // the span recorder off and then on (best of 3 each — min is the
+  // noise-robust estimator on shared runners). The hooks are a single
+  // relaxed load per span when disabled and one ring write when enabled,
+  // so the ratio stays ~1.0; CI pins it below 1.05 via bench_compare's
+  // --require-max trace_overhead_ratio gate. Measured before the sweep so
+  // Enable()'s ring re-arm cannot wipe the sweep's own --trace-out spans.
+  double trace_base_seconds = 0.0;
+  double trace_wall_seconds = 0.0;
+  {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    const bool was_enabled = recorder.enabled();
+    const auto ingest_wall = [&] {
+      return RunStream(data, arrivals, 256, 0, 1).wall_seconds;
+    };
+    recorder.Disable();
+    trace_base_seconds = ingest_wall();
+    for (int i = 0; i < 2; ++i) {
+      trace_base_seconds = std::min(trace_base_seconds, ingest_wall());
+    }
+    recorder.Enable();
+    trace_wall_seconds = ingest_wall();
+    for (int i = 0; i < 2; ++i) {
+      trace_wall_seconds = std::min(trace_wall_seconds, ingest_wall());
+    }
+    if (!was_enabled) recorder.Disable();
+  }
+  const double trace_overhead_ratio =
+      trace_base_seconds > 0.0 ? trace_wall_seconds / trace_base_seconds
+                               : 1.0;
+  std::printf("tracing overhead: %.3fs off vs %.3fs on (x%.4f)\n",
+              trace_base_seconds, trace_wall_seconds, trace_overhead_ratio);
 
   const std::vector<Index> batches{32, 256};
   const std::vector<Index> windows{0, ctx.Scaled(800)};
@@ -292,7 +307,8 @@ void Run(BenchContext& ctx) {
               "time the incremental snapshot export over a steady-state "
               "tail: rows_reused > 0 is the proof the publish path pays "
               "O(changed clusters), not O(window).\n");
-  EmitStreamJson(ctx, rows, data.size());
+  EmitStreamJson(ctx, rows, data.size(), trace_base_seconds,
+                 trace_wall_seconds, trace_overhead_ratio);
 }
 
 ALID_BENCHMARK("stream", "runtime,stream,speedup", "stream", Run);

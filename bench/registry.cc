@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace alid::bench {
 namespace {
@@ -64,6 +65,8 @@ void PrintUsage() {
       "  --iterations=N    measured repetitions; JSON only on the last\n"
       "                    (default 1)\n"
       "  --json-out=PATH   also append every JSON record to PATH\n"
+      "  --trace-out=PATH  enable span tracing for the whole run and write\n"
+      "                    the Chrome trace-event JSON to PATH at the end\n"
       "  --scale=X         size multiplier (default ALID_BENCH_SCALE or 1)\n");
 }
 
@@ -249,6 +252,8 @@ int BenchRegistry::RunMain(int argc, char** argv) {
       options.iterations = std::max(1, std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "--json-out", &value)) {
       json_out_path = value;
+    } else if (ParseFlag(arg, "--trace-out", &value)) {
+      options.trace_out = value;
     } else if (ParseFlag(arg, "--scale", &value)) {
       options.scale = ParseBenchScaleOrDie(value.c_str(), "--scale");
     } else {
@@ -306,6 +311,10 @@ int BenchRegistry::RunMain(int argc, char** argv) {
     }
   }
 
+  if (!options.trace_out.empty()) {
+    obs::TraceRecorder::Global().Enable();
+  }
+
   int ran = 0;
   bool failed = false;
   for (const BenchmarkDef* def : sorted) {
@@ -337,6 +346,19 @@ int BenchRegistry::RunMain(int argc, char** argv) {
     failed = failed || context.failed();
   }
   if (options.json_out != nullptr) std::fclose(options.json_out);
+  if (!options.trace_out.empty() && ran > 0) {
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (recorder.WriteChromeTrace(options.trace_out)) {
+      std::printf("trace: %lld spans (%lld dropped) -> %s\n",
+                  static_cast<long long>(recorder.buffered_events()),
+                  static_cast<long long>(recorder.dropped_events()),
+                  options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --trace-out file: %s\n",
+                   options.trace_out.c_str());
+      failed = true;
+    }
+  }
   if (ran == 0) {
     std::fprintf(stderr,
                  "no benchmark matched the filter — run --list for names "

@@ -54,6 +54,10 @@ struct BenchOptions {
   int iterations = 1;
   /// Secondary JSON sink (one record per line, no "JSON " prefix), or null.
   std::FILE* json_out = nullptr;
+  /// When non-empty, span tracing is enabled for the whole invocation and
+  /// the buffered events are written here as Chrome trace-event JSON after
+  /// the last benchmark (load the file in Perfetto / chrome://tracing).
+  std::string trace_out;
 };
 
 /// Per-benchmark execution context handed to init/run/teardown.
@@ -113,9 +117,10 @@ class BenchRegistry {
   std::vector<const BenchmarkDef*> Sorted() const;
 
   /// The driver: parses --list/--list-records/--filter/--labels/--warmup/
-  /// --iterations/--json-out/--scale, runs the selected benchmarks and
-  /// returns the process exit code (0 ok; 1 a benchmark failed or broke its
-  /// record promise; 2 usage error or an empty selection).
+  /// --iterations/--json-out/--trace-out/--scale, runs the selected
+  /// benchmarks and returns the process exit code (0 ok; 1 a benchmark
+  /// failed or broke its record promise; 2 usage error or an empty
+  /// selection).
   int RunMain(int argc, char** argv);
 
  private:

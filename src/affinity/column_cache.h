@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace alid {
 
@@ -130,6 +131,28 @@ class ColumnCache {
   /// Accounted cost of one cached entry (key, value, generation tags, node +
   /// index overhead).
   static constexpr size_t kBytesPerEntry = 88;
+
+  /// Registers `<prefix>_hits` / `_misses` / `_evictions` / `_stale_drops` /
+  /// `_bytes` / `_budget_bytes` callback gauges on `registry`, reading the
+  /// atomics above on export. The cache must outlive the registry's
+  /// snapshots (per-instance registries die with their owner, which owns or
+  /// outlives its cache).
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->AddCallbackGauge(prefix + "_hits", [this] { return hits(); });
+    registry->AddCallbackGauge(prefix + "_misses",
+                               [this] { return misses(); });
+    registry->AddCallbackGauge(prefix + "_evictions",
+                               [this] { return evictions(); });
+    registry->AddCallbackGauge(prefix + "_stale_drops",
+                               [this] { return stale_drops(); });
+    registry->AddCallbackGauge(prefix + "_bytes", [this] {
+      return static_cast<int64_t>(size_bytes());
+    });
+    registry->AddCallbackGauge(prefix + "_budget_bytes", [this] {
+      return static_cast<int64_t>(max_bytes());
+    });
+  }
 
  private:
   struct Shard;

@@ -176,4 +176,15 @@ void ThreadPool::ParallelFor(
   });
 }
 
+void ThreadPool::RegisterMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) const {
+  ALID_CHECK(registry != nullptr);
+  registry->AddCallbackGauge(prefix + "_steals",
+                             [this] { return steal_count(); });
+  registry->AddCallbackGauge(prefix + "_tasks_executed",
+                             [this] { return tasks_executed(); });
+  registry->AddCallbackGauge(prefix + "_queue_depth",
+                             [this] { return queue_depth(); });
+}
+
 }  // namespace alid

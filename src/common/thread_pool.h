@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace alid {
 
 /// Scheduling discipline of the pool.
@@ -90,6 +92,19 @@ class ThreadPool {
   int64_t tasks_executed() const {
     return executed_.load(std::memory_order_relaxed);
   }
+  /// Jobs posted but not yet popped by any worker — the instantaneous
+  /// backlog (a saturation gauge, not a throughput counter).
+  int64_t queue_depth() const {
+    return unclaimed_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers `<prefix>_steals` / `<prefix>_tasks_executed` /
+  /// `<prefix>_queue_depth` callback gauges on `registry`. The pool must
+  /// outlive every Snapshot()/export of that registry — in practice pools
+  /// are declared before (so destroyed after) the stream/server whose
+  /// per-instance registry reads them.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
  private:
   struct WorkerQueue {

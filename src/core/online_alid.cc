@@ -7,7 +7,9 @@
 #include "common/check.h"
 #include "common/histogram.h"
 #include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "simd/simd_dispatch.h"
 
 namespace alid {
@@ -33,8 +35,73 @@ OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
   simd_norm_ = SimdSupportsNorm(options_.affinity.p);
   oracle_ = std::make_unique<LazyAffinityOracle>(data_, affinity_fn_);
   if (!options_.column_cache) oracle_->DisableColumnCache();
-  stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
   lsh_ = std::make_unique<LshIndex>(data_, options_.lsh);
+
+  // Re-home the stream counters onto the per-instance registry (StreamStats
+  // stays as the thin view stats() materializes). Names double as the bench
+  // trajectory's JSON keys, so the registry exporter emits the exact schema
+  // the perf gates already read.
+  obs::MetricsRegistry& registry = metrics_.registry;
+  metrics_.arrivals = registry.AddCounter("arrivals");
+  metrics_.absorbed = registry.AddCounter("absorbed");
+  metrics_.pooled = registry.AddCounter("pooled");
+  metrics_.evicted = registry.AddCounter("evicted");
+  metrics_.redetections = registry.AddCounter("redetections");
+  metrics_.refreshes = registry.AddCounter("refreshes");
+  metrics_.clusters_born = registry.AddCounter("clusters_born");
+  metrics_.clusters_dissolved = registry.AddCounter("clusters_dissolved");
+  metrics_.cache_invalidated = registry.AddCounter("cache_invalidated");
+  metrics_.cache_rebudgets = registry.AddCounter("cache_rebudgets");
+  metrics_.sketch_prunes = registry.AddCounter("sketch_prunes");
+  metrics_.sketch_exact = registry.AddCounter("sketch_exact");
+  metrics_.refresh_rounds = registry.AddCounter("refresh_rounds");
+  metrics_.refresh_speculations = registry.AddCounter("refresh_speculations");
+  metrics_.refresh_conflicts = registry.AddCounter("refresh_conflicts");
+  metrics_.alive = registry.AddGauge("alive");
+  metrics_.clusters_alive = registry.AddGauge("clusters_alive");
+  // Cache telemetry reads through the oracle (null-safe when the cache is
+  // disabled); the oracle lives and dies with the stream, like the registry.
+  const LazyAffinityOracle* oracle = oracle_.get();
+  registry.AddCallbackGauge("cache_hits",
+                            [oracle] { return oracle->cache_hits(); });
+  registry.AddCallbackGauge("cache_evictions",
+                            [oracle] { return oracle->cache_evictions(); });
+  registry.AddCallbackGauge("cache_stale_drops",
+                            [oracle] { return oracle->cache_stale_drops(); });
+  registry.AddCallbackGauge("cache_bytes",
+                            [oracle] { return oracle->cache_size_bytes(); });
+  registry.AddCallbackGauge("cache_budget_bytes", [oracle] {
+    return oracle->cache_budget_bytes();
+  });
+  // The shared pool (when set) must outlive this stream — already the
+  // standing usage contract, since every batch runs phases on it.
+  if (options_.pool != nullptr) {
+    options_.pool->RegisterMetrics(&registry, "pool");
+  }
+}
+
+StreamStats OnlineAlid::stats() const {
+  StreamStats s;
+  s.arrivals = metrics_.arrivals->value();
+  s.absorbed = metrics_.absorbed->value();
+  s.pooled = metrics_.pooled->value();
+  s.evicted = metrics_.evicted->value();
+  s.redetections = metrics_.redetections->value();
+  s.refreshes = metrics_.refreshes->value();
+  s.clusters_born = metrics_.clusters_born->value();
+  s.clusters_dissolved = metrics_.clusters_dissolved->value();
+  s.cache_entries_invalidated = metrics_.cache_invalidated->value();
+  s.cache_rebudgets = metrics_.cache_rebudgets->value();
+  s.cache_budget_bytes = oracle_->cache_budget_bytes();
+  s.sketch_prunes = metrics_.sketch_prunes->value();
+  s.sketch_exact = metrics_.sketch_exact->value();
+  s.refresh_rounds = metrics_.refresh_rounds->value();
+  s.refresh_speculations = metrics_.refresh_speculations->value();
+  s.refresh_conflicts = metrics_.refresh_conflicts->value();
+  s.alive = static_cast<Index>(metrics_.alive->value());
+  s.clusters_alive = static_cast<int>(metrics_.clusters_alive->value());
+  s.batch_seconds = metrics_.batch_seconds.Samples();
+  return s;
 }
 
 Index OnlineAlid::Insert(std::span<const Scalar> point) {
@@ -49,33 +116,44 @@ std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
   std::vector<Index> slots(count);
   if (count == 0) return slots;
   WallTimer timer;
+  ALID_TRACE_SCOPE("stream", "insert_batch");
 
   // Phase 1 (serial): slot allocation + row writes, in arrival order.
   // Expired slots are re-used smallest-first, so the slot sequence depends
   // only on the stream history.
-  for (Index k = 0; k < count; ++k) {
-    slots[k] =
-        AllocateSlot(points.subspan(static_cast<size_t>(k) * dim, dim));
+  {
+    ALID_TRACE_SCOPE("stream", "slot_alloc");
+    for (Index k = 0; k < count; ++k) {
+      slots[k] =
+          AllocateSlot(points.subspan(static_cast<size_t>(k) * dim, dim));
+    }
   }
 
   // Phase 2 (parallel, pure): per-table LSH keys of every arrival. Each
   // arrival's keys are self-contained, so any chunking yields the same bits.
   const int tables = lsh_->num_tables();
   std::vector<uint64_t> keys(static_cast<size_t>(count) * tables);
-  ParallelChunks(options_.pool, 0, count, options_.grain,
-                 [&](int64_t, int64_t lo, int64_t hi) {
-                   for (int64_t k = lo; k < hi; ++k) {
-                     lsh_->ComputeItemKeys(
-                         slots[k], &keys[static_cast<size_t>(k) * tables]);
-                   }
-                 });
+  {
+    ALID_TRACE_SCOPE("stream", "lsh_keys");
+    ParallelChunks(options_.pool, 0, count, options_.grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     ALID_TRACE_SCOPE("stream", "lsh_keys_chunk");
+                     for (int64_t k = lo; k < hi; ++k) {
+                       lsh_->ComputeItemKeys(
+                           slots[k], &keys[static_cast<size_t>(k) * tables]);
+                     }
+                   });
+  }
 
   // Phase 3 (serial): bucket insertion in arrival order.
-  for (Index k = 0; k < count; ++k) {
-    lsh_->InsertItemWithKeys(
-        slots[k], std::span<const uint64_t>(
-                      keys.data() + static_cast<size_t>(k) * tables,
-                      static_cast<size_t>(tables)));
+  {
+    ALID_TRACE_SCOPE("stream", "bucket_insert");
+    for (Index k = 0; k < count; ++k) {
+      lsh_->InsertItemWithKeys(
+          slots[k], std::span<const uint64_t>(
+                        keys.data() + static_cast<size_t>(k) * tables,
+                        static_cast<size_t>(tables)));
+    }
   }
 
   // Phase 4 (parallel, pure): Theorem-1 absorb scoring of every arrival
@@ -83,43 +161,50 @@ std::vector<Index> OnlineAlid::InsertBatch(std::span<const Scalar> points) {
   // the LSH buckets but still unassigned, so the candidate sets — like the
   // scores — depend only on the batch boundary, never on the executors.
   std::vector<Choice> choices(count);
-  ParallelChunks(options_.pool, 0, count, options_.grain,
-                 [&](int64_t, int64_t lo, int64_t hi) {
-                   for (int64_t k = lo; k < hi; ++k) {
-                     choices[k] = ScoreArrival(slots[k]);
-                   }
-                 });
+  {
+    ALID_TRACE_SCOPE("stream", "absorb_score");
+    ParallelChunks(options_.pool, 0, count, options_.grain,
+                   [&](int64_t, int64_t lo, int64_t hi) {
+                     ALID_TRACE_SCOPE("stream", "absorb_score_chunk");
+                     for (int64_t k = lo; k < hi; ++k) {
+                       choices[k] = ScoreArrival(slots[k]);
+                     }
+                   });
+  }
 
   // Phase 5 (serial): apply in arrival order. Clusters mutate here, so the
   // snapshot versions tell ApplyArrival which precomputed choices are stale.
   // The sketch-filter counters of the parallel phase fold in here too, in
   // arrival order, so the stats are executor-independent like the state.
-  const std::vector<uint64_t> versions = cluster_version_;
-  for (Index k = 0; k < count; ++k) {
-    stats_.sketch_prunes += choices[k].sketch_prunes;
-    stats_.sketch_exact += choices[k].sketch_exact;
-    ApplyArrival(slots[k], choices[k], versions);
+  {
+    ALID_TRACE_SCOPE("stream", "apply");
+    const std::vector<uint64_t> versions = cluster_version_;
+    for (Index k = 0; k < count; ++k) {
+      metrics_.sketch_prunes->Add(choices[k].sketch_prunes);
+      metrics_.sketch_exact->Add(choices[k].sketch_exact);
+      ApplyArrival(slots[k], choices[k], versions);
+    }
   }
 
   // Phase 6 (serial): sliding-window expiry, targeted cache invalidation,
   // and repair of the clusters that lost members.
-  if (options_.window > 0) ExpireToWindow();
+  if (options_.window > 0) {
+    ALID_TRACE_SCOPE("stream", "expire");
+    ExpireToWindow();
+  }
 
-  CompactClusters();
+  {
+    ALID_TRACE_SCOPE("stream", "compact");
+    CompactClusters();
+  }
   // Sketches of mutated clusters are rebuilt at batch end — the next
   // batch's parallel scoring phase and any between-batch snapshot export
   // read only fresh ones.
   RefreshSketches();
   MaybeRebudgetCache();
-  stats_.alive = alive();
-  stats_.clusters_alive = static_cast<int>(clusters_.size());
-  if (stats_.batch_seconds.size() >= StreamStats::kMaxLatencySamples) {
-    // Halve amortizes the shift: the profile keeps the recent window.
-    stats_.batch_seconds.erase(
-        stats_.batch_seconds.begin(),
-        stats_.batch_seconds.begin() + StreamStats::kMaxLatencySamples / 2);
-  }
-  stats_.batch_seconds.push_back(timer.Seconds());
+  metrics_.alive->Set(alive());
+  metrics_.clusters_alive->Set(static_cast<int64_t>(clusters_.size()));
+  metrics_.batch_seconds.Record(timer.Seconds());
   return slots;
 }
 
@@ -229,13 +314,13 @@ Scalar OnlineAlid::ClusterAffinity(const Cluster& cluster, Index slot) const {
 
 void OnlineAlid::ApplyArrival(Index slot, const Choice& choice,
                               const std::vector<uint64_t>& versions) {
-  ++stats_.arrivals;
+  metrics_.arrivals->Add(1);
   if (assignment_[slot] >= 0) {
     // An earlier arrival of this batch already pulled this one in: its
     // re-detection (or a mid-batch refresh) absorbed the still-unassigned
     // newcomer and rebalanced the weights. Re-detecting again from here
     // would seed inside a cluster the arrival may no longer target.
-    ++stats_.absorbed;
+    metrics_.absorbed->Add(1);
   } else {
     int target = choice.cluster;
     if (target >= 0) {
@@ -255,18 +340,18 @@ void OnlineAlid::ApplyArrival(Index slot, const Choice& choice,
       // Local re-detection absorbs the newcomer and rebalances the weights.
       RedetectCluster(target, slot);
       if (assignment_[slot] >= 0) {
-        ++stats_.absorbed;
+        metrics_.absorbed->Add(1);
       } else {
-        ++stats_.pooled;
+        metrics_.pooled->Add(1);
       }
     } else {
-      ++stats_.pooled;
+      metrics_.pooled->Add(1);
     }
   }
   if (++since_refresh_ >= options_.refresh_interval) {
     DetectFromPool();
     since_refresh_ = 0;
-    ++stats_.refreshes;
+    metrics_.refreshes->Add(1);
   }
 }
 
@@ -275,12 +360,13 @@ void OnlineAlid::Refresh() {
   CompactClusters();
   RefreshSketches();
   since_refresh_ = 0;
-  ++stats_.refreshes;
-  stats_.alive = alive();
-  stats_.clusters_alive = static_cast<int>(clusters_.size());
+  metrics_.refreshes->Add(1);
+  metrics_.alive->Set(alive());
+  metrics_.clusters_alive->Set(static_cast<int64_t>(clusters_.size()));
 }
 
 void OnlineAlid::RefreshSketches() {
+  ALID_TRACE_SCOPE("stream", "sketch_rebuild");
   // Pure per cluster (weights in, sketch out; member rows in, tiles out),
   // so the sweep chunks on the shared pool like every other parallel phase;
   // only clusters whose version moved rebuild, so the cost is O(changed),
@@ -318,7 +404,7 @@ void OnlineAlid::RefreshSketches() {
 }
 
 void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
-  ++stats_.redetections;
+  metrics_.redetections->Add(1);
   // Items owned by *other* clusters — and expired slots — stay out of this
   // re-detection.
   std::vector<bool> exclude(data_.size(), false);
@@ -347,6 +433,7 @@ void OnlineAlid::RedetectCluster(int cluster_id, Index seed) {
 }
 
 void OnlineAlid::DetectFromPool() {
+  ALID_TRACE_SCOPE("stream", "refresh");
   std::vector<bool> exclude(data_.size(), false);
   Index pool_count = 0;
   for (Index i = 0; i < data_.size(); ++i) {
@@ -377,6 +464,7 @@ void OnlineAlid::DetectFromPool() {
   std::vector<Index> seeds;
   std::vector<Cluster> raw;
   while (cursor < data_.size()) {
+    ALID_TRACE_SCOPE("stream", "refresh_round");
     seeds.clear();
     Index next_cursor = cursor;
     for (Index s = cursor;
@@ -411,14 +499,14 @@ void OnlineAlid::DetectFromPool() {
       }
       if (conflict) {
         c = detector.DetectOne(seeds[k], &exclude);
-        ++stats_.refresh_conflicts;
+        metrics_.refresh_conflicts->Add(1);
         waste = true;
       } else if (k > 0) {
-        ++stats_.refresh_speculations;
+        metrics_.refresh_speculations->Add(1);
       }
       InstallPoolCluster(std::move(c), detector, exclude);
     }
-    ++stats_.refresh_rounds;
+    metrics_.refresh_rounds->Add(1);
     frontier = waste ? 1 : std::min(frontier * 2, max_frontier);
   }
 }
@@ -487,7 +575,7 @@ void OnlineAlid::InstallPoolCluster(Cluster c, const AlidDetector& detector,
   sketches_.emplace_back();
   tiles_.emplace_back();
   Assign(static_cast<int>(clusters_.size()) - 1);
-  ++stats_.clusters_born;
+  metrics_.clusters_born->Add(1);
 }
 
 void OnlineAlid::Assign(int cluster_id) {
@@ -515,13 +603,13 @@ void OnlineAlid::ExpireToWindow() {
       dirty.push_back(cid);
     }
     expired.push_back(slot);
-    ++stats_.evicted;
+    metrics_.evicted->Add(1);
   }
   if (expired.empty()) return;
   // Invalidate before any repair detection runs and before the slots are
   // re-used: a cached kernel value against an evicted point must never be
   // served again.
-  stats_.cache_entries_invalidated += oracle_->InvalidateCachedItems(expired);
+  metrics_.cache_invalidated->Add(oracle_->InvalidateCachedItems(expired));
   free_slots_.insert(free_slots_.end(), expired.begin(), expired.end());
   std::sort(free_slots_.begin(), free_slots_.end(), std::greater<Index>());
   // Repair the clusters that lost members, in ascending id order.
@@ -553,7 +641,7 @@ void OnlineAlid::DissolveCluster(int cluster_id) {
   clusters_[cluster_id].density = 0.0;
   cluster_dead_[cluster_id] = 1;
   ++cluster_version_[cluster_id];
-  ++stats_.clusters_dissolved;
+  metrics_.clusters_dissolved->Add(1);
 }
 
 void OnlineAlid::MaybeRebudgetCache() {
@@ -569,9 +657,8 @@ void OnlineAlid::MaybeRebudgetCache() {
           .max_bytes;
   if (static_cast<int64_t>(target) > oracle_->cache_budget_bytes()) {
     oracle_->RebudgetColumnCache(target);
-    ++stats_.cache_rebudgets;
+    metrics_.cache_rebudgets->Add(1);
   }
-  stats_.cache_budget_bytes = oracle_->cache_budget_bytes();
 }
 
 void OnlineAlid::CompactClusters() {

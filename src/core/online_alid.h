@@ -9,6 +9,8 @@
 
 #include "core/alid.h"
 #include "core/support_sketch.h"
+#include "obs/latency_reservoir.h"
+#include "obs/metrics.h"
 #include "simd/soa_block.h"
 
 namespace alid {
@@ -79,7 +81,9 @@ struct OnlineAlidOptions {
 };
 
 /// Counters and per-batch ingest latencies of one OnlineAlid stream — the
-/// streaming counterpart of PalidStats.
+/// streaming counterpart of PalidStats. Since the observability layer
+/// landed this is a thin view materialized from the stream's per-instance
+/// obs::MetricsRegistry (OnlineAlid::metrics()), kept so no caller breaks.
 struct StreamStats {
   int64_t arrivals = 0;  ///< Items ever inserted.
   int64_t absorbed = 0;  ///< Arrivals absorbed into a live cluster on entry.
@@ -186,7 +190,7 @@ class OnlineAlid {
   }
 
   /// Number of items fed so far (monotonic; expired items still count).
-  Index size() const { return static_cast<Index>(stats_.arrivals); }
+  Index size() const { return static_cast<Index>(metrics_.arrivals->value()); }
 
   /// Live items currently inside the window.
   Index alive() const { return static_cast<Index>(window_fifo_.size()); }
@@ -222,8 +226,16 @@ class OnlineAlid {
     return sketches_[static_cast<size_t>(c)];
   }
 
-  /// Stream observability — the streaming counterpart of PalidStats.
-  const StreamStats& stats() const { return stats_; }
+  /// Stream observability — the streaming counterpart of PalidStats. A
+  /// consistent by-value view materialized from the registry (binding it to
+  /// a const reference still works — lifetime extension — but the copy no
+  /// longer tracks later mutations; every in-repo caller reads it fresh).
+  StreamStats stats() const;
+
+  /// The per-instance instrument registry behind stats(): every stream
+  /// counter plus the cache and pool gauges, exportable as single-line
+  /// JSON (bench trajectory) or Prometheus text.
+  const obs::MetricsRegistry& metrics() const { return metrics_.registry; }
 
   /// The shared oracle (cache hit/eviction counters for benches and tests).
   const LazyAffinityOracle& oracle() const { return *oracle_; }
@@ -325,7 +337,34 @@ class OnlineAlid {
   std::vector<Index> free_slots_;
   std::deque<Index> window_fifo_;  // live slots, oldest arrival first
   Index since_refresh_ = 0;
-  StreamStats stats_;
+
+  // The stream counters re-homed onto a per-instance registry (StreamStats
+  // is materialized from these): relaxed-atomic Adds in the serial apply
+  // phases, cache/pool telemetry as callback gauges, batch latencies in the
+  // shared bounded reservoir. Wired in the constructor; pointers are stable
+  // for the stream's lifetime.
+  struct StreamInstruments {
+    obs::MetricsRegistry registry;
+    obs::Counter* arrivals = nullptr;
+    obs::Counter* absorbed = nullptr;
+    obs::Counter* pooled = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* redetections = nullptr;
+    obs::Counter* refreshes = nullptr;
+    obs::Counter* clusters_born = nullptr;
+    obs::Counter* clusters_dissolved = nullptr;
+    obs::Counter* cache_invalidated = nullptr;
+    obs::Counter* cache_rebudgets = nullptr;
+    obs::Counter* sketch_prunes = nullptr;
+    obs::Counter* sketch_exact = nullptr;
+    obs::Counter* refresh_rounds = nullptr;
+    obs::Counter* refresh_speculations = nullptr;
+    obs::Counter* refresh_conflicts = nullptr;
+    obs::Gauge* alive = nullptr;
+    obs::Gauge* clusters_alive = nullptr;
+    obs::LatencyReservoir batch_seconds{StreamStats::kMaxLatencySamples};
+  };
+  StreamInstruments metrics_;
 };
 
 }  // namespace alid

@@ -10,8 +10,45 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace alid {
+
+namespace {
+
+// Process-lifetime PALID totals on the global registry: every Detect() call
+// accumulates here regardless of which Palid instance ran it, so long-lived
+// hosts (benches, services re-detecting periodically) expose cumulative
+// batch-detection work next to the arena/memory gauges. Per-run numbers stay
+// in PalidStats — these counters only ever add run totals.
+struct PalidCounters {
+  obs::Counter* runs;
+  obs::Counter* seeds;
+  obs::Counter* tasks;
+  obs::Counter* clusters;
+  obs::Counter* steals;
+  obs::Counter* cache_hits;
+  obs::Counter* entries_computed;
+};
+
+PalidCounters& GlobalPalidCounters() {
+  static PalidCounters* counters = [] {
+    auto* c = new PalidCounters();
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    c->runs = r.AddCounter("palid_runs");
+    c->seeds = r.AddCounter("palid_seeds");
+    c->tasks = r.AddCounter("palid_tasks");
+    c->clusters = r.AddCounter("palid_clusters");
+    c->steals = r.AddCounter("palid_steals");
+    c->cache_hits = r.AddCounter("palid_cache_hits");
+    c->entries_computed = r.AddCounter("palid_entries_computed");
+    return c;
+  }();
+  return *counters;
+}
+
+}  // namespace
 
 std::vector<int> PalidStats::TaskHistogram(int bins) const {
   return EqualWidthHistogram(task_seconds, bins);
@@ -49,6 +86,7 @@ IndexList Palid::SampleSeeds() const {
 }
 
 DetectionResult Palid::Detect(PalidStats* stats) const {
+  ALID_TRACE_SCOPE("palid", "detect");
   const IndexList seeds = SampleSeeds();
   AlidDetector detector(*oracle_, *lsh_, options_.alid);
 
@@ -76,6 +114,7 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   std::vector<double> task_seconds(num_tasks, 0.0);
   int64_t steals = 0;
   {
+    ALID_TRACE_SCOPE("palid", "map");
     // An external pool (options.pool) lets benches run PALID and the
     // parallel baselines on one substrate; otherwise the run owns a pool
     // sized to num_executors. Either way the map tasks and their chunking
@@ -116,24 +155,38 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
   // the same dominant cluster collapse to one survivor. `raw` is in seed
   // order, so survivors come out deterministically too.
   const Index n = oracle_->size();
-  std::vector<int> best_cluster(n, -1);
-  std::vector<Scalar> best_density(n, -1.0);
-  for (size_t c = 0; c < raw.size(); ++c) {
-    for (Index i : raw[c].members) {
-      if (raw[c].density > best_density[i]) {
-        best_density[i] = raw[c].density;
-        best_cluster[i] = static_cast<int>(c);
+  DetectionResult result;
+  {
+    ALID_TRACE_SCOPE("palid", "reduce");
+    std::vector<int> best_cluster(n, -1);
+    std::vector<Scalar> best_density(n, -1.0);
+    for (size_t c = 0; c < raw.size(); ++c) {
+      for (Index i : raw[c].members) {
+        if (raw[c].density > best_density[i]) {
+          best_density[i] = raw[c].density;
+          best_cluster[i] = static_cast<int>(c);
+        }
       }
     }
+    std::vector<bool> wins(raw.size(), false);
+    for (Index i = 0; i < n; ++i) {
+      if (best_cluster[i] >= 0) wins[best_cluster[i]] = true;
+    }
+    for (size_t c = 0; c < raw.size(); ++c) {
+      if (wins[c]) result.clusters.push_back(std::move(raw[c]));
+    }
   }
-  std::vector<bool> wins(raw.size(), false);
-  for (Index i = 0; i < n; ++i) {
-    if (best_cluster[i] >= 0) wins[best_cluster[i]] = true;
-  }
-  DetectionResult result;
-  for (size_t c = 0; c < raw.size(); ++c) {
-    if (wins[c]) result.clusters.push_back(std::move(raw[c]));
-  }
+
+  const int64_t run_cache_hits = oracle_->cache_hits() - hits_before;
+  const int64_t run_entries = oracle_->entries_computed() - entries_before;
+  PalidCounters& totals = GlobalPalidCounters();
+  totals.runs->Add(1);
+  totals.seeds->Add(num_seeds);
+  totals.tasks->Add(num_tasks);
+  totals.clusters->Add(static_cast<int64_t>(result.clusters.size()));
+  totals.steals->Add(steals);
+  totals.cache_hits->Add(run_cache_hits);
+  totals.entries_computed->Add(run_entries);
 
   if (stats != nullptr) {
     stats->num_seeds = num_seeds;
@@ -142,8 +195,8 @@ DetectionResult Palid::Detect(PalidStats* stats) const {
     stats->total_task_seconds =
         std::accumulate(task_seconds.begin(), task_seconds.end(), 0.0);
     stats->steals = steals;
-    stats->cache_hits = oracle_->cache_hits() - hits_before;
-    stats->entries_computed = oracle_->entries_computed() - entries_before;
+    stats->cache_hits = run_cache_hits;
+    stats->entries_computed = run_entries;
     const int64_t touched = stats->cache_hits + stats->entries_computed;
     stats->cache_hit_rate =
         touched > 0 ? static_cast<double>(stats->cache_hits) / touched : 0.0;

@@ -94,7 +94,10 @@ class Palid {
 
   /// Runs the full map/reduce. The result's clusters are the per-seed
   /// detections deduplicated by the reduce rule; apply Filtered() for the
-  /// paper's density cut.
+  /// paper's density cut. Besides the optional per-run PalidStats, every
+  /// call accumulates its totals onto the global metrics registry's
+  /// `palid_*` counters (runs/seeds/tasks/clusters/steals/cache_hits/
+  /// entries_computed) and emits "palid" detect/map/reduce trace spans.
   DetectionResult Detect(PalidStats* stats = nullptr) const;
 
   /// Seed sampling of Section 4.6: uniform 20% from each LSH bucket with

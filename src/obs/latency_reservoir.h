@@ -1,0 +1,61 @@
+#ifndef ALID_OBS_LATENCY_RESERVOIR_H_
+#define ALID_OBS_LATENCY_RESERVOIR_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace alid::obs {
+
+/// The bounded latency-sample store previously duplicated by
+/// StreamStats::batch_seconds and ServeStats::{query,publish}_seconds: at
+/// most `max_samples` recent samples, halved (oldest half dropped) when
+/// full, so a long-lived stream/server stays bounded while percentile reads
+/// keep a recent window. Thread-safe: one short lock per recorded *call*
+/// (batched paths record once per call, not per item), and Reset() may race
+/// concurrent Record()s — the reservoir simply restarts empty.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t max_samples) : max_samples_(max_samples) {
+    ALID_CHECK(max_samples >= 2);
+  }
+
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() >= max_samples_) {
+      // Halve amortizes the shift: the profile keeps the recent window.
+      samples_.erase(samples_.begin(),
+                     samples_.begin() +
+                         static_cast<ptrdiff_t>(samples_.size() / 2));
+    }
+    samples_.push_back(seconds);
+  }
+
+  std::vector<double> Samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+  size_t max_samples() const { return max_samples_; }
+
+ private:
+  const size_t max_samples_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+}  // namespace alid::obs
+
+#endif  // ALID_OBS_LATENCY_RESERVOIR_H_

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/memory_tracker.h"
+
+namespace alid::obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buffer,
+                std::min<size_t>(static_cast<size_t>(n), sizeof(buffer) - 1));
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "alid_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+const char* PromType(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
+  ALID_CHECK(std::is_sorted(edges_.begin(), edges_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  buckets_[static_cast<size_t>(it - edges_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add: identical semantics,
+  // no dependence on the C++20 floating-point RMW being lock-free.
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = [] {
+    auto* registry = new MetricsRegistry();
+    registry->AddCallbackGauge("memory_current_bytes", [] {
+      return MemoryTracker::Global().current_bytes();
+    });
+    registry->AddCallbackGauge("memory_peak_bytes", [] {
+      return MemoryTracker::Global().peak_bytes();
+    });
+    return registry;
+  }();
+  return *global;
+}
+
+void MetricsRegistry::CheckNameFree(const std::string& name) const {
+  ALID_CHECK(!name.empty());
+  for (const Entry& entry : entries_) {
+    ALID_CHECK_MSG(entry.name != name, name.c_str());
+  }
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckNameFree(name);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.kind = MetricKind::kCounter;
+  entry.counter.reset(new Counter());
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckNameFree(name);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.kind = MetricKind::kGauge;
+  entry.gauge.reset(new Gauge());
+  return entry.gauge.get();
+}
+
+void MetricsRegistry::AddCallbackGauge(const std::string& name,
+                                       std::function<int64_t()> read) {
+  ALID_CHECK(read != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckNameFree(name);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.kind = MetricKind::kGauge;
+  entry.callback = std::move(read);
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckNameFree(name);
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram.reset(new Histogram(std::move(edges)));
+  return entry.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  // Copy the instrument list under the lock, read values outside it:
+  // instrument addresses are stable (registration only appends), and
+  // callback gauges may take their owners' locks without ordering against
+  // mu_. entries_.size() is re-read under the lock only — a concurrent
+  // registration either makes this snapshot or the next.
+  struct Ref {
+    const Entry* entry;
+  };
+  std::vector<Ref> refs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refs.reserve(entries_.size());
+    for (const Entry& entry : entries_) refs.push_back(Ref{&entry});
+  }
+  std::vector<MetricSample> samples;
+  samples.reserve(refs.size());
+  for (const Ref& ref : refs) {
+    const Entry& entry = *ref.entry;
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.kind = entry.kind;
+    if (entry.counter != nullptr) {
+      sample.value = entry.counter->value();
+    } else if (entry.gauge != nullptr) {
+      sample.value = entry.gauge->value();
+    } else if (entry.callback != nullptr) {
+      sample.value = entry.callback();
+    } else if (entry.histogram != nullptr) {
+      sample.edges = entry.histogram->edges();
+      sample.buckets = entry.histogram->BucketCounts();
+      sample.count = entry.histogram->count();
+      sample.sum = entry.histogram->sum();
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::string MetricsRegistry::ToJsonFields() const {
+  std::string out;
+  bool first = true;
+  for (const MetricSample& sample : Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    if (sample.kind == MetricKind::kHistogram) {
+      AppendF(&out, "\"%s_count\":%" PRId64 ",\"%s_sum\":%.6g",
+              sample.name.c_str(), sample.count, sample.name.c_str(),
+              sample.sum);
+    } else {
+      AppendF(&out, "\"%s\":%" PRId64, sample.name.c_str(), sample.value);
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  out += ToJsonFields();
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::string out;
+  for (const MetricSample& sample : Snapshot()) {
+    const std::string name = PromName(sample.name);
+    AppendF(&out, "# TYPE %s %s\n", name.c_str(), PromType(sample.kind));
+    if (sample.kind == MetricKind::kHistogram) {
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        cumulative += sample.buckets[i];
+        if (i < sample.edges.size()) {
+          AppendF(&out, "%s_bucket{le=\"%.9g\"} %" PRId64 "\n", name.c_str(),
+                  sample.edges[i], cumulative);
+        } else {
+          AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n", name.c_str(),
+                  cumulative);
+        }
+      }
+      AppendF(&out, "%s_sum %.9g\n", name.c_str(), sample.sum);
+      AppendF(&out, "%s_count %" PRId64 "\n", name.c_str(), sample.count);
+    } else {
+      AppendF(&out, "%s %" PRId64 "\n", name.c_str(), sample.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace alid::obs

@@ -7,7 +7,9 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace alid {
 
@@ -16,6 +18,26 @@ ClusterServer::ClusterServer(int dim, ClusterServerOptions options)
   ALID_CHECK(dim_ > 0);
   ALID_CHECK(options_.history_capacity >= 0);
   ALID_CHECK(options_.history_budget_bytes >= 0);
+  // History-ring gauges ride the same per-instance registry as the serve
+  // counters; each read takes the publication lock shared, exactly like
+  // stats(). The callbacks capture `this` — they die with the registry,
+  // which dies with the server.
+  obs::MetricsRegistry* registry = stats_.mutable_registry();
+  registry->AddCallbackGauge("history_ring_bytes", [this] {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return history_ring_bytes_;
+  });
+  registry->AddCallbackGauge("generations_retained", [this] {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return static_cast<int64_t>(history_.size());
+  });
+  registry->AddCallbackGauge("history_evictions", [this] {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return history_evictions_;
+  });
+  if (options_.pool != nullptr) {
+    options_.pool->RegisterMetrics(registry, "pool");
+  }
 }
 
 int64_t ClusterServer::HistoryBytesLocked() const {
@@ -58,6 +80,7 @@ void ClusterServer::Publish(std::shared_ptr<const ClusterSnapshot> snapshot) {
   std::vector<std::shared_ptr<const ClusterSnapshot>> evicted;
   bool republish = false;
   {
+    ALID_TRACE_SCOPE("serve", "publish_swap");
     std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
     republish = snapshot_ptr_.get() == incoming;
     if (!republish && snapshot_ptr_ != nullptr &&
@@ -135,12 +158,17 @@ QueryResponse ClusterServer::Query(const QueryRequest& request) const {
   const Index count = static_cast<Index>(request.points.size() / dim_);
   QueryResponse response;
   WallTimer timer;
+  ALID_TRACE_SCOPE("serve", "query");
   // One acquire for the whole request: every point of the call is answered
   // by the same snapshot even if Publish swaps mid-call — the linearization
   // point of the request is this load. An as-of request pins the retained
   // generation the same way, so its answers are exactly the answers that
   // generation gave when it was current.
-  const auto snap = SnapshotAt(request.generation);
+  std::shared_ptr<const ClusterSnapshot> snap;
+  {
+    ALID_TRACE_SCOPE("serve", "snapshot_pin");
+    snap = SnapshotAt(request.generation);
+  }
   if (snap == nullptr) {
     response.status = request.generation == 0
                           ? QueryStatus::kOffline
@@ -156,6 +184,7 @@ QueryResponse ClusterServer::Query(const QueryRequest& request) const {
       // Ranked queries are pure per point; chunking only distributes them.
       ParallelChunks(options_.pool, 0, count, options_.grain,
                      [&](int64_t, int64_t lo, int64_t hi) {
+                       ALID_TRACE_SCOPE("serve", "rank_chunk");
                        for (int64_t q = lo; q < hi; ++q) {
                          response.ranked[q] = snap->TopKClusters(
                              request.points.subspan(
@@ -174,6 +203,9 @@ QueryResponse ClusterServer::Query(const QueryRequest& request) const {
     ParallelChunks(
         options_.pool, 0, count, options_.grain,
         [&](int64_t, int64_t lo, int64_t hi) {
+          // Candidate walk + scoring of one chunk (the per-worker view of
+          // the batch in a trace).
+          ALID_TRACE_SCOPE("serve", "assign_chunk");
           // Query-major block assignment inside the chunk: the snapshot
           // streams each cluster's SoA tiles across the whole block of
           // queries, and every outcome stays bit-identical to a per-query

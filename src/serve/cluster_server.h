@@ -189,6 +189,11 @@ class ClusterServer {
   ServeStatsView stats() const;
   void ResetStats() { stats_.Reset(); }
 
+  /// The per-instance instrument registry behind stats(): every serve
+  /// counter plus the history-ring and pool gauges, exportable as
+  /// single-line JSON (bench trajectory) or Prometheus text.
+  const obs::MetricsRegistry& metrics() const { return stats_.registry(); }
+
   // --- Deprecated pre-generation query surface ----------------------------
   // Thin inline adapters over Query(), retained for one deprecation cycle.
   // Migration:

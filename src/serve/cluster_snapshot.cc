@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/online_alid.h"
+#include "obs/trace.h"
 
 namespace alid {
 
@@ -60,6 +61,7 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
     const StreamIdentity* identity) {
   ALID_CHECK(data.dim() > 0);
   ALID_CHECK(options.absorb_slack >= 0.0 && options.absorb_slack < 1.0);
+  ALID_TRACE_SCOPE("publish", "build");
   WallTimer build_timer;
   std::shared_ptr<ClusterSnapshot> snap(new ClusterSnapshot());
   const int dim = data.dim();
@@ -121,48 +123,54 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   snap->blocks_.resize(static_cast<size_t>(num_clusters));
   std::vector<std::shared_ptr<ClusterBlock>> fresh(
       static_cast<size_t>(num_clusters));
-  snap->cluster_begin_.push_back(0);
-  for (int c = 0; c < num_clusters; ++c) {
-    const Cluster& cluster = clusters[c];
-    ALID_CHECK(cluster.members.size() == cluster.weights.size());
-    const Index count = static_cast<Index>(cluster.members.size());
-    const int p = reuse_from[c];
-    if (p >= 0) {
-      const std::shared_ptr<const ClusterBlock>& block = prev->blocks_[p];
-      ALID_CHECK(block->count == count);
-      snap->blocks_[c] = block;
-      snap->build_info_.bytes_shared +=
-          static_cast<int64_t>(block->MemoryBytes());
-      snap->build_info_.rows_reused += count;
-      ++snap->build_info_.clusters_reused;
-    } else {
-      auto block = std::make_shared<ClusterBlock>();
-      block->count = count;
-      block->dim = dim;
-      block->keys_per_member = tables;
-      block->rows.resize(static_cast<size_t>(count) * dim);
-      block->weights.resize(static_cast<size_t>(count));
-      block->source_ids.resize(static_cast<size_t>(count));
-      block->member_keys.resize(static_cast<size_t>(count) * tables);
-      for (Index t = 0; t < count; ++t) {
-        const Index source = cluster.members[t];
-        ALID_CHECK(source >= 0 && source < data.size());
-        const std::span<const Scalar> row = data[source];
-        std::copy(row.begin(), row.end(),
-                  block->rows.begin() + static_cast<size_t>(t) * dim);
-        block->weights[t] = cluster.weights[t];
-        block->source_ids[t] = source;
+  {
+    ALID_TRACE_SCOPE("publish", "block_fill");
+    snap->cluster_begin_.push_back(0);
+    for (int c = 0; c < num_clusters; ++c) {
+      const Cluster& cluster = clusters[c];
+      ALID_CHECK(cluster.members.size() == cluster.weights.size());
+      const Index count = static_cast<Index>(cluster.members.size());
+      const int p = reuse_from[c];
+      if (p >= 0) {
+        // The reuse branch is a refcount bump; the span distinguishing it
+        // from a gather is the accounting in build_info_, not a trace event.
+        const std::shared_ptr<const ClusterBlock>& block = prev->blocks_[p];
+        ALID_CHECK(block->count == count);
+        snap->blocks_[c] = block;
+        snap->build_info_.bytes_shared +=
+            static_cast<int64_t>(block->MemoryBytes());
+        snap->build_info_.rows_reused += count;
+        ++snap->build_info_.clusters_reused;
+      } else {
+        ALID_TRACE_SCOPE("publish", "block_gather");
+        auto block = std::make_shared<ClusterBlock>();
+        block->count = count;
+        block->dim = dim;
+        block->keys_per_member = tables;
+        block->rows.resize(static_cast<size_t>(count) * dim);
+        block->weights.resize(static_cast<size_t>(count));
+        block->source_ids.resize(static_cast<size_t>(count));
+        block->member_keys.resize(static_cast<size_t>(count) * tables);
+        for (Index t = 0; t < count; ++t) {
+          const Index source = cluster.members[t];
+          ALID_CHECK(source >= 0 && source < data.size());
+          const std::span<const Scalar> row = data[source];
+          std::copy(row.begin(), row.end(),
+                    block->rows.begin() + static_cast<size_t>(t) * dim);
+          block->weights[t] = cluster.weights[t];
+          block->source_ids[t] = source;
+        }
+        snap->blocks_[c] = block;
+        fresh[c] = std::move(block);
+        snap->build_info_.rows_rebuilt += count;
       }
-      snap->blocks_[c] = block;
-      fresh[c] = std::move(block);
-      snap->build_info_.rows_rebuilt += count;
+      for (Index t = 0; t < count; ++t) {
+        snap->cluster_of_.push_back(c);
+      }
+      snap->cluster_begin_.push_back(snap->cluster_begin_.back() + count);
+      snap->density_.push_back(cluster.density);
+      snap->seed_.push_back(cluster.seed);
     }
-    for (Index t = 0; t < count; ++t) {
-      snap->cluster_of_.push_back(c);
-    }
-    snap->cluster_begin_.push_back(snap->cluster_begin_.back() + count);
-    snap->density_.push_back(cluster.density);
-    snap->seed_.push_back(cluster.seed);
   }
   snap->build_info_.clusters_total = num_clusters;
 
@@ -173,31 +181,34 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // the buckets an eager index over the same rows would have built (same
   // params => same projections as the source index, so point queries land
   // in equivalent buckets).
-  snap->lsh_ = std::make_unique<LshIndex>(dim, options.lsh);
-  ParallelChunks(options.pool, 0, num_clusters, options.grain,
-                 [&snap, &fresh](int64_t, int64_t lo, int64_t hi) {
-                   for (int64_t c = lo; c < hi; ++c) {
-                     ClusterBlock* block = fresh[c].get();
-                     if (block == nullptr) continue;  // keys inherited
-                     const size_t tables = static_cast<size_t>(
-                         snap->lsh_->num_tables());
-                     for (Index m = 0; m < block->count; ++m) {
-                       snap->lsh_->ComputePointKeys(
-                           block->row(m),
-                           &block->member_keys[static_cast<size_t>(m) *
-                                               tables]);
+  {
+    ALID_TRACE_SCOPE("publish", "lsh");
+    snap->lsh_ = std::make_unique<LshIndex>(dim, options.lsh);
+    ParallelChunks(options.pool, 0, num_clusters, options.grain,
+                   [&snap, &fresh](int64_t, int64_t lo, int64_t hi) {
+                     for (int64_t c = lo; c < hi; ++c) {
+                       ClusterBlock* block = fresh[c].get();
+                       if (block == nullptr) continue;  // keys inherited
+                       const size_t tables = static_cast<size_t>(
+                           snap->lsh_->num_tables());
+                       for (Index m = 0; m < block->count; ++m) {
+                         snap->lsh_->ComputePointKeys(
+                             block->row(m),
+                             &block->member_keys[static_cast<size_t>(m) *
+                                                 tables]);
+                       }
                      }
-                   }
-                 });
-  for (int c = 0; c < num_clusters; ++c) {
-    const ClusterBlock& block = *snap->blocks_[c];
-    const Index begin = snap->cluster_begin_[c];
-    for (Index m = 0; m < block.count; ++m) {
-      snap->lsh_->InsertItemWithKeys(
-          begin + m,
-          std::span<const uint64_t>(
-              block.member_keys.data() + static_cast<size_t>(m) * tables,
-              static_cast<size_t>(tables)));
+                   });
+    for (int c = 0; c < num_clusters; ++c) {
+      const ClusterBlock& block = *snap->blocks_[c];
+      const Index begin = snap->cluster_begin_[c];
+      for (Index m = 0; m < block.count; ++m) {
+        snap->lsh_->InsertItemWithKeys(
+            begin + m,
+            std::span<const uint64_t>(
+                block.member_keys.data() + static_cast<size_t>(m) * tables,
+                static_cast<size_t>(tables)));
+      }
     }
   }
 
@@ -213,6 +224,7 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // cache-hit counter survive, so the snapshot holds no second copy of any
   // member row.
   {
+    ALID_TRACE_SCOPE("publish", "verify_density");
     Dataset delta(dim);
     std::vector<Index> delta_begin(static_cast<size_t>(num_clusters), -1);
     for (int c = 0; c < num_clusters; ++c) {
@@ -249,24 +261,27 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // "export, don't rebuild" path) and otherwise build from the weights —
   // both produce the same bits because the sketch is a pure function of the
   // weights.
-  for (int c = 0; c < num_clusters; ++c) {
-    ClusterBlock* block = fresh[c].get();
-    if (block == nullptr) continue;
-    const SupportSketch* sketch = nullptr;
-    SupportSketch built;
-    if (stream != nullptr &&
-        stream->cluster_sketch(c).built_version ==
-            stream->cluster_version(c)) {
-      sketch = &stream->cluster_sketch(c);
-    } else {
-      built = BuildSupportSketch(block->weights_span(), options.sketch);
-      sketch = &built;
-    }
-    block->sketch_members.reserve(sketch->ordinals.size());
-    for (size_t t = 0; t < sketch->ordinals.size(); ++t) {
-      block->sketch_members.push_back(sketch->ordinals[t]);
-      block->sketch_weights.push_back(sketch->weights[t]);
-      block->sketch_rest.push_back(sketch->rest_weights[t]);
+  {
+    ALID_TRACE_SCOPE("publish", "sketches");
+    for (int c = 0; c < num_clusters; ++c) {
+      ClusterBlock* block = fresh[c].get();
+      if (block == nullptr) continue;
+      const SupportSketch* sketch = nullptr;
+      SupportSketch built;
+      if (stream != nullptr &&
+          stream->cluster_sketch(c).built_version ==
+              stream->cluster_version(c)) {
+        sketch = &stream->cluster_sketch(c);
+      } else {
+        built = BuildSupportSketch(block->weights_span(), options.sketch);
+        sketch = &built;
+      }
+      block->sketch_members.reserve(sketch->ordinals.size());
+      for (size_t t = 0; t < sketch->ordinals.size(); ++t) {
+        block->sketch_members.push_back(sketch->ordinals[t]);
+        block->sketch_weights.push_back(sketch->weights[t]);
+        block->sketch_rest.push_back(sketch->rest_weights[t]);
+      }
     }
   }
 
@@ -278,6 +293,7 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // so they exist and are bit-identical to a rebuild from the same rows).
   snap->simd_norm_ = SimdSupportsNorm(options.affinity.p);
   if (snap->simd_norm_) {
+    ALID_TRACE_SCOPE("publish", "soa_tiles");
     ParallelChunks(options.pool, 0, num_clusters, options.grain,
                    [&fresh, dim](int64_t, int64_t lo, int64_t hi) {
                      for (int64_t c = lo; c < hi; ++c) {
@@ -297,11 +313,14 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::Build(
   // Every fresh block is complete: seal it — charging its bytes to the
   // global tracker and the arena's resource space exactly once — and count
   // what this build materialized vs. shared.
-  for (int c = 0; c < num_clusters; ++c) {
-    if (fresh[c] == nullptr) continue;
-    fresh[c]->Seal();
-    snap->build_info_.bytes_copied +=
-        static_cast<int64_t>(fresh[c]->MemoryBytes());
+  {
+    ALID_TRACE_SCOPE("publish", "seal");
+    for (int c = 0; c < num_clusters; ++c) {
+      if (fresh[c] == nullptr) continue;
+      fresh[c]->Seal();
+      snap->build_info_.bytes_copied +=
+          static_cast<int64_t>(fresh[c]->MemoryBytes());
+    }
   }
 
   snap->build_info_.build_seconds = build_timer.Seconds();
@@ -317,6 +336,7 @@ std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromDetection(
 std::shared_ptr<const ClusterSnapshot> ClusterSnapshot::FromStream(
     const OnlineAlid& stream, ThreadPool* pool,
     std::shared_ptr<const ClusterSnapshot> previous) {
+  ALID_TRACE_SCOPE("publish", "from_stream");
   ClusterSnapshotOptions options;
   options.affinity = stream.options().affinity;
   options.lsh = stream.options().lsh;

@@ -10,79 +10,74 @@ std::vector<int> ServeStatsView::LatencyHistogram(int bins) const {
   return EqualWidthHistogram(query_seconds, bins);
 }
 
+ServeStats::ServeStats()
+    : single_queries_(registry_.AddCounter("single_queries")),
+      batch_calls_(registry_.AddCounter("batch_calls")),
+      queries_(registry_.AddCounter("queries")),
+      assigned_(registry_.AddCounter("assigned")),
+      topk_queries_(registry_.AddCounter("topk_queries")),
+      info_queries_(registry_.AddCounter("info_queries")),
+      snapshots_published_(registry_.AddCounter("snapshots_published")),
+      sketch_prunes_(registry_.AddCounter("sketch_prunes")),
+      sketch_exact_(registry_.AddCounter("sketch_exact")),
+      rows_reused_(registry_.AddCounter("rows_reused")),
+      clusters_reused_(registry_.AddCounter("clusters_reused")),
+      bytes_shared_(registry_.AddCounter("bytes_shared")),
+      bytes_copied_(registry_.AddCounter("bytes_copied")) {}
+
 void ServeStats::RecordAssign(int64_t items, int64_t assigned, double seconds,
                               bool batch) {
   if (batch) {
-    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batch_calls_->Add(1);
   } else {
-    single_queries_.fetch_add(1, std::memory_order_relaxed);
+    single_queries_->Add(1);
   }
-  queries_.fetch_add(items, std::memory_order_relaxed);
-  assigned_.fetch_add(assigned, std::memory_order_relaxed);
+  // queries_ bumps before assigned_ (and View() reads them in the opposite
+  // order) so unassigned = queries - assigned stays >= 0 even mid-call.
+  queries_->Add(items);
+  assigned_->Add(assigned);
   if (items <= 0) return;
-  const double per_query = seconds / static_cast<double>(items);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (query_seconds_.size() >= kMaxLatencySamples) {
-    // Halve amortizes the shift: the profile keeps the recent window (the
-    // same bounding policy as StreamStats::batch_seconds).
-    query_seconds_.erase(query_seconds_.begin(),
-                         query_seconds_.begin() + kMaxLatencySamples / 2);
-  }
-  query_seconds_.push_back(per_query);
+  query_seconds_.Record(seconds / static_cast<double>(items));
 }
 
 void ServeStats::RecordPublish(bool has_build, double build_seconds,
                                int64_t rows_reused, int64_t clusters_reused,
                                int64_t bytes_shared, int64_t bytes_copied) {
-  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
-  if (rows_reused > 0) {
-    rows_reused_.fetch_add(rows_reused, std::memory_order_relaxed);
-  }
-  if (clusters_reused > 0) {
-    clusters_reused_.fetch_add(clusters_reused, std::memory_order_relaxed);
-  }
-  if (bytes_shared > 0) {
-    bytes_shared_.fetch_add(bytes_shared, std::memory_order_relaxed);
-  }
-  if (bytes_copied > 0) {
-    bytes_copied_.fetch_add(bytes_copied, std::memory_order_relaxed);
-  }
+  snapshots_published_->Add(1);
+  if (rows_reused > 0) rows_reused_->Add(rows_reused);
+  if (clusters_reused > 0) clusters_reused_->Add(clusters_reused);
+  if (bytes_shared > 0) bytes_shared_->Add(bytes_shared);
+  if (bytes_copied > 0) bytes_copied_->Add(bytes_copied);
   if (!has_build) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (publish_seconds_.size() >= kMaxLatencySamples) {
-    publish_seconds_.erase(publish_seconds_.begin(),
-                           publish_seconds_.begin() + kMaxLatencySamples / 2);
-  }
-  publish_seconds_.push_back(build_seconds);
+  publish_seconds_.Record(build_seconds);
 }
 
 ServeStatsView ServeStats::View() const {
   ServeStatsView view;
-  view.single_queries = single_queries_.load(std::memory_order_relaxed);
-  view.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  view.single_queries = single_queries_->value();
+  view.batch_calls = batch_calls_->value();
   // assigned_ loads before queries_: RecordAssign bumps queries_ first, so
   // this order (plus the clamp) keeps unassigned >= 0 even mid-call.
-  view.assigned = assigned_.load(std::memory_order_relaxed);
-  view.queries = queries_.load(std::memory_order_relaxed);
+  view.assigned = assigned_->value();
+  view.queries = queries_->value();
   view.unassigned = std::max<int64_t>(0, view.queries - view.assigned);
-  view.topk_queries = topk_queries_.load(std::memory_order_relaxed);
-  view.info_queries = info_queries_.load(std::memory_order_relaxed);
-  view.snapshots_published =
-      snapshots_published_.load(std::memory_order_relaxed);
-  view.sketch_prunes = sketch_prunes_.load(std::memory_order_relaxed);
-  view.sketch_exact = sketch_exact_.load(std::memory_order_relaxed);
-  view.rows_reused = rows_reused_.load(std::memory_order_relaxed);
-  view.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
-  view.bytes_shared = bytes_shared_.load(std::memory_order_relaxed);
-  view.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
+  view.topk_queries = topk_queries_->value();
+  view.info_queries = info_queries_->value();
+  view.snapshots_published = snapshots_published_->value();
+  view.sketch_prunes = sketch_prunes_->value();
+  view.sketch_exact = sketch_exact_->value();
+  view.rows_reused = rows_reused_->value();
+  view.clusters_reused = clusters_reused_->value();
+  view.bytes_shared = bytes_shared_->value();
+  view.bytes_copied = bytes_copied_->value();
   {
+    // The clock is read under mu_: Reset() rewrites the (non-atomic) start
+    // point under the same lock.
     std::lock_guard<std::mutex> lock(mu_);
-    // The clock is read under mu_ too: Reset() rewrites the (non-atomic)
-    // start point under the same lock.
     view.elapsed_seconds = since_.Seconds();
-    view.query_seconds = query_seconds_;
-    view.publish_seconds = publish_seconds_;
   }
+  view.query_seconds = query_seconds_.Samples();
+  view.publish_seconds = publish_seconds_.Samples();
   view.qps = view.elapsed_seconds > 0.0
                  ? static_cast<double>(view.queries) / view.elapsed_seconds
                  : 0.0;
@@ -90,22 +85,22 @@ ServeStatsView ServeStats::View() const {
 }
 
 void ServeStats::Reset() {
-  single_queries_.store(0, std::memory_order_relaxed);
-  batch_calls_.store(0, std::memory_order_relaxed);
-  queries_.store(0, std::memory_order_relaxed);
-  assigned_.store(0, std::memory_order_relaxed);
-  topk_queries_.store(0, std::memory_order_relaxed);
-  info_queries_.store(0, std::memory_order_relaxed);
-  snapshots_published_.store(0, std::memory_order_relaxed);
-  sketch_prunes_.store(0, std::memory_order_relaxed);
-  sketch_exact_.store(0, std::memory_order_relaxed);
-  rows_reused_.store(0, std::memory_order_relaxed);
-  clusters_reused_.store(0, std::memory_order_relaxed);
-  bytes_shared_.store(0, std::memory_order_relaxed);
-  bytes_copied_.store(0, std::memory_order_relaxed);
+  single_queries_->Set(0);
+  batch_calls_->Set(0);
+  queries_->Set(0);
+  assigned_->Set(0);
+  topk_queries_->Set(0);
+  info_queries_->Set(0);
+  snapshots_published_->Set(0);
+  sketch_prunes_->Set(0);
+  sketch_exact_->Set(0);
+  rows_reused_->Set(0);
+  clusters_reused_->Set(0);
+  bytes_shared_->Set(0);
+  bytes_copied_->Set(0);
+  query_seconds_.Reset();
+  publish_seconds_.Reset();
   std::lock_guard<std::mutex> lock(mu_);
-  query_seconds_.clear();
-  publish_seconds_.clear();
   since_.Reset();
 }
 

@@ -1,17 +1,22 @@
 #ifndef ALID_SERVE_SERVE_STATS_H_
 #define ALID_SERVE_SERVE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/latency_reservoir.h"
+#include "obs/metrics.h"
 
 namespace alid {
 
 /// One consistent read of a ClusterServer's counters (ServeStats::View()) —
-/// the serving counterpart of PalidStats / StreamStats.
+/// the serving counterpart of PalidStats / StreamStats. Since the
+/// observability layer landed this is a thin view materialized from the
+/// server's obs::MetricsRegistry (ServeStats::registry()), kept so no
+/// caller breaks; new consumers can read the registry directly (JSON /
+/// Prometheus exporters included).
 struct ServeStatsView {
   int64_t single_queries = 0;  ///< Single-point assignment queries.
   int64_t batch_calls = 0;     ///< Batched assignment calls (Query, >1 point).
@@ -61,20 +66,21 @@ struct ServeStatsView {
   std::vector<int> LatencyHistogram(int bins = 8) const;
 };
 
-/// Thread-safe counters + bounded latency reservoir behind a ClusterServer.
-/// Counters are relaxed atomics (queries hammer them concurrently); the
-/// latency reservoir takes one short lock per *call*, not per query, so a
-/// 64-wide batch pays it once.
+/// Thread-safe counters + bounded latency reservoirs behind a ClusterServer.
+/// The counters live as named instruments in a per-instance
+/// obs::MetricsRegistry (relaxed-atomic hot path, same cost as the old raw
+/// atomics); the latency reservoirs take one short lock per *call*, not per
+/// query, so a 64-wide batch pays it once.
 class ServeStats {
  public:
   static constexpr size_t kMaxLatencySamples = 8192;
 
+  ServeStats();
+
   void RecordAssign(int64_t items, int64_t assigned, double seconds,
                     bool batch);
-  void RecordTopK(int64_t count = 1) {
-    topk_queries_.fetch_add(count, std::memory_order_relaxed);
-  }
-  void RecordInfo() { info_queries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTopK(int64_t count = 1) { topk_queries_->Add(count); }
+  void RecordInfo() { info_queries_->Add(1); }
   /// One publication: the snapshot's build latency joins the bounded
   /// publish-latency reservoir (skipped when has_build is false — the
   /// offline nullptr publish) and its incremental-export reuse/byte
@@ -85,8 +91,8 @@ class ServeStats {
   /// Sketch-filter activity of one answered query (relaxed atomics: batched
   /// queries record from pool workers).
   void RecordSketch(int64_t prunes, int64_t exact) {
-    if (prunes > 0) sketch_prunes_.fetch_add(prunes, std::memory_order_relaxed);
-    if (exact > 0) sketch_exact_.fetch_add(exact, std::memory_order_relaxed);
+    if (prunes > 0) sketch_prunes_->Add(prunes);
+    if (exact > 0) sketch_exact_->Add(exact);
   }
 
   /// A consistent copy of every counter plus derived QPS.
@@ -95,23 +101,29 @@ class ServeStats {
   /// Zeroes the counters, drops the latency samples, restarts the QPS clock.
   void Reset();
 
+  /// The instrument registry behind the view — ClusterServer adds its
+  /// history-ring gauges here, and exporters read it as JSON/Prometheus.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry* mutable_registry() { return &registry_; }
+
  private:
-  std::atomic<int64_t> single_queries_{0};
-  std::atomic<int64_t> batch_calls_{0};
-  std::atomic<int64_t> queries_{0};
-  std::atomic<int64_t> assigned_{0};
-  std::atomic<int64_t> topk_queries_{0};
-  std::atomic<int64_t> info_queries_{0};
-  std::atomic<int64_t> snapshots_published_{0};
-  std::atomic<int64_t> sketch_prunes_{0};
-  std::atomic<int64_t> sketch_exact_{0};
-  std::atomic<int64_t> rows_reused_{0};
-  std::atomic<int64_t> clusters_reused_{0};
-  std::atomic<int64_t> bytes_shared_{0};
-  std::atomic<int64_t> bytes_copied_{0};
-  mutable std::mutex mu_;
-  std::vector<double> query_seconds_;
-  std::vector<double> publish_seconds_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* single_queries_;
+  obs::Counter* batch_calls_;
+  obs::Counter* queries_;
+  obs::Counter* assigned_;
+  obs::Counter* topk_queries_;
+  obs::Counter* info_queries_;
+  obs::Counter* snapshots_published_;
+  obs::Counter* sketch_prunes_;
+  obs::Counter* sketch_exact_;
+  obs::Counter* rows_reused_;
+  obs::Counter* clusters_reused_;
+  obs::Counter* bytes_shared_;
+  obs::Counter* bytes_copied_;
+  obs::LatencyReservoir query_seconds_{kMaxLatencySamples};
+  obs::LatencyReservoir publish_seconds_{kMaxLatencySamples};
+  mutable std::mutex mu_;  // guards since_ (Reset rewrites it)
   WallTimer since_;
 };
 

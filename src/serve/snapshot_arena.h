@@ -36,6 +36,9 @@ MemoryTracker& SnapshotArenaTracker();
 /// referencing snapshot dies.
 struct ClusterBlock {
   ClusterBlock() = default;
+  /// Traced ("arena"/"release"): the last referencing snapshot's teardown
+  /// returns the block's bytes to both trackers (member charges).
+  ~ClusterBlock();
   ClusterBlock(const ClusterBlock&) = delete;
   ClusterBlock& operator=(const ClusterBlock&) = delete;
 

@@ -24,8 +24,11 @@ including the per-record sketch hit-rate delta, and
 ``--require-positive key1,key2`` asserts that the named counters sum to a
 positive value across the *current* record: CI uses it to prove the sketch
 fast path and the incremental export cannot silently disable themselves.
-Passing ``-`` as the previous record skips the ratio gate (counter assertion
-only).
+``--require-max key:limit`` is the ceiling-shaped sibling: every occurrence
+of the key across the current records (top level and rows) must be <= limit,
+and the key must be present at all — CI gates the span-tracing overhead with
+``--require-max trace_overhead_ratio:1.05``. Passing ``-`` as the previous
+record skips the ratio gate (counter/max assertions only).
 
 When the previous trajectory is missing or empty (first run on a branch, an
 expired CI artifact), ``--baseline-fallback`` names a committed baseline
@@ -187,6 +190,32 @@ def report_counters(prev_records, curr_records):
     return curr
 
 
+def collect_key_values(records, key):
+    """Every numeric occurrence of `key`, labelled, across records and rows."""
+    found = []
+    for record in records.values():
+        bench = record.get("bench", "bench")
+        if isinstance(record.get(key), (int, float)):
+            found.append((f"{bench}/{key}", float(record[key])))
+        for row in record.get("rows", []):
+            if isinstance(row, dict) and isinstance(row.get(key),
+                                                    (int, float)):
+                found.append((f"{bench}/{row_label(row)}/{key}",
+                              float(row[key])))
+    return found
+
+
+def parse_require_max(spec):
+    """'key:limit,key:limit' -> [(key, float limit)]; ValueError on garbage."""
+    pairs = []
+    for item in (p for p in spec.split(",") if p):
+        key, sep, limit = item.partition(":")
+        if not sep or not key:
+            raise ValueError(f"--require-max entry {item!r} is not key:limit")
+        pairs.append((key, float(limit)))
+    return pairs
+
+
 def flatten(record):
     """{metric-path: seconds} for every wall-time leaf of one record."""
     out = {}
@@ -217,6 +246,12 @@ def main():
     parser.add_argument("--require-positive", default="",
                         help="comma-separated counter keys whose sum across "
                              "the current record must be > 0")
+    parser.add_argument("--require-max", default="",
+                        help="comma-separated key:limit pairs; every "
+                             "occurrence of key across the current records "
+                             "(top level and rows) must be <= limit, and the "
+                             "key must appear at least once — CI gates "
+                             "trace_overhead_ratio:1.05 with this")
     parser.add_argument("--baseline-fallback", default="",
                         help="committed baseline JSONL to gate against when "
                              "the previous trajectory is missing or empty")
@@ -275,6 +310,28 @@ def main():
         return 1
     if required:
         print(f"counter assertion ok: {required} all positive")
+
+    try:
+        max_pairs = parse_require_max(args.require_max)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    for key, limit in max_pairs:
+        found = collect_key_values(curr_records, key)
+        if not found:
+            print(f"max assertion FAILED: key '{key}' absent from the "
+                  f"current records — the metric stopped being emitted")
+            return 1
+        over = [(label, value) for label, value in found if value > limit]
+        for label, value in over:
+            print(f"FAIL {label}: {value:.4f} > {limit:.4f}")
+        if over:
+            print(f"max assertion FAILED: {len(over)} occurrences of "
+                  f"'{key}' exceed {limit:.4f}")
+            return 1
+        worst = max(value for _, value in found)
+        print(f"max assertion ok: {key} <= {limit:.4f} "
+              f"({len(found)} occurrences, worst {worst:.4f})")
 
     if args.previous == "-":
         print("no previous record requested — ratio gate skipped")

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Fold a Chrome trace-event JSON file into a per-phase latency table.
+
+Input is what `alid_bench --trace-out=FILE` (or any other host of
+src/obs/trace.h's TraceRecorder) writes: a JSON object with a
+``traceEvents`` list of complete ("X") spans, each carrying
+cat/name/ph/pid/tid/ts/dur with microsecond timestamps — the format
+Perfetto and chrome://tracing load directly. This script is the CI-side
+consumer: it validates the schema strictly enough that a malformed
+trace fails the pipeline instead of silently shipping an artifact no
+viewer can open, then prints one row per (cat, name) phase with count,
+total, p50 and p95 duration.
+
+Validation (any violation exits nonzero):
+  * the file parses and has a non-empty ``traceEvents`` list of objects
+  * every event has name/ph/pid/tid/ts; ts is numeric
+  * every "X" event has a numeric dur >= 0
+  * "B"/"E" begin/end events balance per (pid, tid) — mismatched pairs
+    render as garbage lanes in viewers
+
+Gating options for CI:
+  * ``--expect cat/name`` (repeatable): the named phase must appear at
+    least once — proves an instrumented stage actually executed
+  * ``--min-events N``: the trace must carry at least N events total —
+    a near-empty trace means tracing silently disabled itself
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending list (which must be
+    non-empty)."""
+    index = max(0, min(len(sorted_values) - 1,
+                       int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def validate(events):
+    """Schema errors in a traceEvents list (empty list = valid)."""
+    errors = []
+    begin_depth = defaultdict(int)
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                errors.append(f"{where}: missing '{key}'")
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: 'ts' is not numeric")
+        phase = event.get("ph")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                errors.append(f"{where}: 'X' event without numeric 'dur'")
+            elif dur < 0:
+                errors.append(f"{where}: negative dur {dur}")
+        elif phase == "B":
+            begin_depth[(event.get("pid"), event.get("tid"))] += 1
+        elif phase == "E":
+            lane = (event.get("pid"), event.get("tid"))
+            begin_depth[lane] -= 1
+            if begin_depth[lane] < 0:
+                errors.append(f"{where}: 'E' without matching 'B' on "
+                              f"pid={lane[0]} tid={lane[1]}")
+                begin_depth[lane] = 0
+        if len(errors) >= 20:
+            errors.append("... (stopping after 20 errors)")
+            break
+    for (pid, tid), depth in sorted(begin_depth.items()):
+        if depth > 0:
+            errors.append(f"{depth} unclosed 'B' events on "
+                          f"pid={pid} tid={tid}")
+    return errors
+
+
+def summarize(events):
+    """(cat/name) -> ascending list of 'X' durations in microseconds."""
+    durations = defaultdict(list)
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        phase = f"{event.get('cat', '-')}/{event['name']}"
+        durations[phase].append(float(event["dur"]))
+    for values in durations.values():
+        values.sort()
+    return durations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="CAT/NAME",
+                        help="phase that must appear at least once "
+                             "(repeatable)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum total event count (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load {args.trace}: {error}")
+        return 1
+
+    events = trace.get("traceEvents") if isinstance(trace, dict) else None
+    if not isinstance(events, list) or not events:
+        print(f"error: {args.trace} has no non-empty 'traceEvents' list")
+        return 1
+
+    errors = validate(events)
+    for error in errors:
+        print(f"INVALID {error}")
+    if errors:
+        print(f"trace schema FAILED: {len(errors)} violations")
+        return 1
+
+    if len(events) < args.min_events:
+        print(f"error: only {len(events)} events "
+              f"(--min-events {args.min_events})")
+        return 1
+
+    durations = summarize(events)
+    width = max([len(p) for p in durations] + [len("phase")])
+    print(f"{'phase':<{width}}  {'count':>8}  {'total_ms':>10}  "
+          f"{'p50_us':>9}  {'p95_us':>9}")
+    for phase in sorted(durations, key=lambda p: -sum(durations[p])):
+        values = durations[phase]
+        print(f"{phase:<{width}}  {len(values):>8}  "
+              f"{sum(values) / 1000.0:>10.2f}  "
+              f"{percentile(values, 0.50):>9.1f}  "
+              f"{percentile(values, 0.95):>9.1f}")
+    print(f"\n{len(events)} events, {len(durations)} phases ok")
+
+    missing = [p for p in args.expect if p not in durations]
+    if missing:
+        print(f"expectation FAILED: phases never appeared: {missing}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
