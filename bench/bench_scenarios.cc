@@ -311,12 +311,48 @@ void RunHeavyTail(BenchContext& ctx) {
   ctx.EmitJson(json);
 }
 
+void RunEmbedding(BenchContext& ctx) {
+  EmbeddingScenarioConfig cfg;
+  cfg.points_per_batch = ctx.Scaled(96);
+  ScenarioSpec spec;
+  spec.dim = cfg.dim;
+  // Effective scatter is anisotropic; tune the affinity/LSH suggestion to
+  // the widest manifold axis so clusters neither merge nor shatter.
+  spec.spread = cfg.spread;
+  spec.num_batches = 32;
+  spec.window = static_cast<Index>(12 * cfg.points_per_batch);
+  spec.batch = [&cfg](int t) { return EmbeddingBatch(cfg, t); };
+  std::printf("Embedding streams: %d clusters on a %d-dim manifold in "
+              "%d ambient dims, anisotropy %.1fx, %d batches (scale %.2f)\n",
+              cfg.num_clusters, cfg.manifold_dim, cfg.dim, cfg.anisotropy,
+              spec.num_batches, ctx.scale());
+  const std::vector<ScenarioRun> runs = SweepExecutors(spec);
+  std::printf("Expected shape: LSH bucket occupancy skews along the wide "
+              "manifold axes, so sketch and cache columns behave unlike the "
+              "isotropic synthetic regimes at the same arrival rate.\n");
+  std::string json;
+  AppendF(json,
+          "{\"bench\":\"scenario_embedding\",\"dim\":%d,"
+          "\"manifold_dim\":%d,\"num_clusters\":%d,\"anisotropy\":%.2f,"
+          "\"ambient_noise\":%.3f,\"num_batches\":%d,\"window\":%d,"
+          "\"rows\":[",
+          cfg.dim, cfg.manifold_dim, cfg.num_clusters, cfg.anisotropy,
+          cfg.ambient_noise, spec.num_batches, spec.window);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendRunRow(json, runs[i], i == 0);
+  }
+  json += "]}";
+  ctx.EmitJson(json);
+}
+
 ALID_BENCHMARK("scenario_drift", "scenario,stream,speedup", "scenario_drift",
                RunDrift);
 ALID_BENCHMARK("scenario_burst", "scenario,stream,speedup", "scenario_burst",
                RunBurst);
 ALID_BENCHMARK("scenario_heavy_tail", "scenario,stream,speedup",
                "scenario_heavy_tail", RunHeavyTail);
+ALID_BENCHMARK("scenario_embedding", "scenario,stream,speedup",
+               "scenario_embedding", RunEmbedding);
 
 }  // namespace
 }  // namespace alid::bench

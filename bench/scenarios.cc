@@ -18,6 +18,9 @@ constexpr uint64_t kBurstCenterSalt = 0xB5A7'0000'0002ull;
 constexpr uint64_t kBurstBatchSalt = 0xB5A7'0000'0003ull;
 constexpr uint64_t kTailCenterSalt = 0x7A11'0000'0001ull;
 constexpr uint64_t kTailBatchSalt = 0x7A11'0000'0002ull;
+constexpr uint64_t kEmbedBasisSalt = 0xE4BE'0000'0001ull;
+constexpr uint64_t kEmbedCenterSalt = 0xE4BE'0000'0002ull;
+constexpr uint64_t kEmbedBatchSalt = 0xE4BE'0000'0003ull;
 
 Rng KeyedRng(uint64_t seed, uint64_t salt, uint64_t id) {
   return Rng(SplitMix64(seed ^ SplitMix64(salt ^ id)));
@@ -180,6 +183,95 @@ ScenarioBatch HeavyTailBatch(const HeavyTailScenarioConfig& config,
   const Index noise = static_cast<Index>(
       config.noise_fraction * static_cast<double>(config.points_per_batch));
   AppendNoise(batch, config.dim, config.mean_box, noise, rng);
+  return batch;
+}
+
+std::vector<Scalar> EmbeddingBasis(const EmbeddingScenarioConfig& config) {
+  const int dim = config.dim;
+  const int m = config.manifold_dim;
+  // Gram-Schmidt over seed-keyed Gaussian columns: one fixed draw and
+  // orthogonalization order, so the basis is a pure function of the config.
+  Rng rng = KeyedRng(config.seed, kEmbedBasisSalt, 0);
+  std::vector<Scalar> basis(static_cast<size_t>(m) * dim);
+  for (int j = 0; j < m; ++j) {
+    Scalar* col = basis.data() + static_cast<size_t>(j) * dim;
+    for (int d = 0; d < dim; ++d) col[d] = rng.Gaussian();
+    for (int k = 0; k < j; ++k) {
+      const Scalar* prev = basis.data() + static_cast<size_t>(k) * dim;
+      Scalar dot = 0.0;
+      for (int d = 0; d < dim; ++d) dot += col[d] * prev[d];
+      for (int d = 0; d < dim; ++d) col[d] -= dot * prev[d];
+    }
+    Scalar norm = 0.0;
+    for (int d = 0; d < dim; ++d) norm += col[d] * col[d];
+    norm = std::sqrt(std::max(norm, 1e-24));
+    for (int d = 0; d < dim; ++d) col[d] /= norm;
+  }
+  return basis;
+}
+
+double EmbeddingAxisScale(const EmbeddingScenarioConfig& config, int axis) {
+  if (config.manifold_dim <= 1) return config.spread;
+  const double t =
+      static_cast<double>(axis) / static_cast<double>(config.manifold_dim - 1);
+  return config.spread * std::pow(config.anisotropy, -t);
+}
+
+std::vector<Scalar> EmbeddingCenterAt(const EmbeddingScenarioConfig& config,
+                                      int cluster) {
+  const std::vector<Scalar> basis = EmbeddingBasis(config);
+  Rng rng = KeyedRng(config.seed, kEmbedCenterSalt,
+                     static_cast<uint64_t>(cluster));
+  std::vector<Scalar> center(config.dim, 0.0);
+  for (int j = 0; j < config.manifold_dim; ++j) {
+    const Scalar u = rng.Uniform(0.0, config.mean_box);
+    const Scalar* col = basis.data() + static_cast<size_t>(j) * config.dim;
+    for (int d = 0; d < config.dim; ++d) center[d] += col[d] * u;
+  }
+  return center;
+}
+
+ScenarioBatch EmbeddingBatch(const EmbeddingScenarioConfig& config,
+                             int batch_index) {
+  ScenarioBatch batch;
+  const int dim = config.dim;
+  const int m = config.manifold_dim;
+  const std::vector<Scalar> basis = EmbeddingBasis(config);
+  std::vector<std::vector<Scalar>> centers(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    centers[c] = EmbeddingCenterAt(config, c);
+  }
+  std::vector<double> scales(m);
+  for (int j = 0; j < m; ++j) scales[j] = EmbeddingAxisScale(config, j);
+
+  Rng rng = KeyedRng(config.seed, kEmbedBatchSalt,
+                     static_cast<uint64_t>(batch_index));
+  batch.points.reserve(static_cast<size_t>(config.points_per_batch) * dim);
+  std::vector<Scalar> point(dim);
+  // Round-robin cluster assignment (the drift idiom): every manifold
+  // cluster is fed each batch, so bucket skew comes from the geometry, not
+  // from the workload starving clusters.
+  for (Index i = 0; i < config.points_per_batch; ++i) {
+    const int c = static_cast<int>(i % config.num_clusters);
+    point = centers[c];
+    for (int j = 0; j < m; ++j) {
+      const Scalar z = rng.Gaussian() * scales[j];
+      const Scalar* col = basis.data() + static_cast<size_t>(j) * dim;
+      for (int d = 0; d < dim; ++d) point[d] += col[d] * z;
+    }
+    // Small isotropic off-manifold jitter: embeddings are near, not on,
+    // the manifold.
+    for (int d = 0; d < dim; ++d) {
+      point[d] += rng.Gaussian() * config.ambient_noise * config.spread;
+    }
+    batch.points.insert(batch.points.end(), point.begin(), point.end());
+  }
+  batch.rows = config.points_per_batch;
+  batch.active_sources = static_cast<int>(
+      std::min<Index>(config.num_clusters, config.points_per_batch));
+  const Index noise = static_cast<Index>(
+      config.noise_fraction * static_cast<double>(config.points_per_batch));
+  AppendNoise(batch, dim, config.mean_box, noise, rng);
   return batch;
 }
 

@@ -77,6 +77,28 @@ struct HeavyTailScenarioConfig {
   uint64_t seed = 3003;
 };
 
+/// High-dimensional embedding streams: realistic text/image-embedding
+/// geometry — points clustered on a low-dimensional manifold inside a high
+/// ambient dimension, with anisotropic within-cluster scatter — where LSH
+/// bucket occupancy skews and cache locality behaves unlike isotropic
+/// synthetic Gaussians. Cluster centers live in the span of a shared
+/// `manifold_dim`-column orthonormal basis (seed-keyed); each arrival adds
+/// manifold-coordinate Gaussian scatter whose per-axis scale decays
+/// geometrically (axis 0 at `spread`, the last axis `anisotropy`x tighter)
+/// plus a small isotropic ambient jitter off the manifold.
+struct EmbeddingScenarioConfig {
+  int dim = 64;            ///< Ambient embedding dimension.
+  int manifold_dim = 6;    ///< Intrinsic dimension of the cluster manifold.
+  int num_clusters = 10;
+  Index points_per_batch = 96;
+  double spread = 1.0;     ///< Scatter stddev along the widest manifold axis.
+  double anisotropy = 8.0; ///< Widest / narrowest manifold-axis stddev ratio.
+  double ambient_noise = 0.05;  ///< Off-manifold jitter, fraction of spread.
+  double mean_box = 40.0;  ///< Manifold coordinates of centers in [0, box).
+  double noise_fraction = 0.05;  ///< Extra ambient far-noise arrivals.
+  uint64_t seed = 4004;
+};
+
 /// One generated batch: row-major points plus the bookkeeping the scenario
 /// benches report against (how many arrivals were cluster members vs noise,
 /// and which generations/clusters produced them).
@@ -93,6 +115,8 @@ ScenarioBatch DriftBatch(const DriftScenarioConfig& config, int batch_index);
 ScenarioBatch BurstBatch(const BurstScenarioConfig& config, int batch_index);
 ScenarioBatch HeavyTailBatch(const HeavyTailScenarioConfig& config,
                              int batch_index);
+ScenarioBatch EmbeddingBatch(const EmbeddingScenarioConfig& config,
+                             int batch_index);
 
 /// The center of drift cluster `c` at batch `t` (exposed so tests can check
 /// the walk is linear and the bench can report the displacement).
@@ -107,6 +131,21 @@ bool BurstSlotLiveAt(const BurstScenarioConfig& config, int slot,
 /// The Zipf probability of cluster `c` under `config` (normalized).
 double HeavyTailClusterProbability(const HeavyTailScenarioConfig& config,
                                    int cluster);
+
+/// The shared manifold basis of the embedding scenario: `manifold_dim`
+/// orthonormal columns of length `dim`, column-major (column j occupies
+/// [j * dim, (j + 1) * dim)). A pure function of (seed, dim, manifold_dim),
+/// exposed so tests can verify orthonormality and manifold residuals.
+std::vector<Scalar> EmbeddingBasis(const EmbeddingScenarioConfig& config);
+
+/// The ambient-space center of embedding cluster `c` (basis * manifold
+/// coordinates; exposed for the anisotropy/manifold tests).
+std::vector<Scalar> EmbeddingCenterAt(const EmbeddingScenarioConfig& config,
+                                      int cluster);
+
+/// The scatter stddev along manifold axis `axis` (geometric decay from
+/// `spread` at axis 0 down to spread / anisotropy at the last axis).
+double EmbeddingAxisScale(const EmbeddingScenarioConfig& config, int axis);
 
 }  // namespace alid::bench
 

@@ -59,6 +59,12 @@ OnlineAlid::OnlineAlid(int dim, OnlineAlidOptions options)
   metrics_.refresh_conflicts = registry.AddCounter("refresh_conflicts");
   metrics_.alive = registry.AddGauge("alive");
   metrics_.clusters_alive = registry.AddGauge("clusters_alive");
+  // Every batch latency the bounded reservoir samples also lands in a
+  // fixed-bucket histogram, so the ingest profile ships through the JSON /
+  // Prometheus exporters (ingest_seconds_count / _sum and the le buckets)
+  // instead of living only in the in-process percentile window.
+  metrics_.batch_seconds.AttachHistogram(
+      registry.AddHistogram("ingest_seconds", obs::LatencyHistogramEdges()));
   // Cache telemetry reads through the oracle (null-safe when the cache is
   // disabled); the oracle lives and dies with the stream, like the registry.
   const LazyAffinityOracle* oracle = oracle_.get();

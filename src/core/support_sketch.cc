@@ -29,7 +29,27 @@ SupportSketch BuildSupportSketch(std::span<const Scalar> weights,
   for (Index t = n - 1; t >= 0; --t) {
     suffix[t] = suffix[t + 1] + weights[order[t]];
   }
-  const Scalar target = params.prefix_mass * suffix[0];
+
+  // Adaptive truncation mass: deepen from prefix_mass toward
+  // max_prefix_mass as the weight profile flattens (effective
+  // participation ratio n_eff / n in [~0, 1]). A pure function of the
+  // weights — rebuilds stay identical — and, like any mass, it only moves
+  // the prune/exact split, never a scored result.
+  Scalar mass = params.prefix_mass;
+  if (params.adaptive_mass && params.max_prefix_mass > mass) {
+    Scalar sum_sq = 0.0;
+    for (Index t = 0; t < n; ++t) {
+      sum_sq += weights[order[t]] * weights[order[t]];
+    }
+    if (sum_sq > 0.0) {
+      const Scalar n_eff = suffix[0] * suffix[0] / sum_sq;
+      const Scalar flatness =
+          std::min(Scalar{1}, n_eff / static_cast<Scalar>(n));
+      mass = std::min(params.max_prefix_mass,
+                      mass + (params.max_prefix_mass - mass) * flatness);
+    }
+  }
+  const Scalar target = mass * suffix[0];
 
   // Prefix length: the smallest count whose cumulative mass reaches the
   // target (equivalently, whose remainder drops to (1 - prefix_mass) of the

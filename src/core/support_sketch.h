@@ -28,6 +28,21 @@ struct SupportSketchParams {
   /// below it the prefix covers most of the support anyway, so the bound
   /// evaluation would only add work.
   Index min_support = 64;
+  /// Per-cluster adaptive truncation mass (on by default): the effective
+  /// mass deepens from prefix_mass toward max_prefix_mass with the
+  /// *flatness* of the cluster's weight profile, measured by the effective
+  /// participation ratio n_eff / n (n_eff = (sum w)^2 / sum w^2 — n for
+  /// uniform weights, ~1 for a single dominant member). Concentrated
+  /// simplices keep the base mass (their short prefix already carries the
+  /// bound); flat ones — where rest_weight is the whole slack of the bound
+  /// — buy a tighter tail for a few extra prefix members. The effective
+  /// mass is a pure function of the weights, so sketches still rebuild
+  /// identically, and the bound stays an exact filter either way: any mass
+  /// preserves output bit-identity (the fallback contract), only the
+  /// prune/exact split moves. False pins the global prefix_mass.
+  bool adaptive_mass = true;
+  /// Ceiling of the adaptive deepening (only read when adaptive_mass).
+  double max_prefix_mass = 0.98;
 
   bool operator==(const SupportSketchParams&) const = default;
 };

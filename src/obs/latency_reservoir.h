@@ -6,8 +6,18 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace alid::obs {
+
+/// The exponential bucket edges every latency histogram in the runtime
+/// shares (1 microsecond to 1 second, a decade per bucket, +inf implicit):
+/// ingest batches, queries and publishes all land inside this span on any
+/// plausible host, and a shared layout keeps the Prometheus `le` labels
+/// comparable across subsystems.
+inline std::vector<double> LatencyHistogramEdges() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+}
 
 /// The bounded latency-sample store previously duplicated by
 /// StreamStats::batch_seconds and ServeStats::{query,publish}_seconds: at
@@ -22,7 +32,20 @@ class LatencyReservoir {
     ALID_CHECK(max_samples >= 2);
   }
 
+  /// Mirrors every Record() into a registry histogram, so the reservoir's
+  /// bounded percentile window ships as a cumulative fixed-bucket profile
+  /// through ToJsonFields()/ToPrometheusText(). Unlike the samples the
+  /// histogram is never halved or Reset() — exporters treat it as monotone.
+  /// Call once, before any concurrent Record(); the histogram must outlive
+  /// the reservoir (both normally live on the same owner).
+  void AttachHistogram(Histogram* histogram) {
+    ALID_CHECK(histogram_ == nullptr && histogram != nullptr);
+    histogram_ = histogram;
+  }
+
   void Record(double seconds) {
+    // Outside the lock: Observe() is relaxed-atomic all the way down.
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
     std::lock_guard<std::mutex> lock(mu_);
     if (samples_.size() >= max_samples_) {
       // Halve amortizes the shift: the profile keeps the recent window.
@@ -52,6 +75,7 @@ class LatencyReservoir {
 
  private:
   const size_t max_samples_;
+  Histogram* histogram_ = nullptr;  // optional mirror, set-once
   mutable std::mutex mu_;
   std::vector<double> samples_;
 };

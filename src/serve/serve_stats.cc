@@ -23,7 +23,16 @@ ServeStats::ServeStats()
       rows_reused_(registry_.AddCounter("rows_reused")),
       clusters_reused_(registry_.AddCounter("clusters_reused")),
       bytes_shared_(registry_.AddCounter("bytes_shared")),
-      bytes_copied_(registry_.AddCounter("bytes_copied")) {}
+      bytes_copied_(registry_.AddCounter("bytes_copied")) {
+  // The bounded reservoirs mirror into registry histograms so the query and
+  // publish latency profiles ship through ToJsonFields()/ToPrometheusText()
+  // (query_seconds_count / _sum and the le buckets), not just the
+  // in-process percentile windows.
+  query_seconds_.AttachHistogram(
+      registry_.AddHistogram("query_seconds", obs::LatencyHistogramEdges()));
+  publish_seconds_.AttachHistogram(
+      registry_.AddHistogram("publish_seconds", obs::LatencyHistogramEdges()));
+}
 
 void ServeStats::RecordAssign(int64_t items, int64_t assigned, double seconds,
                               bool batch) {

@@ -277,6 +277,21 @@ TEST(LatencyReservoirTest, ResetDuringConcurrentRecord) {
   EXPECT_DOUBLE_EQ(samples.back(), 3.25);
 }
 
+// The reservoir->histogram mirror (LatencyReservoir::AttachHistogram):
+// every Record lands in the histogram, and unlike the bounded sample
+// window the histogram is cumulative — halving never uncounts anything.
+TEST(LatencyReservoirTest, AttachedHistogramMirrorsEveryRecord) {
+  MetricsRegistry registry;
+  obs::Histogram* hist =
+      registry.AddHistogram("lat_seconds", obs::LatencyHistogramEdges());
+  LatencyReservoir reservoir(8);
+  reservoir.AttachHistogram(hist);
+  for (int i = 0; i < 20; ++i) reservoir.Record(1e-4);
+  EXPECT_LE(reservoir.size(), 8u);  // the sample window halved
+  EXPECT_EQ(hist->count(), 20);     // the histogram kept every record
+  EXPECT_DOUBLE_EQ(hist->sum(), 20 * 1e-4);
+}
+
 LabeledData Workload(Index n = 420, uint64_t seed = 91) {
   SyntheticConfig cfg;
   cfg.n = n;
@@ -338,6 +353,45 @@ void ExpectIdenticalStreamState(const OnlineAlid& a, const OnlineAlid& b) {
   EXPECT_EQ(sa.refresh_rounds, sb.refresh_rounds);
   EXPECT_EQ(sa.refresh_speculations, sb.refresh_speculations);
   EXPECT_EQ(sa.refresh_conflicts, sb.refresh_conflicts);
+}
+
+// Satellite contract of the latency export: the stream's ingest latency
+// and the server's query/publish latencies ship as histogram-typed metrics
+// through the registry exporters, not only as bounded reservoir samples.
+TEST(MetricsTest, LatencyHistogramsShipThroughExporters) {
+  LabeledData data = Workload(300, 5);
+  std::unique_ptr<OnlineAlid> online =
+      RunStream(data, StreamOptions(data), 50);
+  ClusterServer server(data.data.dim());
+  server.Publish(ClusterSnapshot::FromStream(*online));
+  server.Query(QueryRequest{.points = data.data[0]});
+
+  const auto histogram_count =
+      [](const MetricsRegistry& registry,
+         const std::string& name) -> int64_t {
+    for (const auto& sample : registry.Snapshot()) {
+      if (sample.name == name) {
+        EXPECT_EQ(sample.kind, obs::MetricKind::kHistogram);
+        EXPECT_EQ(sample.edges, obs::LatencyHistogramEdges());
+        return sample.count;
+      }
+    }
+    ADD_FAILURE() << "no histogram named " << name;
+    return -1;
+  };
+  // One observation per InsertBatch / Query / Publish call.
+  EXPECT_EQ(histogram_count(online->metrics(), "ingest_seconds"),
+            static_cast<int64_t>(online->stats().batch_seconds.size()));
+  EXPECT_EQ(histogram_count(server.metrics(), "query_seconds"), 1);
+  EXPECT_EQ(histogram_count(server.metrics(), "publish_seconds"), 1);
+
+  // And the text exporters carry them end to end.
+  EXPECT_NE(online->metrics().ToJsonFields().find("\"ingest_seconds_count\":"),
+            std::string::npos);
+  EXPECT_NE(
+      server.metrics().ToPrometheusText().find(
+          "# TYPE alid_query_seconds histogram"),
+      std::string::npos);
 }
 
 // The tracer's defining promise: spans only timestamp — they read no

@@ -127,6 +127,89 @@ TEST(ScenarioTest, HeavyTailHeadDominates) {
   EXPECT_LT(batch.active_sources, config.num_clusters);
 }
 
+TEST(ScenarioTest, EmbeddingIsSeedDeterministicAndOrderStable) {
+  EmbeddingScenarioConfig config;
+  const ScenarioBatch cold = EmbeddingBatch(config, 12);
+  for (int t : {0, 5, 12}) {
+    EXPECT_EQ(EmbeddingBatch(config, t).points,
+              EmbeddingBatch(config, t).points);
+  }
+  for (int t = 0; t <= 12; ++t) EmbeddingBatch(config, t);
+  EXPECT_EQ(EmbeddingBatch(config, 12).points, cold.points);
+  EmbeddingScenarioConfig other = config;
+  other.seed += 1;
+  EXPECT_NE(EmbeddingBatch(config, 3).points,
+            EmbeddingBatch(other, 3).points);
+}
+
+TEST(ScenarioTest, EmbeddingBasisIsOrthonormal) {
+  EmbeddingScenarioConfig config;
+  const std::vector<Scalar> basis = EmbeddingBasis(config);
+  ASSERT_EQ(basis.size(), static_cast<size_t>(config.manifold_dim) *
+                              static_cast<size_t>(config.dim));
+  for (int j = 0; j < config.manifold_dim; ++j) {
+    for (int k = j; k < config.manifold_dim; ++k) {
+      double dot = 0.0;
+      for (int d = 0; d < config.dim; ++d) {
+        dot += basis[static_cast<size_t>(j) * config.dim + d] *
+               basis[static_cast<size_t>(k) * config.dim + d];
+      }
+      EXPECT_NEAR(dot, j == k ? 1.0 : 0.0, 1e-9) << j << "," << k;
+    }
+  }
+  EXPECT_EQ(EmbeddingBasis(config), basis);  // pure in the config
+}
+
+// Cluster members live near the manifold: removing the span of the basis
+// leaves only the ambient jitter, and the scatter along axis 0 of the
+// manifold is anisotropy-times wider than along the last axis.
+TEST(ScenarioTest, EmbeddingBatchesAreAnisotropicAndNearTheManifold) {
+  EmbeddingScenarioConfig config;
+  config.points_per_batch = 400;
+  config.noise_fraction = 0.0;  // isolate the cluster geometry
+  const std::vector<Scalar> basis = EmbeddingBasis(config);
+  const ScenarioBatch batch = EmbeddingBatch(config, 0);
+  ASSERT_EQ(batch.rows, config.points_per_batch);
+
+  std::vector<double> axis_sq(config.manifold_dim, 0.0);
+  std::vector<int> axis_n(config.manifold_dim, 0);
+  double residual_sq = 0.0;
+  for (Index i = 0; i < batch.rows; ++i) {
+    const int c = static_cast<int>(i % config.num_clusters);
+    const std::vector<Scalar> center = EmbeddingCenterAt(config, c);
+    std::vector<double> delta(config.dim);
+    for (int d = 0; d < config.dim; ++d) {
+      delta[d] = batch.points[static_cast<size_t>(i) * config.dim + d] -
+                 center[d];
+    }
+    // Project the offset onto each manifold axis; the remainder is the
+    // off-manifold residual.
+    for (int j = 0; j < config.manifold_dim; ++j) {
+      double coord = 0.0;
+      for (int d = 0; d < config.dim; ++d) {
+        coord += delta[d] * basis[static_cast<size_t>(j) * config.dim + d];
+      }
+      axis_sq[j] += coord * coord;
+      ++axis_n[j];
+      for (int d = 0; d < config.dim; ++d) {
+        delta[d] -= coord * basis[static_cast<size_t>(j) * config.dim + d];
+      }
+    }
+    for (int d = 0; d < config.dim; ++d) residual_sq += delta[d] * delta[d];
+  }
+  const double wide = std::sqrt(axis_sq[0] / axis_n[0]);
+  const double narrow = std::sqrt(axis_sq[config.manifold_dim - 1] /
+                                  axis_n[config.manifold_dim - 1]);
+  EXPECT_NEAR(wide, EmbeddingAxisScale(config, 0), 0.25 * wide);
+  EXPECT_GT(wide, 3.0 * narrow);  // anisotropy = 8 with sampling slack
+  // Per-dimension residual stddev ~ ambient_noise * spread.
+  const double residual_rms = std::sqrt(
+      residual_sq / (static_cast<double>(batch.rows) *
+                     (config.dim - config.manifold_dim)));
+  EXPECT_LT(residual_rms, 3.0 * config.ambient_noise * config.spread);
+  EXPECT_GT(residual_rms, 0.0);
+}
+
 // The property the burst bench reports on: streamed through a windowed
 // OnlineAlid, the generation storms force real cluster churn — clusters are
 // born AND dissolved, not merely accumulated.

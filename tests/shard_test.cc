@@ -1,0 +1,587 @@
+// Contracts of the sharded runtime (src/shard/): S == 1 is bit-identical to
+// a plain OnlineAlid, a fixed shard count is bit-identical across executor
+// counts / grains / scheduling (the partition is a pure function of the
+// stream, never of the schedule), the router's fan-out merge equals the
+// serial per-shard merge with the ascending-(shard, cluster) tie-break, a
+// hot publisher never tears a response across generations (the TSan
+// claim), the empty-shard / hot-spot / offline / stale-generation edges,
+// and the boundary-cluster report (cross-shard LSH collisions with exact
+// cross densities).
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/online_alid.h"
+#include "data/synthetic.h"
+#include "serve/cluster_snapshot.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_stream.h"
+#include "test_util.h"
+
+namespace alid {
+namespace {
+
+LabeledData Workload(Index n = 420, uint64_t seed = 91) {
+  SyntheticConfig cfg;
+  cfg.n = n;
+  cfg.dim = 10;
+  cfg.num_clusters = 4;
+  cfg.omega = 0.6;
+  cfg.mean_box = 300.0;
+  cfg.overlap_clusters = false;
+  cfg.seed = seed;
+  return MakeSynthetic(cfg);
+}
+
+OnlineAlidOptions BaseOptions(const LabeledData& data) {
+  OnlineAlidOptions opts;
+  opts.affinity = {.k = data.suggested_k, .p = 2.0};
+  opts.lsh.segment_length = data.suggested_lsh_r;
+  opts.refresh_interval = 96;
+  return opts;
+}
+
+// Streams `data` in a fixed shuffled order as batches of `batch`; the
+// returned slot log is the concatenated InsertBatch answers.
+std::unique_ptr<OnlineAlid> RunPlain(const LabeledData& data,
+                                     OnlineAlidOptions opts, Index batch,
+                                     std::vector<Index>* slot_log = nullptr) {
+  auto online = std::make_unique<OnlineAlid>(data.data.dim(), opts);
+  Rng rng(5);
+  const auto order = rng.Permutation(data.size());
+  std::vector<Scalar> flat;
+  const auto flush = [&] {
+    if (flat.empty()) return;
+    const std::vector<Index> slots = online->InsertBatch(flat);
+    if (slot_log != nullptr) {
+      slot_log->insert(slot_log->end(), slots.begin(), slots.end());
+    }
+    flat.clear();
+  };
+  for (Index pos = 0; pos < data.size(); ++pos) {
+    const auto row = data.data[order[pos]];
+    if (static_cast<Index>(flat.size()) / data.data.dim() == batch) flush();
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  flush();
+  online->Refresh();
+  return online;
+}
+
+// The sharded twin of RunPlain: identical arrival order and batch splits.
+std::unique_ptr<ShardedStream> RunSharded(
+    const LabeledData& data, ShardedStreamOptions opts, Index batch,
+    std::vector<ShardSlot>* slot_log = nullptr) {
+  auto stream = std::make_unique<ShardedStream>(data.data.dim(), opts);
+  Rng rng(5);
+  const auto order = rng.Permutation(data.size());
+  std::vector<Scalar> flat;
+  const auto flush = [&] {
+    if (flat.empty()) return;
+    const std::vector<ShardSlot> slots = stream->InsertBatch(flat);
+    if (slot_log != nullptr) {
+      slot_log->insert(slot_log->end(), slots.begin(), slots.end());
+    }
+    flat.clear();
+  };
+  for (Index pos = 0; pos < data.size(); ++pos) {
+    const auto row = data.data[order[pos]];
+    if (static_cast<Index>(flat.size()) / data.data.dim() == batch) flush();
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  flush();
+  stream->Refresh();
+  return stream;
+}
+
+// Full structural equality of two OnlineAlid states (the stream_test
+// contract: clusters in order, counters, liveness).
+void ExpectIdenticalStreams(const OnlineAlid& a, const OnlineAlid& b) {
+  DetectionResult da, db;
+  da.clusters = a.clusters();
+  db.clusters = b.clusters();
+  ExpectIdenticalDetections(da, db);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.alive(), b.alive());
+  const StreamStats& sa = a.stats();
+  const StreamStats& sb = b.stats();
+  EXPECT_EQ(sa.arrivals, sb.arrivals);
+  EXPECT_EQ(sa.absorbed, sb.absorbed);
+  EXPECT_EQ(sa.pooled, sb.pooled);
+  EXPECT_EQ(sa.evicted, sb.evicted);
+  EXPECT_EQ(sa.redetections, sb.redetections);
+  EXPECT_EQ(sa.refreshes, sb.refreshes);
+  EXPECT_EQ(sa.clusters_born, sb.clusters_born);
+  EXPECT_EQ(sa.clusters_dissolved, sb.clusters_dissolved);
+  EXPECT_EQ(sa.sketch_prunes, sb.sketch_prunes);
+  EXPECT_EQ(sa.sketch_exact, sb.sketch_exact);
+}
+
+// The smallest key routing to `shard` — explicit-key ingest for the tests
+// that force placements.
+uint64_t KeyForShard(const ShardedStream& stream, int shard) {
+  for (uint64_t k = 0;; ++k) {
+    if (stream.ShardOf(k) == shard) return k;
+  }
+}
+
+// A Gaussian blob around `center`, flattened row-major.
+std::vector<Scalar> Blob(const std::vector<Scalar>& center, Index n,
+                         double spread, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Scalar> flat;
+  flat.reserve(static_cast<size_t>(n) * center.size());
+  for (Index i = 0; i < n; ++i) {
+    for (const Scalar c : center) flat.push_back(c + rng.Gaussian() * spread);
+  }
+  return flat;
+}
+
+OnlineAlidOptions BlobOptions(int dim, double spread) {
+  const double intra = std::sqrt(2.0 * static_cast<double>(dim)) * spread;
+  OnlineAlidOptions opts;
+  opts.affinity = {.k = -std::log(0.9) / intra, .p = 2.0};
+  opts.lsh.segment_length = 3.0 * intra;
+  return opts;
+}
+
+TEST(ShardTest, SingleShardIsBitIdenticalToPlainStream) {
+  LabeledData data = Workload();
+  OnlineAlidOptions base = BaseOptions(data);
+  base.window = 260;  // evictions + repairs happen mid-stream
+  const Index batch = 37;
+
+  std::vector<Index> plain_slots;
+  std::unique_ptr<OnlineAlid> plain =
+      RunPlain(data, base, batch, &plain_slots);
+  ASSERT_GT(plain->clusters().size(), 0u);
+  ASSERT_GT(plain->stats().evicted, 0);
+
+  // Serial and pooled sharded runs both reduce to the plain stream, slots
+  // included (S == 1 bypasses hashing and gather/scatter entirely).
+  for (int executors : {0, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (executors > 0) pool = std::make_unique<ThreadPool>(executors);
+    ShardedStreamOptions opts;
+    opts.base = base;
+    opts.base.pool = pool.get();
+    opts.num_shards = 1;
+    std::vector<ShardSlot> slots;
+    std::unique_ptr<ShardedStream> sharded =
+        RunSharded(data, opts, batch, &slots);
+    SCOPED_TRACE(testing::Message() << "executors=" << executors);
+    ExpectIdenticalStreams(*plain, sharded->shard(0));
+    ASSERT_EQ(slots.size(), plain_slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i], (ShardSlot{0, plain_slots[i]})) << "arrival " << i;
+    }
+    EXPECT_EQ(sharded->size(), plain->size());
+    EXPECT_EQ(sharded->alive(), plain->alive());
+  }
+}
+
+TEST(ShardTest, SingleShardRouterMatchesDirectSnapshot) {
+  LabeledData data = Workload(360, 17);
+  ShardedStreamOptions opts;
+  opts.base = BaseOptions(data);
+  opts.num_shards = 1;
+  std::unique_ptr<ShardedStream> stream = RunSharded(data, opts, 45);
+
+  ShardRouter router(data.data.dim(), 1);
+  const uint64_t gen = router.PublishFromStream(*stream);
+  EXPECT_EQ(gen, static_cast<uint64_t>(stream->size()));
+
+  const auto direct = ClusterSnapshot::FromStream(stream->shard(0));
+  std::vector<Scalar> queries;
+  for (Index i = 0; i < 60; ++i) {
+    const auto row = data.data[i];
+    queries.insert(queries.end(), row.begin(), row.end());
+  }
+  const ShardedQueryResponse response = router.Query({.points = queries});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.assignments.size(), 60u);
+  for (Index i = 0; i < 60; ++i) {
+    const AssignOutcome expected = direct->Assign(data.data[i]);
+    const ShardAssignment& got = response.assignments[static_cast<size_t>(i)];
+    EXPECT_EQ(got.cluster, expected.cluster) << "point " << i;
+    EXPECT_EQ(got.affinity, expected.affinity) << "point " << i;
+    EXPECT_EQ(got.margin, expected.margin) << "point " << i;
+    EXPECT_EQ(got.generation, gen);
+    if (got.cluster >= 0) {
+      EXPECT_EQ(got.shard, 0);
+    }
+  }
+}
+
+TEST(ShardTest, FixedShardCountIsBitIdenticalAcrossSchedules) {
+  LabeledData data = Workload();
+  OnlineAlidOptions base = BaseOptions(data);
+  base.window = 260;
+  const Index batch = 37;
+  const int num_shards = 4;
+
+  ShardedStreamOptions serial;
+  serial.base = base;
+  serial.num_shards = num_shards;
+  std::vector<ShardSlot> baseline_slots;
+  std::unique_ptr<ShardedStream> baseline =
+      RunSharded(data, serial, batch, &baseline_slots);
+  // The partition actually spread the stream (otherwise this test collapses
+  // to the S == 1 one).
+  int populated = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    populated += baseline->shard(s).size() > 0 ? 1 : 0;
+  }
+  ASSERT_EQ(populated, num_shards);
+
+  for (int executors : {1, 8}) {
+    for (bool stealing : {true, false}) {
+      for (int64_t grain : {int64_t{1}, int64_t{64}}) {
+        ThreadPool pool(executors, {.work_stealing = stealing});
+        ShardedStreamOptions opts = serial;
+        opts.base.pool = &pool;
+        opts.base.grain = grain;
+        std::vector<ShardSlot> slots;
+        std::unique_ptr<ShardedStream> streamed =
+            RunSharded(data, opts, batch, &slots);
+        SCOPED_TRACE(testing::Message()
+                     << "executors=" << executors << " stealing=" << stealing
+                     << " grain=" << grain);
+        EXPECT_EQ(slots, baseline_slots);
+        for (int s = 0; s < num_shards; ++s) {
+          SCOPED_TRACE(testing::Message() << "shard=" << s);
+          ExpectIdenticalStreams(baseline->shard(s), streamed->shard(s));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardTest, RouterMergeMatchesSerialPerShardMerge) {
+  LabeledData data = Workload(400, 7);
+  ShardedStreamOptions opts;
+  opts.base = BaseOptions(data);
+  opts.num_shards = 3;
+  std::unique_ptr<ShardedStream> stream = RunSharded(data, opts, 50);
+
+  ThreadPool pool(4);
+  ShardRouter router(data.data.dim(), 3, {.pool = &pool});
+  const uint64_t gen = router.PublishFromStream(*stream);
+  const auto pinned = router.snapshot();
+  ASSERT_NE(pinned, nullptr);
+
+  const Index num_queries = 80;
+  std::vector<Scalar> queries;
+  for (Index i = 0; i < num_queries; ++i) {
+    const auto row = data.data[i];
+    queries.insert(queries.end(), row.begin(), row.end());
+  }
+
+  const ShardedQueryResponse response = router.Query({.points = queries});
+  ASSERT_TRUE(response.ok());
+  for (Index i = 0; i < num_queries; ++i) {
+    // The reference merge: serial per-shard Assign, strictly-greater margin
+    // replacement (equal margins keep the earliest shard).
+    ShardAssignment expected;
+    expected.generation = gen;
+    for (int s = 0; s < 3; ++s) {
+      const AssignOutcome outcome = pinned->shards[s]->Assign(data.data[i]);
+      if (outcome.cluster < 0) continue;
+      if (expected.cluster < 0 || outcome.margin > expected.margin) {
+        static_cast<QueryOutcome&>(expected) = outcome;
+        expected.generation = gen;
+        expected.shard = s;
+      }
+    }
+    const ShardAssignment& got = response.assignments[static_cast<size_t>(i)];
+    EXPECT_EQ(got.cluster, expected.cluster) << "point " << i;
+    EXPECT_EQ(got.shard, expected.shard) << "point " << i;
+    EXPECT_EQ(got.affinity, expected.affinity) << "point " << i;
+    EXPECT_EQ(got.margin, expected.margin) << "point " << i;
+  }
+
+  // Ranked fan-out: concatenation of the per-shard rankings under the
+  // (affinity desc, shard asc, cluster asc) total order, truncated.
+  const int top_k = 3;
+  const ShardedQueryResponse ranked =
+      router.Query({.points = queries, .top_k = top_k});
+  ASSERT_TRUE(ranked.ok());
+  for (Index i = 0; i < num_queries; ++i) {
+    std::vector<ShardScoredCluster> expected;
+    for (int s = 0; s < 3; ++s) {
+      for (const ScoredCluster& sc :
+           pinned->shards[s]->TopKClusters(data.data[i], top_k)) {
+        ShardScoredCluster tagged;
+        static_cast<ScoredCluster&>(tagged) = sc;
+        tagged.shard = s;
+        tagged.generation = gen;
+        expected.push_back(tagged);
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const ShardScoredCluster& a, const ShardScoredCluster& b) {
+                if (a.affinity != b.affinity) return a.affinity > b.affinity;
+                if (a.shard != b.shard) return a.shard < b.shard;
+                return a.cluster < b.cluster;
+              });
+    if (static_cast<int>(expected.size()) > top_k) {
+      expected.resize(static_cast<size_t>(top_k));
+    }
+    EXPECT_EQ(ranked.ranked[static_cast<size_t>(i)], expected)
+        << "point " << i;
+  }
+
+  // The fan-out counter counts count x shards sub-queries per request.
+  bool fanout_seen = false;
+  for (const obs::MetricSample& sample : router.metrics().Snapshot()) {
+    if (sample.name == "shard_fanout_queries") {
+      fanout_seen = true;
+      EXPECT_EQ(sample.value, static_cast<int64_t>(2 * num_queries * 3));
+    }
+  }
+  EXPECT_TRUE(fanout_seen);
+}
+
+TEST(ShardTest, MergePrefersLowestShardOnExactTies) {
+  const int dim = 6;
+  const double spread = 1.0;
+  ShardedStreamOptions opts;
+  opts.base = BlobOptions(dim, spread);
+  opts.num_shards = 2;
+  ShardedStream stream(dim, opts);
+
+  // The SAME blob into both shards (explicit keys): two bit-identical
+  // clusters, so a center query ties exactly — the merge must keep shard 0.
+  const std::vector<Scalar> center(dim, 10.0);
+  const std::vector<Scalar> blob = Blob(center, 80, spread, 77);
+  const std::vector<uint64_t> to0(80, KeyForShard(stream, 0));
+  const std::vector<uint64_t> to1(80, KeyForShard(stream, 1));
+  stream.InsertBatch(blob, to0);
+  stream.InsertBatch(blob, to1);
+  stream.Refresh();
+  ASSERT_GT(stream.shard(0).clusters().size(), 0u);
+  ASSERT_EQ(stream.shard(0).clusters().size(),
+            stream.shard(1).clusters().size());
+
+  ShardRouter router(dim, 2);
+  router.PublishFromStream(stream);
+  const ShardedQueryResponse response = router.Query({.points = center});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.assignments.size(), 1u);
+  const ShardAssignment& best = response.assignments[0];
+  ASSERT_GE(best.cluster, 0);
+  EXPECT_EQ(best.shard, 0);  // the tie-break of the merge contract
+
+  // Both tied candidates surface in the ranking, shard 0 first.
+  const ShardedQueryResponse ranked =
+      router.Query({.points = center, .top_k = 2});
+  ASSERT_EQ(ranked.ranked[0].size(), 2u);
+  EXPECT_EQ(ranked.ranked[0][0].affinity, ranked.ranked[0][1].affinity);
+  EXPECT_EQ(ranked.ranked[0][0].shard, 0);
+  EXPECT_EQ(ranked.ranked[0][1].shard, 1);
+}
+
+// The TSan claim: while one publisher hot-swaps sharded generations, every
+// reader answers each whole request — every point, every shard — from
+// exactly one published generation, and observes generations monotonically.
+TEST(ShardTest, HotPublisherKeepsResponsesGenerationConsistent) {
+  LabeledData data = Workload(480, 11);
+  ShardedStreamOptions opts;
+  opts.base = BaseOptions(data);
+  opts.num_shards = 2;
+  ShardedStream stream(data.data.dim(), opts);
+  ShardRouter router(data.data.dim(), 2);
+
+  const int dim = data.data.dim();
+  std::vector<Scalar> queries;
+  for (Index i = 0; i < 40; ++i) {
+    const auto row = data.data[i];
+    queries.insert(queries.end(), row.begin(), row.end());
+  }
+
+  // Seed one generation so readers never start offline.
+  std::vector<Scalar> first;
+  for (Index i = 0; i < 80; ++i) {
+    const auto row = data.data[i];
+    first.insert(first.end(), row.begin(), row.end());
+  }
+  stream.InsertBatch(first);
+  std::vector<uint64_t> published{router.PublishFromStream(stream)};
+
+  std::atomic<bool> torn{false};
+  std::atomic<bool> non_monotonic{false};
+  std::atomic<bool> bad_status{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const ShardedQueryResponse r = router.Query({.points = queries});
+        if (!r.ok()) {
+          bad_status.store(true);
+          continue;
+        }
+        for (const ShardAssignment& a : r.assignments) {
+          if (a.generation != r.generation) torn.store(true);
+        }
+        if (r.generation < last_seen) non_monotonic.store(true);
+        last_seen = r.generation;
+      }
+    });
+  }
+  // The single writer: ingest a batch, publish, repeat — generations climb
+  // while the readers run.
+  std::vector<Scalar> flat;
+  for (Index pos = 80; pos < data.size(); ++pos) {
+    const auto row = data.data[pos];
+    flat.insert(flat.end(), row.begin(), row.end());
+    if (flat.size() == static_cast<size_t>(40 * dim)) {
+      stream.InsertBatch(flat);
+      flat.clear();
+      published.push_back(router.PublishFromStream(stream));
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_FALSE(torn.load());
+  EXPECT_FALSE(non_monotonic.load());
+  EXPECT_FALSE(bad_status.load());
+  ASSERT_GE(published.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(published.begin(), published.end()));
+  EXPECT_EQ(router.generation(), published.back());
+}
+
+TEST(ShardTest, EmptyShardsHotSpotAndStatusEdges) {
+  const int dim = 6;
+  ShardedStreamOptions opts;
+  opts.base = BlobOptions(dim, 1.0);
+  opts.num_shards = 4;
+  ShardedStream stream(dim, opts);
+
+  // Empty-batch ingest is a no-op.
+  EXPECT_TRUE(stream.InsertBatch(std::span<const Scalar>{}).empty());
+
+  // Hot spot: every arrival forced onto one shard, the rest stay empty.
+  const int hot = 2;
+  const std::vector<Scalar> center(dim, 5.0);
+  const std::vector<Scalar> blob = Blob(center, 120, 1.0, 13);
+  const std::vector<uint64_t> keys(120, KeyForShard(stream, hot));
+  const std::vector<ShardSlot> slots = stream.InsertBatch(blob, keys);
+  stream.Refresh();
+  ASSERT_EQ(slots.size(), 120u);
+  for (const ShardSlot& slot : slots) EXPECT_EQ(slot.shard, hot);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(stream.shard(s).size(), s == hot ? 120 : 0) << "shard " << s;
+  }
+  EXPECT_EQ(stream.size(), 120);
+  EXPECT_EQ(stream.stats().arrivals, 120);
+
+  ShardRouter router(dim, 4);
+  // Offline before the first publish.
+  const ShardedQueryResponse offline = router.Query({.points = center});
+  EXPECT_EQ(offline.status, QueryStatus::kOffline);
+  EXPECT_EQ(router.generation(), 0u);
+
+  // Queries fan out over empty shards without harm; answers come from the
+  // hot one.
+  const uint64_t gen = router.PublishFromStream(stream);
+  EXPECT_EQ(gen, 120u);
+  const ShardedQueryResponse response = router.Query({.points = center});
+  ASSERT_TRUE(response.ok());
+  ASSERT_GE(response.assignments[0].cluster, 0);
+  EXPECT_EQ(response.assignments[0].shard, hot);
+
+  // Generation addressing: the current one answers, anything else is
+  // unavailable (the router keeps no history ring).
+  EXPECT_TRUE(router.Query({.points = center, .generation = gen}).ok());
+  const ShardedQueryResponse stale =
+      router.Query({.points = center, .generation = gen + 1});
+  EXPECT_EQ(stale.status, QueryStatus::kGenerationUnavailable);
+  EXPECT_NE(router.SnapshotAt(0), nullptr);
+  EXPECT_NE(router.SnapshotAt(gen), nullptr);
+  EXPECT_EQ(router.SnapshotAt(gen + 1), nullptr);
+
+  // Unpublish takes the router offline again.
+  router.Unpublish();
+  EXPECT_EQ(router.Query({.points = center}).status, QueryStatus::kOffline);
+  EXPECT_EQ(router.generation(), 0u);
+}
+
+TEST(ShardTest, BoundaryReportFindsSplitClustersOnly) {
+  const int dim = 6;
+  const double spread = 1.0;
+  ShardedStreamOptions opts;
+  opts.base = BlobOptions(dim, spread);
+  opts.num_shards = 2;
+  ShardedStream stream(dim, opts);
+  const uint64_t key0 = KeyForShard(stream, 0);
+  const uint64_t key1 = KeyForShard(stream, 1);
+
+  // Blob A straddles the partition (alternating forced keys): each shard
+  // detects its own half at the same location — the boundary case the
+  // report exists for. Blob B lives far away on shard 0 only.
+  const std::vector<Scalar> center_a(dim, 10.0);
+  std::vector<Scalar> center_b(dim, 10.0);
+  center_b[0] = 500.0;
+  const std::vector<Scalar> blob_a = Blob(center_a, 160, spread, 21);
+  std::vector<uint64_t> alternating(160);
+  for (size_t i = 0; i < alternating.size(); ++i) {
+    alternating[i] = i % 2 == 0 ? key0 : key1;
+  }
+  stream.InsertBatch(blob_a, alternating);
+  const std::vector<Scalar> blob_b = Blob(center_b, 80, spread, 22);
+  stream.InsertBatch(blob_b, std::vector<uint64_t>(80, key0));
+  stream.Refresh();
+  ASSERT_GT(stream.shard(0).clusters().size(), 0u);
+  ASSERT_GT(stream.shard(1).clusters().size(), 0u);
+
+  ShardRouter router(dim, 2);
+  router.PublishFromStream(stream);
+  const std::vector<BoundaryPair> report =
+      router.BoundaryClusters(opts.base.affinity);
+
+  // The split blob collides; the far blob never pairs across shards.
+  ASSERT_FALSE(report.empty());
+  const auto snapshot = router.snapshot();
+  for (const BoundaryPair& pair : report) {
+    EXPECT_EQ(pair.shard_a, 0);
+    EXPECT_EQ(pair.shard_b, 1);
+    EXPECT_GT(pair.shared_buckets, 0);
+    EXPECT_GT(pair.cross_density, 0.0);
+    // Both endpoints sit at blob A's location: the far cluster B cannot
+    // share a bucket with anything on the other shard.
+    for (const auto& [shard, cluster] :
+         {std::pair<int, int>{pair.shard_a, pair.cluster_a},
+          std::pair<int, int>{pair.shard_b, pair.cluster_b}}) {
+      const ClusterBlock& block =
+          *snapshot->shards[static_cast<size_t>(shard)]
+               ->blocks()[static_cast<size_t>(cluster)];
+      EXPECT_LT(std::abs(block.row(0)[0] - center_a[0]), 50.0)
+          << "pair endpoint is not at the split blob";
+    }
+  }
+  // Deterministic: a pure function of the pinned snapshot.
+  EXPECT_EQ(router.BoundaryClusters(opts.base.affinity), report);
+
+  // The sharded instruments saw the hot/cold skew of this workload.
+  bool hot_seen = false;
+  for (const obs::MetricSample& sample : stream.metrics().Snapshot()) {
+    if (sample.name == "hot_shard_arrivals") {
+      hot_seen = true;
+      EXPECT_GT(sample.value, 0);
+    }
+  }
+  EXPECT_TRUE(hot_seen);
+}
+
+}  // namespace
+}  // namespace alid

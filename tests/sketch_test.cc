@@ -165,6 +165,7 @@ TEST(SupportSketchTest, DisengagesBelowMinSupportOrWhenDisabled) {
 TEST(SupportSketchTest, TiesBreakByPositionAndRebuildsAreIdentical) {
   std::vector<Scalar> weights(100, 0.01);
   SupportSketchParams params;
+  params.adaptive_mass = false;  // pin the fixed-mass prefix length
   const SupportSketch a =
       BuildSupportSketch(std::span<const Scalar>(weights), params);
   const SupportSketch b =
@@ -177,6 +178,39 @@ TEST(SupportSketchTest, TiesBreakByPositionAndRebuildsAreIdentical) {
   EXPECT_EQ(a.ordinals, b.ordinals);
   EXPECT_EQ(a.weights, b.weights);
   EXPECT_EQ(a.rest_weights, b.rest_weights);
+}
+
+TEST(SupportSketchTest, AdaptiveMassDeepensFlatProfilesOnly) {
+  SupportSketchParams params;  // adaptive_mass on by default
+  ASSERT_TRUE(params.adaptive_mass);
+  // Uniform weights are maximally flat (n_eff == n), so the effective mass
+  // climbs to max_prefix_mass — deeper than the base 0.9 prefix, still a
+  // strict prefix, still rebuilt identically.
+  std::vector<Scalar> flat(100, 0.01);
+  const SupportSketch deep =
+      BuildSupportSketch(std::span<const Scalar>(flat), params);
+  ASSERT_TRUE(deep.engaged());
+  EXPECT_GT(deep.ordinals.size(), 90u);
+  EXPECT_LT(deep.ordinals.size(), flat.size());
+  const SupportSketch again =
+      BuildSupportSketch(std::span<const Scalar>(flat), params);
+  EXPECT_EQ(deep.ordinals, again.ordinals);
+  EXPECT_EQ(deep.rest_weights, again.rest_weights);
+  // A concentrated profile (n_eff ~ 4 of 80) keeps nearly the base mass:
+  // the adaptive prefix barely moves relative to adaptive_mass = false.
+  std::vector<Scalar> concentrated(80, 0.2 / 77.0);
+  concentrated[10] = 0.4;
+  concentrated[40] = 0.3;
+  concentrated[70] = 0.1;
+  SupportSketchParams fixed = params;
+  fixed.adaptive_mass = false;
+  const SupportSketch on =
+      BuildSupportSketch(std::span<const Scalar>(concentrated), params);
+  const SupportSketch off =
+      BuildSupportSketch(std::span<const Scalar>(concentrated), fixed);
+  ASSERT_TRUE(on.engaged());
+  EXPECT_GE(on.ordinals.size(), off.ordinals.size());
+  EXPECT_LE(on.ordinals.size(), off.ordinals.size() + 8);
 }
 
 TEST(SketchStreamTest, PrunedScoringBitIdenticalToFullScoring) {

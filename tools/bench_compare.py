@@ -63,7 +63,7 @@ WALL_KEYS = ("wall_seconds", "p95_batch_seconds", "p95_query_seconds",
 # predecessor's blocks instead of copying them.
 COUNTER_KEYS = ("sketch_prunes", "sketch_exact", "rows_reused",
                 "clusters_reused", "bytes_shared", "bytes_copied",
-                "history_ring_bytes")
+                "history_ring_bytes", "shard_fanout_queries")
 
 
 def reject_duplicate_keys(pairs):
